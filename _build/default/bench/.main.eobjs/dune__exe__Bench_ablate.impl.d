@@ -1,0 +1,1 @@
+bench/bench_ablate.ml: Array Int64 List Printf Varan_nvx Varan_util Varan_workloads

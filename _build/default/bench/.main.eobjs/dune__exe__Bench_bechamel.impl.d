@@ -1,0 +1,1 @@
+bench/bench_bechamel.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Printf Staged Test Time Toolkit Varan_binary Varan_bpf Varan_ringbuf Varan_shmem Varan_sim Varan_util

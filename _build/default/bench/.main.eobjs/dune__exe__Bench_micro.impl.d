@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Array Bytes Int64 List Paper Printf Report Varan_kernel Varan_nvx Varan_sim Varan_util

@@ -1,0 +1,1 @@
+bench/bench_scenarios.ml: Array Bytes Int64 List Paper Printf String Varan_cycles Varan_kernel Varan_nvx Varan_sim Varan_syscall Varan_util Varan_workloads

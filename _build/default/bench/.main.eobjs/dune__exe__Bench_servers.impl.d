@@ -1,0 +1,1 @@
+bench/bench_servers.ml: Array List Paper Printf Report Varan_nvx Varan_util Varan_workloads

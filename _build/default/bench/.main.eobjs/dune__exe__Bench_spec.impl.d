@@ -1,0 +1,1 @@
+bench/bench_spec.ml: Array List Paper Printf Report Varan_util Varan_workloads

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablate Bench_bechamel Bench_micro Bench_scenarios Bench_servers Bench_spec List Printf String Sys

@@ -1,0 +1,1 @@
+bench/report.ml: Filename Printf Sys Varan_util

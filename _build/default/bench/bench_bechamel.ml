@@ -1,0 +1,97 @@
+(* Real (wall-clock) performance of the implementation's hot components,
+   measured with Bechamel: the BPF interpreter, the binary rewriter, the
+   shared-memory pool, the Disruptor ring (driven inside a simulation
+   engine, since its blocking paths are engine condition variables) and
+   the discrete-event engine itself. These complement the virtual-time
+   results: they show the library itself is fast enough to be used as a
+   research vehicle. *)
+
+open Bechamel
+open Toolkit
+module E = Varan_sim.Engine
+module Ring = Varan_ringbuf.Ring
+module Pool = Varan_shmem.Pool
+module Asm = Varan_bpf.Asm
+module Interp = Varan_bpf.Interp
+module Rules = Varan_bpf.Rules
+module Rewriter = Varan_binary.Rewriter
+module Codegen = Varan_binary.Codegen
+module Prng = Varan_util.Prng
+
+let listing1 = Asm.assemble_exn Rules.listing1
+
+let bpf_test =
+  Test.make ~name:"bpf-interp-listing1"
+    (Staged.stage (fun () ->
+         ignore
+           (Interp.run listing1
+              ~data:{ Interp.nr = 102; args = [||] }
+              ~event:{ Interp.ev_nr = 108; ev_ret = 0; ev_args = [||] })))
+
+let rewrite_code =
+  let rng = Prng.create 99 in
+  Codegen.profile_image rng ~code_bytes:30_000 ~syscall_share:0.02
+
+let rewriter_test =
+  Test.make ~name:"rewriter-30kB-image"
+    (Staged.stage (fun () -> ignore (Rewriter.rewrite rewrite_code)))
+
+let pool_test =
+  let pool = Pool.create () in
+  Test.make ~name:"pool-alloc-free-512B"
+    (Staged.stage (fun () ->
+         let c = Pool.alloc pool 512 in
+         Pool.free pool c))
+
+let ring_test =
+  Test.make ~name:"ring-256-publish-consume"
+    (Staged.stage (fun () ->
+         let eng = E.create () in
+         let ring = Ring.create ~size:256 "bench" in
+         let cid = Ring.add_consumer ring in
+         ignore
+           (E.spawn eng (fun () ->
+                for i = 1 to 256 do
+                  Ring.publish ring i
+                done;
+                for _ = 1 to 256 do
+                  ignore (Ring.consume ring cid)
+                done));
+         E.run eng))
+
+let engine_test =
+  Test.make ~name:"engine-1k-task-switches"
+    (Staged.stage (fun () ->
+         let eng = E.create () in
+         ignore
+           (E.spawn eng (fun () ->
+                for _ = 1 to 1_000 do
+                  E.consume 1
+                done));
+         E.run eng))
+
+let tests =
+  [ bpf_test; rewriter_test; pool_test; ring_test; engine_test ]
+
+let run () =
+  print_endline
+    "=== Real wall-clock microbenchmarks of the implementation (Bechamel) \
+     ===\n";
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" [ test ]) in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Printf.printf "  %-28s %12.0f ns/run\n" name ns
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name;
+          ignore raw)
+        results)
+    tests;
+  print_newline ()

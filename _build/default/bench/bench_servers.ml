@@ -1,0 +1,156 @@
+(* Figures 5 and 6: C10k server overhead for 0-6 followers, and Table 2:
+   comparison with the ptrace-based lockstep systems (Mx, Orchestra,
+   Tachyon) on their own benchmarks. Overhead is the paper's metric:
+   native throughput divided by monitored throughput, measured from the
+   client side with the client on the same (simulated) rack. *)
+
+module Driver = Varan_workloads.Driver
+module Workload = Varan_workloads.Workload
+module Catalog = Varan_workloads.Catalog
+module Spec = Varan_workloads.Spec
+module Config = Varan_nvx.Config
+module Tablefmt = Varan_util.Tablefmt
+
+let max_followers = 6
+
+let overheads_for ?config w =
+  let config = match config with Some c -> c | None -> Config.default in
+  let native = Driver.run w Driver.Native in
+  let rows =
+    List.init (max_followers + 1) (fun followers ->
+        let m = Driver.run w (Driver.Nvx { followers; config }) in
+        Driver.overhead ~baseline:native m)
+  in
+  (native, rows)
+
+let figure ?csv ~title ~paper workloads =
+  print_endline title;
+  let table =
+    Tablefmt.create
+      (("server", Tablefmt.Left)
+      :: List.init (max_followers + 1) (fun i ->
+             (string_of_int i ^ "f", Tablefmt.Right)))
+  in
+  List.iter
+    (fun w ->
+      let _, rows = overheads_for w in
+      let paper_row =
+        match List.assoc_opt w.Workload.w_name paper with
+        | Some arr -> arr
+        | None -> [||]
+      in
+      Tablefmt.add_row table
+        (w.Workload.w_name
+        :: List.mapi
+             (fun i ov ->
+               if Array.length paper_row > i then
+                 Printf.sprintf "%.2f [%.2f]" ov paper_row.(i)
+               else Printf.sprintf "%.2f" ov)
+             rows))
+    workloads;
+  Tablefmt.print table;
+  match csv with Some name -> Report.save_csv ~name table | None -> ()
+
+let fig5 () =
+  figure
+    ~title:
+      "=== Figure 5: C10k server overhead by follower count ===\n\
+       measured [paper]; client on the same rack (worst case)\n"
+    ~paper:Paper.fig5 ~csv:"fig5" Catalog.c10k_servers
+
+let fig6 () =
+  figure
+    ~title:
+      "=== Figure 6: prior-work servers under VARAN by follower count ===\n\
+       measured [paper]\n"
+    ~paper:Paper.fig6 ~csv:"fig6" Catalog.prior_work_servers
+
+let table1 () =
+  print_endline "=== Table 1: server applications used in the evaluation ===\n";
+  let table =
+    Tablefmt.create
+      [
+        ("Application", Tablefmt.Left);
+        ("Size (LoC)", Tablefmt.Right);
+        ("Threading", Tablefmt.Left);
+      ]
+  in
+  List.iter
+    (fun (name, size, threading) ->
+      Tablefmt.add_row table [ name; string_of_int size; threading ])
+    Catalog.table1;
+  Tablefmt.print table
+
+(* --- Table 2 ----------------------------------------------------------- *)
+
+let spec_mean_overhead benchmarks ~mode =
+  let ratios =
+    List.map
+      (fun p ->
+        match mode with
+        | `Nvx -> Driver.run_spec p ~followers:1
+        | `Lockstep -> Driver.run_spec_lockstep p ~versions:2)
+      benchmarks
+  in
+  Varan_util.Stats.mean ratios
+
+let table2 () =
+  print_endline
+    "=== Table 2: comparison with prior NVX systems (two versions) ===\n\
+     prior systems modelled as ptrace+lockstep monitors over the same \
+     kernel;\n\
+     brackets give the overheads the paper reports for each system\n";
+  let table =
+    Tablefmt.create
+      [
+        ("system", Tablefmt.Left);
+        ("benchmark", Tablefmt.Left);
+        ("prior (model)", Tablefmt.Right);
+        ("prior [paper]", Tablefmt.Right);
+        ("varan (model)", Tablefmt.Right);
+        ("varan [paper]", Tablefmt.Right);
+      ]
+  in
+  let server_row sys w paper_prior paper_varan =
+    let native = Driver.run w Driver.Native in
+    let ls = Driver.run w (Driver.Lockstep { versions = 2 }) in
+    let nv =
+      Driver.run w (Driver.Nvx { followers = 1; config = Config.default })
+    in
+    Tablefmt.add_row table
+      [
+        sys;
+        w.Workload.w_name;
+        Tablefmt.ratio (Driver.overhead ~baseline:native ls);
+        paper_prior;
+        Tablefmt.ratio (Driver.overhead ~baseline:native nv);
+        paper_varan;
+      ]
+  in
+  server_row "Mx" Catalog.lighttpd_http_load "3.49x" "1.01x";
+  server_row "Mx" Catalog.redis "16.72x" "1.06x";
+  let spec06_ls = spec_mean_overhead Spec.cpu2006 ~mode:`Lockstep in
+  let spec06_nv = spec_mean_overhead Spec.cpu2006 ~mode:`Nvx in
+  Tablefmt.add_row table
+    [
+      "Mx"; "SPEC CPU2006";
+      Tablefmt.pct (spec06_ls -. 1.0);
+      "17.9%";
+      Tablefmt.pct (spec06_nv -. 1.0);
+      "14.2%";
+    ];
+  server_row "Orchestra" Catalog.apache_httpd "50%" "2.4%";
+  let spec00_ls = spec_mean_overhead Spec.cpu2000 ~mode:`Lockstep in
+  let spec00_nv = spec_mean_overhead Spec.cpu2000 ~mode:`Nvx in
+  Tablefmt.add_row table
+    [
+      "Orchestra"; "SPEC CPU2000";
+      Tablefmt.pct (spec00_ls -. 1.0);
+      "17%";
+      Tablefmt.pct (spec00_nv -. 1.0);
+      "11.3%";
+    ];
+  server_row "Tachyon" Catalog.lighttpd_ab "3.72x" "1.00x";
+  server_row "Tachyon" Catalog.thttpd "1.17x" "1.00x";
+  Tablefmt.print table;
+  Report.save_csv ~name:"table2" table

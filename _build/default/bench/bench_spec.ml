@@ -1,0 +1,57 @@
+(* Figures 7 and 8: SPEC CPU2000 / CPU2006 under VARAN with 0-6
+   followers. Compute-bound workloads scale poorly with the number of
+   variants because of memory pressure and caching effects on a
+   four-core machine (§4.3); per-benchmark slowdowns are dominated by
+   each kernel's memory intensity. *)
+
+module Driver = Varan_workloads.Driver
+module Spec = Varan_workloads.Spec
+module Tablefmt = Varan_util.Tablefmt
+
+let max_followers = 6
+
+let figure ?csv ~title ~mean_paper benchmarks =
+  print_endline title;
+  let table =
+    Tablefmt.create
+      (("benchmark", Tablefmt.Left)
+      :: List.init (max_followers + 1) (fun i ->
+             (string_of_int i ^ "f", Tablefmt.Right)))
+  in
+  let sums = Array.make (max_followers + 1) 0.0 in
+  List.iter
+    (fun p ->
+      let rows =
+        List.init (max_followers + 1) (fun followers ->
+            Driver.run_spec p ~followers)
+      in
+      List.iteri (fun i ov -> sums.(i) <- sums.(i) +. ov) rows;
+      Tablefmt.add_row table
+        (p.Spec.sp_name :: List.map (fun ov -> Printf.sprintf "%.2f" ov) rows))
+    benchmarks;
+  Tablefmt.add_rule table;
+  let n = float_of_int (List.length benchmarks) in
+  Tablefmt.add_row table
+    ("mean"
+    :: List.init (max_followers + 1) (fun i ->
+           if Array.length mean_paper > i then
+             Printf.sprintf "%.2f [~%.1f]" (sums.(i) /. n) mean_paper.(i)
+           else Printf.sprintf "%.2f" (sums.(i) /. n)));
+  Tablefmt.print table;
+  match csv with Some name -> Report.save_csv ~name table | None -> ()
+
+let fig7 () =
+  figure
+    ~title:
+      "=== Figure 7: SPEC CPU2000 overhead by follower count ===\n\
+       per-benchmark bars as in the paper; bracketed means read off the \
+       figure\n"
+    ~mean_paper:Paper.fig7_mean_by_followers ~csv:"fig7" Spec.cpu2000
+
+let fig8 () =
+  figure
+    ~title:
+      "=== Figure 8: SPEC CPU2006 overhead by follower count ===\n\
+       per-benchmark bars as in the paper; bracketed means read off the \
+       figure\n"
+    ~mean_paper:Paper.fig8_mean_by_followers ~csv:"fig8" Spec.cpu2006

@@ -1,0 +1,45 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (DESIGN.md maps each to its experiment id).
+
+   Usage:
+     main.exe                 run everything
+     main.exe <target>...     run selected targets:
+       fig4 table1 fig5 fig6 table2 fig7 fig8
+       failover multirev sanitize recrep
+       ablate micro *)
+
+let targets : (string * string * (unit -> unit)) list =
+  [
+    ("fig4", "E1: syscall microbenchmarks (Figure 4)", Bench_micro.run);
+    ("table1", "E2: server applications (Table 1)", Bench_servers.table1);
+    ("fig5", "E3: C10k overhead vs followers (Figure 5)", Bench_servers.fig5);
+    ("fig6", "E5: prior-work servers vs followers (Figure 6)", Bench_servers.fig6);
+    ("table2", "E4: comparison with prior NVX systems (Table 2)", Bench_servers.table2);
+    ("fig7", "E6: SPEC CPU2000 (Figure 7)", Bench_spec.fig7);
+    ("fig8", "E7: SPEC CPU2006 (Figure 8)", Bench_spec.fig8);
+    ("failover", "E8: transparent failover (Section 5.1)", Bench_scenarios.failover);
+    ("multirev", "E9: multi-revision execution (Section 5.2)", Bench_scenarios.multirev);
+    ("sanitize", "E10: live sanitization (Section 5.3)", Bench_scenarios.sanitize);
+    ("recrep", "E11: record-replay (Section 5.4)", Bench_scenarios.recrep);
+    ("ablate", "design ablations (DESIGN.md section 5)", Bench_ablate.run);
+    ("micro", "real wall-clock component benchmarks", Bench_bechamel.run);
+  ]
+
+let run_target (name, title, f) =
+  Printf.printf "\n################ %s [%s] ################\n\n" title name;
+  f ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] -> List.iter run_target targets
+  | names ->
+    List.iter
+      (fun n ->
+        match List.find_opt (fun (name, _, _) -> name = n) targets with
+        | Some t -> run_target t
+        | None ->
+          Printf.eprintf "unknown target %S; available: %s\n" n
+            (String.concat " " (List.map (fun (n, _, _) -> n) targets));
+          exit 1)
+      names

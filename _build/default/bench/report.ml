@@ -1,0 +1,16 @@
+(* CSV export for the benchmark harness: every table the harness prints is
+   also written under results/ so downstream tooling (plots, regression
+   tracking) can consume the numbers without scraping stdout. *)
+
+let results_dir = "results"
+
+let ensure_dir () =
+  if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+
+let save_csv ~name table =
+  ensure_dir ();
+  let path = Filename.concat results_dir (name ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (Varan_util.Tablefmt.to_csv table);
+  close_out oc;
+  Printf.printf "[saved %s]\n" path

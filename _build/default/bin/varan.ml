@@ -1,0 +1,326 @@
+(* The varan command-line driver.
+
+   Mirrors the prototype's usage from the paper (Figure 2):
+
+     varan run --workload redis --followers 3
+     varan run --workload lighttpd --followers 1 --ring-size 64 --pump
+     varan lockstep --workload nginx --versions 2
+     varan rewrite --bytes 30000 --share 0.02
+     varan bpf --filter listing1 --leader 108 --follower 102
+     varan list
+
+   Everything executes against the simulated machine; statistics are
+   printed from the session when the run completes. *)
+
+module Driver = Varan_workloads.Driver
+module Workload = Varan_workloads.Workload
+module Catalog = Varan_workloads.Catalog
+module Config = Varan_nvx.Config
+module Nvx = Varan_nvx.Session
+module Tablefmt = Varan_util.Tablefmt
+open Cmdliner
+
+let workloads =
+  [
+    ("beanstalkd", Catalog.beanstalkd);
+    ("lighttpd", Catalog.lighttpd_wrk);
+    ("memcached", Catalog.memcached);
+    ("nginx", Catalog.nginx);
+    ("redis", Catalog.redis);
+    ("apache", Catalog.apache_httpd);
+    ("thttpd", Catalog.thttpd);
+  ]
+
+let workload_conv =
+  let parse s =
+    match List.assoc_opt s workloads with
+    | Some w -> Ok w
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown workload %s (try: %s)" s
+              (String.concat ", " (List.map fst workloads))))
+  in
+  Arg.conv (parse, fun ppf w -> Format.pp_print_string ppf w.Workload.w_name)
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some workload_conv) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Benchmark application to run.")
+
+let followers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "f"; "followers" ] ~docv:"N" ~doc:"Number of followers.")
+
+let ring_size_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "ring-size" ] ~docv:"EVENTS" ~doc:"Shared ring buffer capacity.")
+
+let pump_arg =
+  Arg.(
+    value & flag
+    & info [ "pump" ]
+        ~doc:"Use per-follower queues with an event pump (the discarded design).")
+
+let trap_only_arg =
+  Arg.(
+    value & flag
+    & info [ "trap-only" ]
+        ~doc:"Intercept every system call through the INT3 path (no detours).")
+
+let busy_wait_arg =
+  Arg.(
+    value & flag
+    & info [ "busy-wait" ] ~doc:"Followers busy-wait instead of using waitlocks.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "strace" ]
+        ~doc:"Print the leader's system call trace after the run (§3.1).")
+
+let config_of ring_size pump trap_only busy_wait trace =
+  {
+    Config.default with
+    Config.ring_size;
+    streaming = (if pump then Config.Event_pump else Config.Shared_ring);
+    interception =
+      (if trap_only then Config.Trap_only else Config.Rewrite);
+    follower_wait =
+      (if busy_wait then Config.Busy_wait else Config.Waitlock);
+    trace_first_variant = trace;
+  }
+
+let print_measurement (m : Driver.measurement) =
+  Printf.printf "%-14s %8d requests  %8.0f req/s  %8.2f us mean latency\n"
+    m.Driver.m_label m.Driver.requests m.Driver.throughput_rps
+    m.Driver.mean_latency_us
+
+let print_session_stats (st : Nvx.stats) =
+  let table =
+    Tablefmt.create ~title:"\nPer-variant statistics:"
+      [
+        ("variant", Tablefmt.Left);
+        ("role", Tablefmt.Left);
+        ("syscalls", Tablefmt.Right);
+        ("published", Tablefmt.Right);
+        ("consumed", Tablefmt.Right);
+        ("jump", Tablefmt.Right);
+        ("trap", Tablefmt.Right);
+        ("vdso", Tablefmt.Right);
+        ("stalls", Tablefmt.Right);
+      ]
+  in
+  Array.iter
+    (fun v ->
+      Tablefmt.add_row table
+        [
+          v.Nvx.vs_name;
+          (match v.Nvx.vs_role with Nvx.Leader -> "leader" | Nvx.Follower -> "follower");
+          string_of_int v.Nvx.vs_syscalls;
+          string_of_int v.Nvx.vs_events_published;
+          string_of_int v.Nvx.vs_events_consumed;
+          string_of_int v.Nvx.vs_jump_dispatches;
+          string_of_int v.Nvx.vs_trap_dispatches;
+          string_of_int v.Nvx.vs_vdso_dispatches;
+          string_of_int v.Nvx.vs_stall_blocks;
+        ])
+    st.Nvx.variants;
+  Tablefmt.print table;
+  (match st.Nvx.variants.(0).Nvx.vs_rewrite with
+  | Some r ->
+    Printf.printf
+      "Binary rewriting: %d syscall sites, %d detoured, %d INT3 fallbacks, \
+       %d bytes of stubs\n"
+      r.Varan_binary.Rewriter.total_syscalls r.Varan_binary.Rewriter.jump_sites
+      r.Varan_binary.Rewriter.trap_sites r.Varan_binary.Rewriter.stub_bytes
+  | None -> ());
+  Printf.printf "Shared memory pool: %d allocs, %d live chunks, %d B reserved\n"
+    st.Nvx.pool.Varan_shmem.Pool.allocs st.Nvx.pool.Varan_shmem.Pool.live_chunks
+    st.Nvx.pool.Varan_shmem.Pool.bytes_reserved
+
+let run_cmd =
+  let run w followers ring_size pump trap_only busy_wait trace =
+    let config = config_of ring_size pump trap_only busy_wait trace in
+    Printf.printf "Running %s natively...\n%!" w.Workload.w_name;
+    let native = Driver.run w Driver.Native in
+    print_measurement native;
+    Printf.printf "Running %s under VARAN with %d follower(s)...\n%!"
+      w.Workload.w_name followers;
+    let m, st, session = Driver.run_with_full_session w ~followers ~config in
+    print_measurement m;
+    Printf.printf "Overhead: %.2fx\n" (Driver.overhead ~baseline:native m);
+    print_session_stats st;
+    if trace then begin
+      print_endline "\nLeader system call trace (first 25 lines):";
+      List.iteri
+        (fun i l -> if i < 25 then print_endline ("  " ^ l))
+        (Nvx.trace_lines session)
+    end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload under the VARAN monitor and report overhead.")
+    Term.(
+      const run $ workload_arg $ followers_arg $ ring_size_arg $ pump_arg
+      $ trap_only_arg $ busy_wait_arg $ trace_arg)
+
+let lockstep_cmd =
+  let versions_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "versions" ] ~docv:"N" ~doc:"Total versions under lockstep.")
+  in
+  let run w versions =
+    let native = Driver.run w Driver.Native in
+    print_measurement native;
+    let m = Driver.run w (Driver.Lockstep { versions }) in
+    print_measurement m;
+    Printf.printf "Overhead: %.2fx (ptrace lockstep baseline)\n"
+      (Driver.overhead ~baseline:native m)
+  in
+  Cmd.v
+    (Cmd.info "lockstep"
+       ~doc:"Run a workload under the ptrace lockstep baseline monitor.")
+    Term.(const run $ workload_arg $ versions_arg)
+
+let rewrite_cmd =
+  let bytes_arg =
+    Arg.(
+      value & opt int 30_000
+      & info [ "bytes" ] ~docv:"N" ~doc:"Approximate text segment size.")
+  in
+  let share_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "share" ] ~docv:"F" ~doc:"Fraction of instructions that are syscalls.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Codegen seed.")
+  in
+  let run bytes share seed =
+    let rng = Varan_util.Prng.create seed in
+    let code =
+      Varan_binary.Codegen.profile_image rng ~code_bytes:bytes
+        ~syscall_share:share
+    in
+    let r = Varan_binary.Rewriter.rewrite code in
+    let s = r.Varan_binary.Rewriter.stats in
+    Printf.printf
+      "Image: %d bytes\nSyscall sites: %d\n  detoured (jmp): %d\n  INT3 \
+       fallbacks: %d\nRelocated instructions: %d\nStub bytes appended: %d\n"
+      (Bytes.length code) s.Varan_binary.Rewriter.total_syscalls
+      s.Varan_binary.Rewriter.jump_sites s.Varan_binary.Rewriter.trap_sites
+      s.Varan_binary.Rewriter.relocated_insns s.Varan_binary.Rewriter.stub_bytes
+  in
+  Cmd.v
+    (Cmd.info "rewrite"
+       ~doc:"Generate a synthetic text segment and show binary-rewriting statistics.")
+    Term.(const run $ bytes_arg $ share_arg $ seed_arg)
+
+let bpf_cmd =
+  let leader_arg =
+    Arg.(
+      value & opt int 108
+      & info [ "leader" ] ~docv:"NR" ~doc:"Leader's next syscall number.")
+  in
+  let follower_arg =
+    Arg.(
+      value & opt int 102
+      & info [ "follower" ] ~docv:"NR" ~doc:"Follower's pending syscall number.")
+  in
+  let run leader follower =
+    let prog = Varan_bpf.Asm.assemble_exn Varan_bpf.Rules.listing1 in
+    Format.printf "Listing 1 assembles to:@.%a@." Varan_bpf.Insn.pp_program prog;
+    let out =
+      Varan_bpf.Interp.run prog
+        ~data:{ Varan_bpf.Interp.nr = follower; args = [||] }
+        ~event:{ Varan_bpf.Interp.ev_nr = leader; ev_ret = 0; ev_args = [||] }
+    in
+    let verdict =
+      match Varan_bpf.Rules.verdict_of_action out.Varan_bpf.Interp.action with
+      | Varan_bpf.Rules.Kill -> "KILL"
+      | Varan_bpf.Rules.Execute_follower_call -> "ALLOW (follower executes its call)"
+      | Varan_bpf.Rules.Skip_leader_event -> "SKIP (leader event dropped)"
+      | Varan_bpf.Rules.Other v -> Printf.sprintf "OTHER(0x%x)" v
+    in
+    Printf.printf "leader nr=%d, follower nr=%d -> %s (%d BPF instructions)\n"
+      leader follower verdict out.Varan_bpf.Interp.steps
+  in
+  Cmd.v
+    (Cmd.info "bpf"
+       ~doc:"Assemble the paper's Listing 1 rewrite rule and evaluate a divergence.")
+    Term.(const run $ leader_arg $ follower_arg)
+
+let strace_cmd =
+  let count_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "n" ] ~docv:"N" ~doc:"Number of trace lines to print.")
+  in
+  let run w count =
+    (* Run the workload natively with an strace wrapper on unit 0 and
+       print the head of the trace — the debuggability story of §3.1. *)
+    let eng = Varan_sim.Engine.create () in
+    let k = Varan_kernel.Kernel.create ~link_latency:3_500 eng in
+    w.Workload.setup_fs k;
+    let body = w.Workload.make_body () in
+    let trace_ref = ref None in
+    let main_proc = Varan_kernel.Kernel.new_proc k w.Workload.w_name in
+    for u = 0 to w.Workload.units - 1 do
+      let proc =
+        if u = 0 then main_proc
+        else Varan_kernel.Kernel.fork_proc k main_proc (Printf.sprintf "w%d" u)
+      in
+      let api = Varan_kernel.Api.direct k proc in
+      let api =
+        if u = 0 then begin
+          let wrapped, trace = Varan_kernel.Strace.attach api in
+          trace_ref := Some trace;
+          wrapped
+        end
+        else api
+      in
+      let tid =
+        Varan_sim.Engine.spawn eng ~name:(Printf.sprintf "unit%d" u) (fun () ->
+            try body ~unit_idx:u api with Varan_sim.Engine.Killed -> ())
+      in
+      Varan_kernel.Kernel.register_task k proc tid
+    done;
+    ignore
+      (Varan_workloads.Clients.launch k ~cost:(Varan_kernel.Kernel.cost k)
+         ~port_of:(Workload.port_of_conn w) w.Workload.load);
+    Varan_sim.Engine.run_until_quiescent eng;
+    match !trace_ref with
+    | None -> ()
+    | Some trace ->
+      let lines = Varan_kernel.Strace.lines trace in
+      List.iteri (fun i l -> if i < count then print_endline l) lines;
+      Printf.printf "... (%d calls traced)\n" (Varan_kernel.Strace.calls trace)
+  in
+  Cmd.v
+    (Cmd.info "strace"
+       ~doc:"Trace a workload's system calls, strace-style (unit 0 only).")
+    Term.(const run $ workload_arg $ count_arg)
+
+let list_cmd =
+  let run () =
+    print_endline "Available workloads:";
+    List.iter
+      (fun (key, w) ->
+        Printf.printf "  %-12s %s (%d unit%s)\n" key w.Workload.w_name
+          w.Workload.units
+          (if w.Workload.units = 1 then "" else "s"))
+      workloads
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads.") Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "varan" ~version:"1.0.0"
+       ~doc:"An efficient N-version execution framework (simulated reproduction).")
+    [ run_cmd; lockstep_cmd; rewrite_cmd; bpf_cmd; strace_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

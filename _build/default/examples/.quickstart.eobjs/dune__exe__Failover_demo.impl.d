@@ -1,0 +1,1 @@
+examples/failover_demo.ml: Bytes Int64 List Printf Varan_cycles Varan_kernel Varan_nvx Varan_sim Varan_syscall Varan_workloads

@@ -1,0 +1,1 @@
+examples/fork_demo.ml: Array Bytes Char List Printf String Varan_kernel Varan_nvx Varan_sim Varan_syscall

@@ -1,0 +1,1 @@
+examples/live_sanitization_demo.ml: Bytes Int64 List Printf String Varan_kernel Varan_nvx Varan_sim Varan_syscall

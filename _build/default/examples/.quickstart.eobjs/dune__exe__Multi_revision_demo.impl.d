@@ -1,0 +1,1 @@
+examples/multi_revision_demo.ml: Array Bytes Format List Printf Varan_bpf Varan_kernel Varan_nvx Varan_sim Varan_syscall Varan_workloads

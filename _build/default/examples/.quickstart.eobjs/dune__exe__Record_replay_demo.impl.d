@@ -1,0 +1,1 @@
+examples/record_replay_demo.ml: Bytes Char Hashtbl List Printf String Varan_kernel Varan_nvx Varan_sim Varan_syscall Varan_util

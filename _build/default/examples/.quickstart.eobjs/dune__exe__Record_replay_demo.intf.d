@@ -1,0 +1,1 @@
+examples/record_replay_demo.mli:

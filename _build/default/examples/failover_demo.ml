@@ -1,0 +1,85 @@
+(* Transparent failover (paper §5.1): a key-value server runs as two
+   versions — the leader carries a crash bug that fires on HMGET. When
+   the leader dies, the coordinator promotes the follower, which restarts
+   the in-flight system call and keeps serving the same connection on the
+   descriptors it received over the data channel. The client never sees
+   an error, only one slower reply.
+
+     dune exec examples/failover_demo.exe *)
+
+module E = Varan_sim.Engine
+module K = Varan_kernel.Kernel
+module Api = Varan_kernel.Api
+module Nvx = Varan_nvx.Session
+module Cost = Varan_cycles.Cost
+module Revisions = Varan_workloads.Revisions
+module Kv = Varan_workloads.Kv_server
+module Proto = Varan_workloads.Proto
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Varan_syscall.Errno.name e)
+
+let rec connect_retry api fd port =
+  match Api.connect api fd port with
+  | Ok () -> ()
+  | Error Varan_syscall.Errno.ECONNREFUSED ->
+    E.sleep 5_000;
+    connect_retry api fd port
+  | Error e -> failwith (Varan_syscall.Errno.name e)
+
+let () =
+  let engine = E.create () in
+  let kernel = K.create ~link_latency:28_000 engine in
+  Revisions.setup_fs kernel;
+  let port = 6379 in
+
+  (* Newest revision (buggy) as leader, previous revision as follower. *)
+  let variants =
+    [
+      Revisions.redis_revision ~buggy:true ~name:"redis-7fb16ba (buggy)"
+        ~port ~expected_conns:1;
+      Revisions.redis_revision ~buggy:false ~name:"redis-9a22de8" ~port
+        ~expected_conns:1;
+    ]
+  in
+  let session = Nvx.launch kernel variants in
+  let cost = K.cost kernel in
+
+  let client = K.new_proc kernel "client" in
+  let tid =
+    E.spawn engine ~name:"client" (fun () ->
+        let api = Api.direct kernel client in
+        let fd = ok (Api.socket api) in
+        connect_retry api fd port;
+        let request cmd =
+          let t0 = E.now_cycles () in
+          ok (Proto.send_msg api fd (Kv.cmd cmd));
+          match Proto.recv_msg api fd with
+          | Ok (Some reply) ->
+            Printf.printf "  %-22s -> %-12s (%6.2f us)\n" cmd
+              (Bytes.to_string reply)
+              (Cost.cycles_to_us cost (Int64.sub (E.now_cycles ()) t0))
+          | Ok None -> print_endline "  connection closed!"
+          | Error e -> Printf.printf "  error: %s\n" (Varan_syscall.Errno.name e)
+        in
+        request "HSET user name petr";
+        request "HSET user role phd";
+        request "GET warmup";
+        request "HMGET user name role" (* the leader dies in here *);
+        request "GET after-failover";
+        ignore (Api.close api fd))
+  in
+  K.register_task kernel client tid;
+
+  print_endline "Client session (HMGET crashes the buggy leader):";
+  E.run_until_quiescent engine;
+
+  List.iter
+    (fun (idx, reason) -> Printf.printf "crashed: variant %d (%s)\n" idx reason)
+    (Nvx.crashes session);
+  Printf.printf "current leader: variant %d (%s)\n"
+    (Nvx.leader_index session)
+    (match Nvx.role_of session 1 with
+    | Nvx.Leader -> "the follower was promoted transparently"
+    | Nvx.Follower -> "unexpected")

@@ -1,0 +1,67 @@
+(* Multi-process applications under NVX (paper §3.3.3): a master process
+   forks workers at run time. The leader's fork streams an Ev_fork event
+   and allocates a fresh ring buffer for the new process tuple; every
+   follower forks its own child subscribed to that ring, and the leader's
+   child waits until all followers have joined before publishing — the
+   paper's "the coordinator waits until all followers fork".
+
+     dune exec examples/fork_demo.exe *)
+
+module E = Varan_sim.Engine
+module K = Varan_kernel.Kernel
+module Api = Varan_kernel.Api
+module Flags = Varan_kernel.Flags
+module Nvx = Varan_nvx.Session
+module Variant = Varan_nvx.Variant
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Varan_syscall.Errno.name e)
+
+let read_entropy api n =
+  let fd = ok (Api.openf api "/dev/urandom" Flags.o_rdonly) in
+  let b = ok (Api.read api fd n) in
+  ignore (ok (Api.close api fd));
+  String.concat ""
+    (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+       (List.of_seq (Bytes.to_seq b)))
+
+(* A master that forks two workers; each worker runs in its own process
+   tuple with its own event stream, all of it replicated across the
+   variants. *)
+let master name api =
+  Printf.printf "  [%s/master pid=%d] starting\n" name (Api.getpid api);
+  let w1 =
+    Api.fork api (fun worker ->
+        Printf.printf "  [%s/worker-1 pid=%d] entropy=%s\n" name
+          (Api.getpid worker) (read_entropy worker 6))
+  in
+  let w2 =
+    Api.fork api (fun worker ->
+        Printf.printf "  [%s/worker-2 pid=%d] entropy=%s\n" name
+          (Api.getpid worker) (read_entropy worker 6))
+  in
+  Printf.printf "  [%s/master] forked workers with pids %d and %d\n" name w1 w2;
+  (* The master's own stream keeps flowing alongside the workers'. *)
+  Printf.printf "  [%s/master] entropy=%s\n" name (read_entropy api 6)
+
+let () =
+  let engine = E.create () in
+  let kernel = K.create engine in
+  let variants =
+    List.init 3 (fun i ->
+        let name = Printf.sprintf "v%d" i in
+        Variant.make name (Variant.single (master name)))
+  in
+  print_endline
+    "Three versions of a forking master under VARAN (watch the pids and\n\
+     entropy agree across versions, including inside the forked workers):\n";
+  let session = Nvx.launch kernel variants in
+  E.run_until_quiescent engine;
+  let st = Nvx.stats session in
+  Printf.printf "\ncrashes: %d; rings allocated (tuples): %d\n"
+    (List.length (Nvx.crashes session))
+    (Array.length st.Nvx.rings);
+  print_endline
+    "Each fork created one new ring buffer shared by that process tuple\n\
+     across all variants."

@@ -1,0 +1,72 @@
+(* Live sanitization (paper §5.3): the deployed leader runs the native,
+   uninstrumented build while a follower runs an AddressSanitizer build
+   (2x compute). Because the follower never performs I/O — it replays the
+   leader's results — it keeps up, and expensive sanitizer checks run in
+   production for free.
+
+     dune exec examples/live_sanitization_demo.exe *)
+
+module E = Varan_sim.Engine
+module K = Varan_kernel.Kernel
+module Api = Varan_kernel.Api
+module Flags = Varan_kernel.Flags
+module Nvx = Varan_nvx.Session
+module Variant = Varan_nvx.Variant
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Varan_syscall.Errno.name e)
+
+(* An I/O-heavy worker: reads records from a file and aggregates them.
+   Compute is a small share of each iteration, which is what lets a 2x
+   sanitized follower stay close behind the leader. *)
+let worker api =
+  let fd = ok (Api.openf api "/data/records.bin" Flags.o_rdonly) in
+  for _ = 1 to 400 do
+    ignore (ok (Api.lseek api fd 0 Flags.seek_set));
+    let chunk = ok (Api.read api fd 512) in
+    Api.compute api (Bytes.length chunk * 2) (* parse + checksum *)
+  done;
+  ignore (ok (Api.close api fd))
+
+let run_with ~sanitizer_multiplier =
+  let engine = E.create () in
+  let kernel = K.create engine in
+  Varan_kernel.Vfs.add_file kernel "/data/records.bin" (String.make 4096 'r');
+  let leader = Variant.make "native" (Variant.single worker) in
+  let follower =
+    Variant.make
+      ~compute_multiplier_c1000:sanitizer_multiplier
+      (Printf.sprintf "asan (%.1fx)" (float_of_int sanitizer_multiplier /. 1000.))
+      (Variant.single worker)
+  in
+  let session = Nvx.launch kernel [ leader; follower ] in
+  (* Sample the leader-follower distance while running. *)
+  let samples = ref [] in
+  ignore
+    (E.spawn engine ~name:"sampler" (fun () ->
+         for _ = 1 to 100 do
+           E.sleep 20_000;
+           samples := Nvx.sample_lag session 1 :: !samples
+         done));
+  E.run_until_quiescent engine;
+  let leader_done = E.now engine in
+  (leader_done, !samples, Nvx.crashes session)
+
+let () =
+  print_endline "Running an I/O-bound worker as leader + sanitized follower:\n";
+  let base_cycles, _, _ = run_with ~sanitizer_multiplier:1000 in
+  let asan_cycles, samples, crashes = run_with ~sanitizer_multiplier:2000 in
+  Printf.printf "  plain follower : leader finished at %Ld cycles\n" base_cycles;
+  Printf.printf "  ASan follower  : leader finished at %Ld cycles (%.1f%% slower)\n"
+    asan_cycles
+    ((Int64.to_float asan_cycles /. Int64.to_float base_cycles -. 1.0) *. 100.);
+  let nonzero = List.filter (fun s -> s > 0) samples in
+  Printf.printf "  log distance   : max %d events over %d samples\n"
+    (List.fold_left max 0 samples)
+    (List.length samples);
+  Printf.printf "  samples with any lag: %d, crashes: %d\n"
+    (List.length nonzero) (List.length crashes);
+  print_endline
+    "\nThe sanitized follower replays I/O results from the ring buffer, so\n\
+     its 2x compute never reaches the leader's critical path."

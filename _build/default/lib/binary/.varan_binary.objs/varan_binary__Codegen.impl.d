@@ -1,0 +1,1 @@
+lib/binary/codegen.ml: Array Bytes Int32 List Varan_isa Varan_util

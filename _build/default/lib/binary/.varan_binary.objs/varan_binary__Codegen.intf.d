@@ -1,0 +1,1 @@
+lib/binary/codegen.mli: Bytes Varan_util

@@ -1,0 +1,1 @@
+lib/binary/image.ml: Bytes List Printf

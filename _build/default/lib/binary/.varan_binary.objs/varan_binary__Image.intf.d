@@ -1,0 +1,1 @@
+lib/binary/image.mli: Bytes

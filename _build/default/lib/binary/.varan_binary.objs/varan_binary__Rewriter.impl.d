@@ -1,0 +1,1 @@
+lib/binary/rewriter.ml: Buffer Bytes Hashtbl Image Int32 List Varan_isa

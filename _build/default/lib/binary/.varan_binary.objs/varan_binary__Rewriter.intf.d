@@ -1,0 +1,1 @@
+lib/binary/rewriter.mli: Bytes Image

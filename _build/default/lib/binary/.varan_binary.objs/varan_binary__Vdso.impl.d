@@ -1,0 +1,1 @@
+lib/binary/vdso.ml: Buffer Bytes Int32 List Varan_isa

@@ -1,0 +1,1 @@
+lib/binary/vdso.mli: Bytes

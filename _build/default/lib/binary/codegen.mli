@@ -1,0 +1,32 @@
+(** Synthetic code generation.
+
+    Produces well-formed code buffers for two consumers: the test suite
+    (programs whose pre/post-rewrite behaviour can be compared in the VM)
+    and the NVX layer (code images with realistic syscall densities whose
+    rewrite statistics drive the interception cost mix). *)
+
+val straightline : syscall_numbers:int list -> Bytes.t
+(** A program that loads each number into R0, issues [Syscall], does a
+    little register arithmetic between calls, and halts. Always
+    detourable: no branches at all. *)
+
+val trap_forcing : unit -> Bytes.t
+(** A program whose single [Syscall] is followed immediately by a branch
+    target, making detour relocation illegal and forcing the INT3
+    fallback. *)
+
+val loop_with_syscall : iterations:int -> Bytes.t
+(** A counted loop issuing one syscall per iteration — exercises branches
+    whose targets must survive patching. *)
+
+val random_program :
+  Varan_util.Prng.t -> size:int -> syscall_share:float -> Bytes.t
+(** A random but always-terminating program: straight-line arithmetic,
+    syscalls (roughly [syscall_share] of instructions) and forward
+    conditional branches only. Suitable for property tests comparing
+    original vs rewritten execution. *)
+
+val profile_image :
+  Varan_util.Prng.t -> code_bytes:int -> syscall_share:float -> Bytes.t
+(** A larger buffer standing in for an application's text segment, used
+    only for rewrite statistics (not executed). *)

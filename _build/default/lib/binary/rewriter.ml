@@ -1,0 +1,167 @@
+module I = Varan_isa.Insn
+module D = Varan_isa.Disasm
+
+type dispatch = Jump | Trap
+
+type site = { site_id : int; orig_addr : int; dispatch : dispatch }
+
+type stats = {
+  total_syscalls : int;
+  jump_sites : int;
+  trap_sites : int;
+  relocated_insns : int;
+  stub_bytes : int;
+}
+
+type result = { code : Bytes.t; sites : site list; stats : stats }
+
+let jmp_len = 5
+
+(* Gather the relocation window starting at the syscall: the syscall itself
+   plus following instructions until at least [jmp_len] bytes are covered.
+   Returns [None] when detouring is unsafe: a successor is a branch target,
+   is undecodable data, or the window runs off the buffer. *)
+let collect_window code targets addr =
+  let len = Bytes.length code in
+  let rec go acc covered a =
+    if covered >= jmp_len then Some (List.rev acc, covered)
+    else if a >= len then None
+    else if Hashtbl.mem targets a then None
+    else
+      match I.decode code a with
+      | None -> None
+      | Some (insn, ilen) -> go ((a, insn) :: acc) (covered + ilen) (a + ilen)
+  in
+  match I.decode code addr with
+  | Some (I.Syscall, 1) -> go [ (addr, I.Syscall) ] 1 (addr + 1)
+  | _ -> None
+
+let rewrite ?(first_site_id = 0) code0 =
+  let orig_len = Bytes.length code0 in
+  let targets = D.branch_targets code0 in
+  let syscalls = D.syscall_sites code0 in
+  let patched = Bytes.copy code0 in
+  let stubs = Buffer.create 256 in
+  let next_site = ref first_site_id in
+  let sites = ref [] in
+  let relocated = ref 0 in
+  let jump_count = ref 0 in
+  let trap_count = ref 0 in
+  let covered_until = ref (-1) in
+
+  let here () = orig_len + Buffer.length stubs in
+  let emit insn = Buffer.add_bytes stubs (I.encode insn) in
+  let emit_jmp32_to target =
+    let rel = target - (here () + jmp_len) in
+    emit (I.Jmp (Int32.of_int rel))
+  in
+  let new_site orig_addr dispatch =
+    let s = { site_id = !next_site; orig_addr; dispatch } in
+    incr next_site;
+    sites := s :: !sites;
+    s
+  in
+
+  let emit_relocated (a, insn) =
+    match insn with
+    | I.Syscall ->
+      let s = new_site a Jump in
+      incr jump_count;
+      emit (I.Hook s.site_id)
+    | _ when I.is_branch insn -> (
+      incr relocated;
+      let target =
+        match I.branch_target ~at:a insn with
+        | Some t -> t
+        | None -> assert false
+      in
+      match I.with_target ~at:(here ()) insn target with
+      | Some insn' -> emit insn'
+      | None -> (
+        (* rel8 displacement no longer fits: expand. Unconditional short
+           jumps become rel32 jumps; conditional ones use the universal
+           pattern that needs no inverted condition:
+               Jcc +2        ; taken: hop over the skip jump
+               jmp short +5  ; not taken: skip the long jump
+               jmp rel32 target *)
+        match insn with
+        | I.Jmp_short _ -> emit_jmp32_to target
+        | I.Je _ | I.Jne _ | I.Jl _ | I.Jg _ ->
+          let cond_with rel =
+            match insn with
+            | I.Je _ -> I.Je rel
+            | I.Jne _ -> I.Jne rel
+            | I.Jl _ -> I.Jl rel
+            | I.Jg _ -> I.Jg rel
+            | _ -> assert false
+          in
+          emit (cond_with 2);
+          emit (I.Jmp_short jmp_len);
+          emit_jmp32_to target
+        | _ -> assert false))
+    | _ ->
+      incr relocated;
+      emit insn
+  in
+
+  let patch_jump addr stub_addr window_end =
+    let rel = stub_addr - (addr + jmp_len) in
+    ignore (I.encode_into patched addr (I.Jmp (Int32.of_int rel)));
+    for i = addr + jmp_len to window_end - 1 do
+      Bytes.set patched i '\x90'
+    done
+  in
+
+  List.iter
+    (fun addr ->
+      if addr > !covered_until then begin
+        match collect_window code0 targets addr with
+        | None ->
+          let _ = new_site addr Trap in
+          incr trap_count;
+          Bytes.set patched addr '\xCC'
+        | Some (window, wlen) ->
+          let window_end = addr + wlen in
+          let stub_addr = here () in
+          (match window with
+          | (a0, I.Syscall) :: rest ->
+            let s = new_site a0 Jump in
+            incr jump_count;
+            emit (I.Hook s.site_id);
+            List.iter emit_relocated rest
+          | _ -> assert false);
+          emit_jmp32_to window_end;
+          patch_jump addr stub_addr window_end;
+          covered_until := window_end - 1
+      end)
+    syscalls;
+
+  let stub_data = Buffer.to_bytes stubs in
+  let code = Bytes.create (orig_len + Bytes.length stub_data) in
+  Bytes.blit patched 0 code 0 orig_len;
+  Bytes.blit stub_data 0 code orig_len (Bytes.length stub_data);
+  let sites = List.sort (fun a b -> compare a.orig_addr b.orig_addr) !sites in
+  {
+    code;
+    sites;
+    stats =
+      {
+        total_syscalls = !jump_count + !trap_count;
+        jump_sites = !jump_count;
+        trap_sites = !trap_count;
+        relocated_insns = !relocated;
+        stub_bytes = Bytes.length stub_data;
+      };
+  }
+
+let rewrite_segment ?first_site_id seg =
+  let out = ref None in
+  Image.with_writable seg (fun data ->
+      let r = rewrite ?first_site_id data in
+      out := Some r;
+      r.code);
+  match !out with
+  | Some r -> (r.sites, r.stats)
+  | None -> assert false
+
+let site_at sites addr = List.find_opt (fun s -> s.orig_addr = addr) sites

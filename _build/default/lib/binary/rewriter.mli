@@ -1,0 +1,52 @@
+(** Selective binary rewriting (§3.2 of the paper).
+
+    Every [Syscall] instruction in a code buffer is replaced by a
+    five-byte [Jmp] to a generated {e stub} holding the monitor entry
+    point ([Hook]) followed by the {e relocated} neighbour instructions
+    and a jump back — binary detouring via trampolines. Because the
+    syscall instruction is one byte and the jump needs five, neighbouring
+    instructions must move; when that is impossible (a neighbour is a
+    branch target, undecodable data follows, or the segment ends) the
+    syscall is instead replaced by a one-byte [Int3] trap handled through
+    the signal path, exactly as the paper's INT fallback.
+
+    The rewriter never changes program semantics: stubs re-encode
+    relocated relative branches (expanding [rel8] conditionals that stop
+    fitting into [rel8]/[rel32] pairs), and a relocated [Syscall] inside
+    a stub is itself rewritten into a [Hook]. *)
+
+type dispatch =
+  | Jump  (** fast path: detour through a stub *)
+  | Trap  (** INT3 fallback through the trap handler *)
+
+type site = {
+  site_id : int;
+  orig_addr : int;  (** address of the original syscall instruction *)
+  dispatch : dispatch;
+}
+
+type stats = {
+  total_syscalls : int;
+  jump_sites : int;
+  trap_sites : int;
+  relocated_insns : int;
+  stub_bytes : int;  (** bytes appended for stubs/trampolines *)
+}
+
+type result = {
+  code : Bytes.t;  (** patched code with stubs appended *)
+  sites : site list;  (** ascending by [orig_addr] *)
+  stats : stats;
+}
+
+val rewrite : ?first_site_id:int -> Bytes.t -> result
+(** Rewrite every syscall site in the buffer. The output buffer's prefix
+    has the original length; stub code is appended after it. *)
+
+val rewrite_segment : ?first_site_id:int -> Image.segment -> site list * stats
+(** Apply {!rewrite} to an executable segment in place, using
+    {!Image.with_writable} so the W⊕X discipline is observed. *)
+
+val site_at : site list -> int -> site option
+(** Find the site whose original address is [addr] (used by the trap
+    handler to map an INT3 back to its syscall site). *)

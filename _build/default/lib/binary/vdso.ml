@@ -1,0 +1,62 @@
+module I = Varan_isa.Insn
+
+type symbol = { sym_name : string; sym_addr : int }
+
+let default_symbols = [ "clock_gettime"; "getcpu"; "gettimeofday"; "time" ]
+
+let build values =
+  let buf = Buffer.create 64 in
+  let symbols =
+    List.map
+      (fun (name, v) ->
+        let addr = Buffer.length buf in
+        Buffer.add_bytes buf (I.encode (I.Mov_imm (0, v)));
+        Buffer.add_bytes buf (I.encode I.Ret);
+        { sym_name = name; sym_addr = addr })
+      values
+  in
+  (Buffer.to_bytes buf, symbols)
+
+type patched = {
+  v_code : Bytes.t;
+  v_sites : (string * int) list;
+  v_trampolines : (string * int) list;
+}
+
+let patch ?(first_site_id = 0) code symbols =
+  let orig_len = Bytes.length code in
+  let patched = Bytes.copy code in
+  let stubs = Buffer.create 64 in
+  let next_site = ref first_site_id in
+  let sites = ref [] in
+  let trampolines = ref [] in
+  List.iter
+    (fun sym ->
+      let entry_insn, entry_len =
+        match I.decode code sym.sym_addr with
+        | Some (insn, len) -> (insn, len)
+        | None -> invalid_arg "Vdso.patch: undecodable entry point"
+      in
+      if entry_len <> 5 then
+        invalid_arg "Vdso.patch: entry instruction is not five bytes";
+      (* Trampoline: displaced first instruction, then back to entry+5. *)
+      let tramp_addr = orig_len + Buffer.length stubs in
+      Buffer.add_bytes stubs (I.encode entry_insn);
+      let jmp_at = orig_len + Buffer.length stubs in
+      let rel = sym.sym_addr + entry_len - (jmp_at + 5) in
+      Buffer.add_bytes stubs (I.encode (I.Jmp (Int32.of_int rel)));
+      (* Patch the entry with the monitor hook. *)
+      ignore (I.encode_into patched sym.sym_addr (I.Hook !next_site));
+      sites := (sym.sym_name, !next_site) :: !sites;
+      trampolines := (sym.sym_name, tramp_addr) :: !trampolines;
+      incr next_site)
+    symbols;
+  let stub_data = Buffer.to_bytes stubs in
+  let v_code = Bytes.create (orig_len + Bytes.length stub_data) in
+  Bytes.blit patched 0 v_code 0 orig_len;
+  Bytes.blit stub_data 0 v_code orig_len (Bytes.length stub_data);
+  {
+    v_code;
+    v_sites = List.rev !sites;
+    v_trampolines = List.rev !trampolines;
+  }

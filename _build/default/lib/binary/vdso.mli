@@ -1,0 +1,35 @@
+(** Virtual system calls through the vDSO segment (§3.2.1).
+
+    Virtual syscalls never trap into the kernel, so ptrace-based monitors
+    cannot see them; VARAN intercepts them by patching each vDSO function's
+    entry point with a jump to generated code, and keeps a trampoline
+    holding the displaced first instructions so the original function can
+    still be invoked.
+
+    Here the vDSO is a code segment whose functions each begin with a
+    five-byte [Mov_imm] (the "real" implementation reading the vvar page)
+    followed by [Ret]; patching the entry point therefore needs no
+    relocation, but calling the original still requires the trampoline. *)
+
+type symbol = { sym_name : string; sym_addr : int }
+
+val default_symbols : string list
+(** The four virtual syscalls Linux currently exports:
+    [clock_gettime], [getcpu], [gettimeofday], [time]. *)
+
+val build : (string * int32) list -> Bytes.t * symbol list
+(** [build values] lays out one function per entry returning the given
+    value in R0. *)
+
+type patched = {
+  v_code : Bytes.t;  (** patched segment with trampolines appended *)
+  v_sites : (string * int) list;  (** function name → hook site id *)
+  v_trampolines : (string * int) list;
+      (** function name → address of the relocated original entry, for
+          invoking the unpatched implementation *)
+}
+
+val patch : ?first_site_id:int -> Bytes.t -> symbol list -> patched
+(** Replace every symbol's entry instruction with a [Hook] and append
+    per-symbol trampolines that run the displaced instruction and jump
+    back. *)

@@ -1,0 +1,1 @@
+lib/bpf/asm.ml: Array Buffer Hashtbl Insn List Printf Result String Verifier

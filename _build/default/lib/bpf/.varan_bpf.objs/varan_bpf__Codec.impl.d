@@ -1,0 +1,1 @@
+lib/bpf/codec.ml: Array Bytes Insn Int32 List Printf Verifier

@@ -1,0 +1,1 @@
+lib/bpf/codec.mli: Bytes Insn

@@ -1,0 +1,1 @@
+lib/bpf/interp.ml: Array Insn Verifier

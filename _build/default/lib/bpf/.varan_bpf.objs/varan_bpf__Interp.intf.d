@@ -1,0 +1,1 @@
+lib/bpf/interp.mli: Insn

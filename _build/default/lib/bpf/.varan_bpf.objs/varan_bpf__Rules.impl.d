@@ -1,0 +1,1 @@
+lib/bpf/rules.ml: Array Insn List Verifier

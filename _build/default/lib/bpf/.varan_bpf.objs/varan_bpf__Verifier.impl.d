@@ -1,0 +1,1 @@
+lib/bpf/verifier.ml: Array Insn Printf

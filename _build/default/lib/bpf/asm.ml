@@ -1,0 +1,193 @@
+(* Two-pass assembler: pass 1 assigns instruction indices to labels, pass 2
+   emits instructions with resolved forward offsets. *)
+
+type item = { line_no : int; labels : string list; text : string }
+
+let strip_comments line =
+  let buf = Buffer.create (String.length line) in
+  let n = String.length line in
+  let rec go i =
+    if i >= n then ()
+    else if i + 1 < n && line.[i] = '/' && line.[i + 1] = '*' then skip (i + 2)
+    else begin
+      Buffer.add_char buf line.[i];
+      go (i + 1)
+    end
+  and skip i =
+    if i >= n then ()
+    else if i + 1 < n && line.[i] = '*' && line.[i + 1] = '/' then go (i + 2)
+    else skip (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+let split_labels text =
+  (* Peel leading "label:" prefixes. A label is an identifier directly
+     followed by a colon. *)
+  let rec peel acc s =
+    let s = String.trim s in
+    match String.index_opt s ':' with
+    | Some i
+      when i > 0
+           && String.for_all
+                (fun c ->
+                  (c >= 'a' && c <= 'z')
+                  || (c >= 'A' && c <= 'Z')
+                  || (c >= '0' && c <= '9')
+                  || c = '_')
+                (String.sub s 0 i) ->
+      peel (String.sub s 0 i :: acc) (String.sub s (i + 1) (String.length s - i - 1))
+    | _ -> (List.rev acc, s)
+  in
+  peel [] text
+
+let items_of_source src =
+  let lines = String.split_on_char '\n' src in
+  let items = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let text = String.trim (strip_comments raw) in
+      if text <> "" then begin
+        let labels, rest = split_labels text in
+        items := { line_no = idx + 1; labels; text = rest } :: !items
+      end)
+    lines;
+  List.rev !items
+
+let parse_imm s =
+  let s = String.trim s in
+  if String.length s > 0 && s.[0] = '#' then
+    let body = String.sub s 1 (String.length s - 1) in
+    int_of_string_opt body (* handles 0x prefixes *)
+  else None
+
+let parse_operands s = List.map String.trim (String.split_on_char ',' s)
+
+(* Instructions occupy one slot; labels attach to the next instruction. *)
+let assemble src =
+  let items = items_of_source src in
+  let labels = Hashtbl.create 16 in
+  let pending = ref [] in
+  let protos = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun item ->
+      pending := !pending @ item.labels;
+      if item.text <> "" then begin
+        List.iter (fun l -> Hashtbl.replace labels l !count) !pending;
+        pending := [];
+        protos := (item.line_no, item.text) :: !protos;
+        incr count
+      end)
+    items;
+  let protos = Array.of_list (List.rev !protos) in
+  let err line msg = Error (Printf.sprintf "line %d: %s" line msg) in
+  let resolve line idx label =
+    match Hashtbl.find_opt labels label with
+    | None -> err line (Printf.sprintf "unknown label %S" label)
+    | Some target ->
+      let off = target - (idx + 1) in
+      if off < 0 then err line (Printf.sprintf "backward jump to %S" label)
+      else Ok off
+  in
+  let ( let* ) = Result.bind in
+  let parse_one idx (line, text) =
+    let space = String.index_opt text ' ' in
+    let mnemonic, rest =
+      match space with
+      | None -> (text, "")
+      | Some i ->
+        ( String.sub text 0 i,
+          String.trim (String.sub text (i + 1) (String.length text - i - 1)) )
+    in
+    let cond_jump make =
+      match parse_operands rest with
+      | [ k; lt ] -> (
+        match parse_imm k with
+        | None -> err line "expected immediate"
+        | Some k ->
+          let* t = resolve line idx lt in
+          Ok (make k t 0))
+      | [ k; lt; lf ] -> (
+        match parse_imm k with
+        | None -> err line "expected immediate"
+        | Some k ->
+          let* t = resolve line idx lt in
+          let* f = resolve line idx lf in
+          Ok (make k t f))
+      | _ -> err line "expected: #imm, label[, label]"
+    in
+    let alu make =
+      if rest = "x" then Ok (make Insn.X)
+      else
+        match parse_imm rest with
+        | Some k -> Ok (make (Insn.K k))
+        | None -> err line "expected #imm or x"
+    in
+    match String.lowercase_ascii mnemonic with
+    | "ld" ->
+      if String.length rest > 6 && String.sub rest 0 6 = "event[" then begin
+        match String.index_opt rest ']' with
+        | Some close -> (
+          match int_of_string_opt (String.sub rest 6 (close - 6)) with
+          | Some k -> Ok (Insn.Ld_event k)
+          | None -> err line "bad event index")
+        | None -> err line "missing ]"
+      end
+      else if String.length rest > 1 && rest.[0] = '[' then begin
+        match String.index_opt rest ']' with
+        | Some close -> (
+          match int_of_string_opt (String.sub rest 1 (close - 1)) with
+          | Some k -> Ok (Insn.Ld_abs k)
+          | None -> err line "bad data offset")
+        | None -> err line "missing ]"
+      end
+      else begin
+        match parse_imm rest with
+        | Some k -> Ok (Insn.Ld_imm k)
+        | None -> err line "expected [k], event[k] or #imm"
+      end
+    | "ldx" -> (
+      match parse_imm rest with
+      | Some k -> Ok (Insn.Ldx_imm k)
+      | None -> err line "expected #imm")
+    | "tax" -> Ok Insn.Tax
+    | "txa" -> Ok Insn.Txa
+    | "add" -> alu (fun s -> Insn.Alu_add s)
+    | "sub" -> alu (fun s -> Insn.Alu_sub s)
+    | "mul" -> alu (fun s -> Insn.Alu_mul s)
+    | "and" -> alu (fun s -> Insn.Alu_and s)
+    | "or" -> alu (fun s -> Insn.Alu_or s)
+    | "lsh" -> alu (fun s -> Insn.Alu_lsh s)
+    | "rsh" -> alu (fun s -> Insn.Alu_rsh s)
+    | "jmp" | "ja" ->
+      let* o = resolve line idx (String.trim rest) in
+      Ok (Insn.Ja o)
+    | "jeq" -> cond_jump (fun k t f -> Insn.Jeq (k, t, f))
+    | "jgt" -> cond_jump (fun k t f -> Insn.Jgt (k, t, f))
+    | "jge" -> cond_jump (fun k t f -> Insn.Jge (k, t, f))
+    | "jset" -> cond_jump (fun k t f -> Insn.Jset (k, t, f))
+    | "ret" ->
+      if String.trim rest = "a" then Ok Insn.Ret_a
+      else begin
+        match parse_imm rest with
+        | Some k -> Ok (Insn.Ret_k k)
+        | None -> err line "expected #imm or a"
+      end
+    | m -> err line (Printf.sprintf "unknown mnemonic %S" m)
+  in
+  let rec emit idx acc =
+    if idx >= Array.length protos then Ok (Array.of_list (List.rev acc))
+    else
+      let* insn = parse_one idx protos.(idx) in
+      emit (idx + 1) (insn :: acc)
+  in
+  let* prog = emit 0 [] in
+  match Verifier.verify prog with
+  | Ok () -> Ok prog
+  | Error msg -> Error ("verifier: " ^ msg)
+
+let assemble_exn src =
+  match assemble src with
+  | Ok prog -> prog
+  | Error msg -> invalid_arg ("Bpf.Asm.assemble: " ^ msg)

@@ -1,0 +1,17 @@
+(** Assembler for textual BPF filters.
+
+    Accepts the syntax of the paper's Listing 1: one instruction per line,
+    optional [label:] prefixes, C-style [/* ... */] comments, immediates
+    written [#108] or [#0x7fff0000], seccomp-data loads [ld \[0\]], the
+    event extension [ld event\[0\]], and conditional jumps with one label
+    (fall through on false) or two ([jeq #2, yes, no]).
+
+    Labels must resolve to {e forward} targets — the classic-BPF
+    termination guarantee — and the assembled program is run through
+    {!Verifier.verify} before being returned. *)
+
+val assemble : string -> (Insn.t array, string) result
+(** Error messages carry the 1-based source line. *)
+
+val assemble_exn : string -> Insn.t array
+(** @raise Invalid_argument on assembly failure. *)

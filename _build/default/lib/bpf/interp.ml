@@ -1,0 +1,83 @@
+type data = { nr : int; args : int array }
+type event = { ev_nr : int; ev_ret : int; ev_args : int array }
+type outcome = { action : int; steps : int }
+
+exception Not_verified of string
+
+let no_event = { ev_nr = 0; ev_ret = 0; ev_args = [||] }
+
+let data_field d k =
+  if k = Insn.data_nr then d.nr
+  else if k >= 16 && (k - 16) mod 8 = 0 then begin
+    let i = (k - 16) / 8 in
+    if i < Array.length d.args then d.args.(i) else 0
+  end
+  else 0
+
+let event_field e k =
+  if k = Insn.event_nr then e.ev_nr
+  else if k = Insn.event_ret then e.ev_ret
+  else begin
+    let i = k - 2 in
+    if i >= 0 && i < Array.length e.ev_args then e.ev_args.(i) else 0
+  end
+
+let run prog ~data ~event =
+  (match Verifier.verify prog with
+  | Ok () -> ()
+  | Error msg -> raise (Not_verified msg));
+  let a = ref 0 and x = ref 0 in
+  let steps = ref 0 in
+  let src = function Insn.K k -> k | Insn.X -> !x in
+  let rec exec pc =
+    incr steps;
+    match prog.(pc) with
+    | Insn.Ld_imm k ->
+      a := k;
+      exec (pc + 1)
+    | Insn.Ld_abs k ->
+      a := data_field data k;
+      exec (pc + 1)
+    | Insn.Ld_event k ->
+      a := event_field event k;
+      exec (pc + 1)
+    | Insn.Ldx_imm k ->
+      x := k;
+      exec (pc + 1)
+    | Insn.Tax ->
+      x := !a;
+      exec (pc + 1)
+    | Insn.Txa ->
+      a := !x;
+      exec (pc + 1)
+    | Insn.Alu_add s ->
+      a := !a + src s;
+      exec (pc + 1)
+    | Insn.Alu_sub s ->
+      a := !a - src s;
+      exec (pc + 1)
+    | Insn.Alu_mul s ->
+      a := !a * src s;
+      exec (pc + 1)
+    | Insn.Alu_and s ->
+      a := !a land src s;
+      exec (pc + 1)
+    | Insn.Alu_or s ->
+      a := !a lor src s;
+      exec (pc + 1)
+    | Insn.Alu_lsh s ->
+      a := !a lsl src s;
+      exec (pc + 1)
+    | Insn.Alu_rsh s ->
+      a := !a lsr src s;
+      exec (pc + 1)
+    | Insn.Ja o -> exec (pc + 1 + o)
+    | Insn.Jeq (k, t, f) -> exec (pc + 1 + if !a = k then t else f)
+    | Insn.Jgt (k, t, f) -> exec (pc + 1 + if !a > k then t else f)
+    | Insn.Jge (k, t, f) -> exec (pc + 1 + if !a >= k then t else f)
+    | Insn.Jset (k, t, f) -> exec (pc + 1 + if !a land k <> 0 then t else f)
+    | Insn.Ret_k k -> k
+    | Insn.Ret_a -> !a
+  in
+  let action = exec 0 in
+  { action; steps = !steps }

@@ -1,0 +1,32 @@
+(** BPF interpreter with the VARAN event extension.
+
+    Ported conceptually from the kernel interpreter to user space and
+    extended for NVX execution (§3.4): alongside the usual seccomp data
+    (the {e follower's} pending syscall), filters can address the
+    {e leader's} event from the ring buffer via [Ld_event]. *)
+
+type data = {
+  nr : int;  (** the follower's syscall number *)
+  args : int array;  (** its register arguments (up to six) *)
+}
+
+type event = {
+  ev_nr : int;  (** the leader's syscall number *)
+  ev_ret : int;
+  ev_args : int array;
+}
+
+type outcome = {
+  action : int;  (** the filter's return value *)
+  steps : int;  (** instructions executed, for cost accounting *)
+}
+
+exception Not_verified of string
+(** Raised by {!run} if the program fails {!Verifier.verify}: filters are
+    always checked at load time, so executing an unverifiable filter is a
+    programming error. *)
+
+val run : Insn.t array -> data:data -> event:event -> outcome
+
+val no_event : event
+(** Placeholder when no leader event is available (fields read 0). *)

@@ -1,0 +1,92 @@
+type verdict = Kill | Execute_follower_call | Skip_leader_event | Other of int
+
+let verdict_of_action a =
+  if a = Insn.ret_kill then Kill
+  else if a = Insn.ret_allow then Execute_follower_call
+  else if a = Insn.ret_skip_event then Skip_leader_event
+  else Other a
+
+(* Generated layout:
+     0:                ld event[0]
+     1..e:             jeq #leader_i, check_follower
+     e+1:              ja bad
+     check_follower:   ld [0]
+     ..:               jeq #added_j, good
+     ..:               ja bad          (falls into bad which is next)
+     bad:              ret #KILL
+     good:             ret #ALLOW *)
+let allow_added_syscalls ~expected_leader ~added =
+  let ne = List.length expected_leader and na = List.length added in
+  if ne = 0 || na = 0 then invalid_arg "allow_added_syscalls: empty rule";
+  (* Instruction indices. *)
+  let check_follower = 1 + ne + 1 in
+  let bad = check_follower + 1 + na + 1 in
+  let good = bad + 1 in
+  let prog = ref [] in
+  let emit i = prog := i :: !prog in
+  let here () = List.length !prog in
+  emit (Insn.Ld_event Insn.event_nr);
+  List.iter
+    (fun nr -> emit (Insn.Jeq (nr, check_follower - (here () + 1), 0)))
+    expected_leader;
+  emit (Insn.Ja (bad - (here () + 1)));
+  emit (Insn.Ld_abs Insn.data_nr);
+  List.iter (fun nr -> emit (Insn.Jeq (nr, good - (here () + 1), 0))) added;
+  emit (Insn.Ja (bad - (here () + 1)));
+  emit (Insn.Ret_k Insn.ret_kill);
+  emit (Insn.Ret_k Insn.ret_allow);
+  let prog = Array.of_list (List.rev !prog) in
+  (match Verifier.verify prog with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("allow_added_syscalls: " ^ msg));
+  prog
+
+let allow_removed_syscalls ~removed =
+  if removed = [] then invalid_arg "allow_removed_syscalls: empty rule";
+  let n = List.length removed in
+  let skip = n + 2 in
+  let prog = ref [] in
+  let emit i = prog := i :: !prog in
+  let here () = List.length !prog in
+  emit (Insn.Ld_event Insn.event_nr);
+  List.iter (fun nr -> emit (Insn.Jeq (nr, skip - (here () + 1), 0))) removed;
+  emit (Insn.Ret_k Insn.ret_kill);
+  emit (Insn.Ret_k Insn.ret_skip_event);
+  let prog = Array.of_list (List.rev !prog) in
+  (match Verifier.verify prog with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("allow_removed_syscalls: " ^ msg));
+  prog
+
+(* Chain two rules: every `ret #KILL` in [a] becomes a forward jump to the
+   start of [b]. Verified offsets stay forward because [b] is appended. *)
+let combine a b =
+  let la = Array.length a in
+  let rewritten =
+    Array.mapi
+      (fun i insn ->
+        match insn with
+        | Insn.Ret_k k when k = Insn.ret_kill -> Insn.Ja (la - (i + 1))
+        | other -> other)
+      a
+  in
+  let prog = Array.append rewritten b in
+  match Verifier.verify prog with
+  | Ok () -> prog
+  | Error msg -> invalid_arg ("Rules.combine: " ^ msg)
+
+let listing1 =
+  {|
+ld event[0]
+jeq #108, getegid /* __NR_getegid */
+jeq #2, open      /* __NR_open */
+jmp bad
+getegid:
+ld [0]            /* offsetof(struct seccomp_data, nr) */
+jeq #102, good    /* __NR_getuid */
+open:
+ld [0]            /* offsetof(struct seccomp_data, nr) */
+jeq #104, good    /* __NR_getgid */
+bad: ret #0            /* SECCOMP_RET_KILL */
+good: ret #0x7fff0000  /* SECCOMP_RET_ALLOW */
+|}

@@ -1,0 +1,40 @@
+(** System-call rewrite rules (§2.3, §3.4).
+
+    When a follower's next syscall diverges from the leader's next event,
+    the NVX layer runs the variant's BPF filter with the follower's call
+    as seccomp data and the leader's event through the event extension.
+    The filter's verdict decides how the divergence is handled. *)
+
+type verdict =
+  | Kill  (** terminate the follower (default for unknown divergence) *)
+  | Execute_follower_call
+      (** the follower performs its additional syscall locally, then
+          retries matching the same leader event — the {e addition}
+          pattern of §2.3 *)
+  | Skip_leader_event
+      (** the leader's event has no follower counterpart and is dropped —
+          the {e removal} pattern *)
+  | Other of int
+
+val verdict_of_action : int -> verdict
+
+(** {1 Rule generators} *)
+
+val allow_added_syscalls :
+  expected_leader:int list -> added:int list -> Insn.t array
+(** A filter permitting the follower to insert any syscall in [added]
+    at points where the leader's next event is one of [expected_leader]
+    (generalises the paper's Listing 1). *)
+
+val allow_removed_syscalls : removed:int list -> Insn.t array
+(** A filter permitting leader events whose syscall number is in
+    [removed] to be skipped by the follower. *)
+
+val combine : Insn.t array -> Insn.t array -> Insn.t array
+(** [combine a b] tries rule [a]; where [a] returns kill, falls through
+    to [b]. Implemented by rewriting [a]'s kill returns into jumps. *)
+
+val listing1 : string
+(** The verbatim filter from the paper's Listing 1 (getuid/getgid
+    insertion between lighttpd revisions 2435 and 2436), in assembler
+    syntax. *)

@@ -1,0 +1,39 @@
+let max_insns = 4096
+
+let verify prog =
+  let len = Array.length prog in
+  let err i msg = Error (Printf.sprintf "instruction %d: %s" i msg) in
+  if len = 0 then Error "empty program"
+  else if len > max_insns then Error "program too long"
+  else begin
+    let check i (insn : Insn.t) =
+      let jump_ok o = o >= 0 && i + 1 + o < len in
+      match insn with
+      | Insn.Ja o -> if jump_ok o then Ok () else err i "jump out of range"
+      | Insn.Jeq (_, t, f) | Insn.Jgt (_, t, f) | Insn.Jge (_, t, f)
+      | Insn.Jset (_, t, f) ->
+        if not (jump_ok t) then err i "true branch out of range"
+        else if not (jump_ok f) then err i "false branch out of range"
+        else Ok ()
+      | Insn.Ld_abs k ->
+        if k < 0 || k > 64 then err i "data offset out of range" else Ok ()
+      | Insn.Ld_event k ->
+        if k < 0 || k > 15 then err i "event index out of range" else Ok ()
+      | Insn.Alu_rsh (Insn.K k) | Insn.Alu_lsh (Insn.K k) ->
+        if k < 0 || k > 63 then err i "shift amount out of range" else Ok ()
+      | _ -> Ok ()
+    in
+    let rec all i =
+      if i >= len then Ok ()
+      else
+        match check i prog.(i) with Ok () -> all (i + 1) | Error _ as e -> e
+    in
+    match all 0 with
+    | Error _ as e -> e
+    | Ok () -> (
+      (* The last instruction must be a return: combined with forward-only
+         jumps this guarantees termination on every path. *)
+      match prog.(len - 1) with
+      | Insn.Ret_k _ | Insn.Ret_a -> Ok ()
+      | _ -> err (len - 1) "program does not end in ret")
+  end

@@ -1,0 +1,1 @@
+lib/cycles/cost.ml: Int64 Varan_syscall

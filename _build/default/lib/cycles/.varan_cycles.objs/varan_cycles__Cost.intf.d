@@ -1,0 +1,1 @@
+lib/cycles/cost.mli: Varan_syscall

@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Bytes Char Format Hashtbl Insn List

@@ -1,0 +1,1 @@
+lib/isa/disasm.mli: Bytes Format Hashtbl Insn

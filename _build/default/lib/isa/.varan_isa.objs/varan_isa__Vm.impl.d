@@ -1,0 +1,1 @@
+lib/isa/vm.ml: Array Bytes Char Hashtbl Insn Int32 List Printf

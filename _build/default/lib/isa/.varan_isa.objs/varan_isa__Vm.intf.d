@@ -1,0 +1,1 @@
+lib/isa/vm.mli: Bytes Hashtbl

@@ -1,0 +1,43 @@
+type item = { addr : int; insn : Insn.t option; len : int }
+
+let sweep buf =
+  let len = Bytes.length buf in
+  let rec go addr acc =
+    if addr >= len then List.rev acc
+    else
+      match Insn.decode buf addr with
+      | Some (insn, ilen) ->
+        go (addr + ilen) ({ addr; insn = Some insn; len = ilen } :: acc)
+      | None -> go (addr + 1) ({ addr; insn = None; len = 1 } :: acc)
+  in
+  go 0 []
+
+let instructions buf =
+  List.filter_map
+    (fun it -> match it.insn with Some i -> Some (it.addr, i) | None -> None)
+    (sweep buf)
+
+let branch_targets buf =
+  let targets = Hashtbl.create 64 in
+  List.iter
+    (fun (addr, insn) ->
+      match Insn.branch_target ~at:addr insn with
+      | Some t -> Hashtbl.replace targets t ()
+      | None -> ())
+    (instructions buf);
+  targets
+
+let syscall_sites buf =
+  List.filter_map
+    (fun (addr, insn) -> if insn = Insn.Syscall then Some addr else None)
+    (instructions buf)
+
+let pp_listing ppf buf =
+  List.iter
+    (fun it ->
+      match it.insn with
+      | Some insn -> Format.fprintf ppf "%04x: %a@." it.addr Insn.pp insn
+      | None ->
+        Format.fprintf ppf "%04x: .byte 0x%02x@." it.addr
+          (Char.code (Bytes.get buf it.addr)))
+    (sweep buf)

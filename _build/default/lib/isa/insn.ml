@@ -1,0 +1,262 @@
+type reg = int
+
+type t =
+  | Nop
+  | Syscall
+  | Int3
+  | Int of int
+  | Hook of int
+  | Mov_imm of reg * int32
+  | Mov of reg * reg
+  | Add of reg * reg
+  | Sub of reg * reg
+  | Xor of reg * reg
+  | Cmp of reg * reg
+  | Test of reg * reg
+  | Inc of reg
+  | Dec of reg
+  | Add_imm of reg * int
+  | Jmp of int32
+  | Jmp_short of int
+  | Je of int
+  | Jne of int
+  | Jl of int
+  | Jg of int
+  | Call of int32
+  | Ret
+  | Push of reg
+  | Pop of reg
+  | Load of reg * reg
+  | Store of reg * reg
+  | Hlt
+
+let length = function
+  | Nop | Syscall | Int3 | Ret | Hlt -> 1
+  | Push _ | Pop _ | Inc _ | Dec _ -> 1
+  | Int _ | Jmp_short _ | Je _ | Jne _ | Jl _ | Jg _ -> 2
+  | Mov _ | Add _ | Sub _ | Xor _ | Cmp _ | Test _ | Load _ | Store _ -> 2
+  | Add_imm _ -> 3
+  | Hook _ | Mov_imm _ | Jmp _ | Call _ -> 5
+
+(* Opcodes (loosely x86-flavoured):
+   0x90 NOP          0x05 SYSCALL      0xCC INT3      0xCD INT imm8
+   0x0F HOOK imm32   0xB8+r MOV imm32  0x01 ADD rr    0x29 SUB rr
+   0x39 CMP rr       0x83 ADDI r imm8  0xE9 JMP rel32 0xEB JMP rel8
+   0x74 JE rel8      0x75 JNE rel8     0xE8 CALL rel32 0xC3 RET
+   0x50+r PUSH       0x58+r POP        0x8B LOAD rr   0x89 STORE rr
+   0xF4 HLT *)
+
+let regpair a b = Char.chr (((a land 0xF) lsl 4) lor (b land 0xF))
+
+let encode_into buf ofs insn =
+  let set i c = Bytes.set buf (ofs + i) c in
+  let set_b i v = Bytes.set buf (ofs + i) (Char.chr (v land 0xFF)) in
+  let set_i32 i v = Bytes.set_int32_le buf (ofs + i) v in
+  (match insn with
+  | Nop -> set 0 '\x90'
+  | Syscall -> set 0 '\x05'
+  | Int3 -> set 0 '\xCC'
+  | Int v ->
+    set 0 '\xCD';
+    set_b 1 v
+  | Hook site ->
+    set 0 '\x0F';
+    set_i32 1 (Int32.of_int site)
+  | Mov_imm (r, v) ->
+    set_b 0 (0xB8 + (r land 7));
+    set_i32 1 v
+  | Add (a, b) ->
+    set 0 '\x01';
+    set 1 (regpair a b)
+  | Mov (a, b) ->
+    set 0 '\x8A';
+    set 1 (regpair a b)
+  | Xor (a, b) ->
+    set 0 '\x31';
+    set 1 (regpair a b)
+  | Test (a, b) ->
+    set 0 '\x85';
+    set 1 (regpair a b)
+  | Inc r -> set_b 0 (0x40 + (r land 7))
+  | Dec r -> set_b 0 (0x48 + (r land 7))
+  | Jl rel ->
+    set 0 '\x7C';
+    set_b 1 rel
+  | Jg rel ->
+    set 0 '\x7F';
+    set_b 1 rel
+  | Sub (a, b) ->
+    set 0 '\x29';
+    set 1 (regpair a b)
+  | Cmp (a, b) ->
+    set 0 '\x39';
+    set 1 (regpair a b)
+  | Add_imm (r, v) ->
+    set 0 '\x83';
+    set_b 1 r;
+    set_b 2 v
+  | Jmp rel ->
+    set 0 '\xE9';
+    set_i32 1 rel
+  | Jmp_short rel ->
+    set 0 '\xEB';
+    set_b 1 rel
+  | Je rel ->
+    set 0 '\x74';
+    set_b 1 rel
+  | Jne rel ->
+    set 0 '\x75';
+    set_b 1 rel
+  | Call rel ->
+    set 0 '\xE8';
+    set_i32 1 rel
+  | Ret -> set 0 '\xC3'
+  | Push r -> set_b 0 (0x50 + (r land 7))
+  | Pop r -> set_b 0 (0x58 + (r land 7))
+  | Load (a, b) ->
+    set 0 '\x8B';
+    set 1 (regpair a b)
+  | Store (a, b) ->
+    set 0 '\x89';
+    set 1 (regpair a b)
+  | Hlt -> set 0 '\xF4');
+  length insn
+
+let encode insn =
+  let b = Bytes.create (length insn) in
+  ignore (encode_into b 0 insn);
+  b
+
+let signed8 v = if v >= 128 then v - 256 else v
+
+let decode buf ofs =
+  let len = Bytes.length buf in
+  if ofs >= len then None
+  else begin
+    let op = Char.code (Bytes.get buf ofs) in
+    let have n = ofs + n <= len in
+    let b i = Char.code (Bytes.get buf (ofs + i)) in
+    let i32 i = Bytes.get_int32_le buf (ofs + i) in
+    let pair i = (b i lsr 4, b i land 0xF) in
+    match op with
+    | 0x90 -> Some (Nop, 1)
+    | 0x05 -> Some (Syscall, 1)
+    | 0xCC -> Some (Int3, 1)
+    | 0xCD -> if have 2 then Some (Int (b 1), 2) else None
+    | 0x0F -> if have 5 then Some (Hook (Int32.to_int (i32 1)), 5) else None
+    | op when op >= 0xB8 && op <= 0xBF ->
+      if have 5 then Some (Mov_imm (op - 0xB8, i32 1), 5) else None
+    | 0x01 ->
+      if have 2 then
+        let a, c = pair 1 in
+        Some (Add (a, c), 2)
+      else None
+    | 0x8A ->
+      if have 2 then
+        let a, c = pair 1 in
+        Some (Mov (a, c), 2)
+      else None
+    | 0x31 ->
+      if have 2 then
+        let a, c = pair 1 in
+        Some (Xor (a, c), 2)
+      else None
+    | 0x85 ->
+      if have 2 then
+        let a, c = pair 1 in
+        Some (Test (a, c), 2)
+      else None
+    | op when op >= 0x40 && op <= 0x47 -> Some (Inc (op - 0x40), 1)
+    | op when op >= 0x48 && op <= 0x4F -> Some (Dec (op - 0x48), 1)
+    | 0x7C -> if have 2 then Some (Jl (signed8 (b 1)), 2) else None
+    | 0x7F -> if have 2 then Some (Jg (signed8 (b 1)), 2) else None
+    | 0x29 ->
+      if have 2 then
+        let a, c = pair 1 in
+        Some (Sub (a, c), 2)
+      else None
+    | 0x39 ->
+      if have 2 then
+        let a, c = pair 1 in
+        Some (Cmp (a, c), 2)
+      else None
+    | 0x83 -> if have 3 then Some (Add_imm (b 1, signed8 (b 2)), 3) else None
+    | 0xE9 -> if have 5 then Some (Jmp (i32 1), 5) else None
+    | 0xEB -> if have 2 then Some (Jmp_short (signed8 (b 1)), 2) else None
+    | 0x74 -> if have 2 then Some (Je (signed8 (b 1)), 2) else None
+    | 0x75 -> if have 2 then Some (Jne (signed8 (b 1)), 2) else None
+    | 0xE8 -> if have 5 then Some (Call (i32 1), 5) else None
+    | 0xC3 -> Some (Ret, 1)
+    | op when op >= 0x50 && op <= 0x57 -> Some (Push (op - 0x50), 1)
+    | op when op >= 0x58 && op <= 0x5F -> Some (Pop (op - 0x58), 1)
+    | 0x8B ->
+      if have 2 then
+        let a, c = pair 1 in
+        Some (Load (a, c), 2)
+      else None
+    | 0x89 ->
+      if have 2 then
+        let a, c = pair 1 in
+        Some (Store (a, c), 2)
+      else None
+    | 0xF4 -> Some (Hlt, 1)
+    | _ -> None
+  end
+
+let is_branch = function
+  | Jmp _ | Jmp_short _ | Je _ | Jne _ | Jl _ | Jg _ | Call _ -> true
+  | _ -> false
+
+let branch_target ~at insn =
+  let next = at + length insn in
+  match insn with
+  | Jmp rel | Call rel -> Some (next + Int32.to_int rel)
+  | Jmp_short rel | Je rel | Jne rel | Jl rel | Jg rel -> Some (next + rel)
+  | _ -> None
+
+let fits8 v = v >= -128 && v <= 127
+
+let with_target ~at insn target =
+  let next = at + length insn in
+  let rel = target - next in
+  match insn with
+  | Jmp _ -> Some (Jmp (Int32.of_int rel))
+  | Call _ -> Some (Call (Int32.of_int rel))
+  | Jmp_short _ -> if fits8 rel then Some (Jmp_short rel) else None
+  | Je _ -> if fits8 rel then Some (Je rel) else None
+  | Jne _ -> if fits8 rel then Some (Jne rel) else None
+  | Jl _ -> if fits8 rel then Some (Jl rel) else None
+  | Jg _ -> if fits8 rel then Some (Jg rel) else None
+  | _ -> None
+
+let pp ppf = function
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Syscall -> Format.pp_print_string ppf "syscall"
+  | Int3 -> Format.pp_print_string ppf "int3"
+  | Int v -> Format.fprintf ppf "int 0x%x" v
+  | Hook s -> Format.fprintf ppf "hook %d" s
+  | Mov_imm (r, v) -> Format.fprintf ppf "mov r%d, %ld" r v
+  | Add (a, b) -> Format.fprintf ppf "add r%d, r%d" a b
+  | Mov (a, b) -> Format.fprintf ppf "mov r%d, r%d" a b
+  | Xor (a, b) -> Format.fprintf ppf "xor r%d, r%d" a b
+  | Test (a, b) -> Format.fprintf ppf "test r%d, r%d" a b
+  | Inc r -> Format.fprintf ppf "inc r%d" r
+  | Dec r -> Format.fprintf ppf "dec r%d" r
+  | Jl rel -> Format.fprintf ppf "jl %+d" rel
+  | Jg rel -> Format.fprintf ppf "jg %+d" rel
+  | Sub (a, b) -> Format.fprintf ppf "sub r%d, r%d" a b
+  | Cmp (a, b) -> Format.fprintf ppf "cmp r%d, r%d" a b
+  | Add_imm (r, v) -> Format.fprintf ppf "add r%d, %d" r v
+  | Jmp rel -> Format.fprintf ppf "jmp %+ld" rel
+  | Jmp_short rel -> Format.fprintf ppf "jmp short %+d" rel
+  | Je rel -> Format.fprintf ppf "je %+d" rel
+  | Jne rel -> Format.fprintf ppf "jne %+d" rel
+  | Call rel -> Format.fprintf ppf "call %+ld" rel
+  | Ret -> Format.pp_print_string ppf "ret"
+  | Push r -> Format.fprintf ppf "push r%d" r
+  | Pop r -> Format.fprintf ppf "pop r%d" r
+  | Load (a, b) -> Format.fprintf ppf "load r%d, [r%d]" a b
+  | Store (a, b) -> Format.fprintf ppf "store [r%d], r%d" a b
+  | Hlt -> Format.pp_print_string ppf "hlt"
+
+let equal a b = a = b

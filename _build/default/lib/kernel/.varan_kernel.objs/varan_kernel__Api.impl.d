@@ -1,0 +1,1 @@
+lib/kernel/api.ml: Args Bytes Char Errno Flags Int32 Int64 Kernel List Result Sysno Types Varan_cycles Varan_sim Varan_syscall

@@ -1,0 +1,1 @@
+lib/kernel/api.mli: Args Bytes Errno Sysno Types Varan_syscall

@@ -1,0 +1,1 @@
+lib/kernel/bytequeue.ml: Bytes Queue

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Bytequeue Bytes Char Flags Hashtbl Int32 Int64 List Obj Option Printf Queue String Types Varan_cycles Varan_sim Varan_syscall Varan_util Vfs

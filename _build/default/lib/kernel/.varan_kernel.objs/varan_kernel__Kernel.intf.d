@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Types Varan_cycles Varan_sim Varan_syscall

@@ -1,0 +1,1 @@
+lib/kernel/strace.ml: Api Format List Varan_syscall

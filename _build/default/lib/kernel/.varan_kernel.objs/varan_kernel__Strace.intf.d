@@ -1,0 +1,1 @@
+lib/kernel/strace.mli: Api Format

@@ -1,0 +1,1 @@
+lib/kernel/types.ml: Bytequeue Bytes Hashtbl Queue Varan_cycles Varan_sim Varan_util

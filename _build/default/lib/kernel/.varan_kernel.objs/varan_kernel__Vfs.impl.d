@@ -1,0 +1,1 @@
+lib/kernel/vfs.ml: Bytes Hashtbl List String Types Varan_syscall

@@ -1,0 +1,1 @@
+lib/kernel/vfs.mli: Hashtbl Types Varan_syscall

@@ -1,0 +1,54 @@
+(* Flag constants shared by the simulated kernel and its clients; values
+   follow Linux/x86-64 so that traces read naturally. *)
+
+(* open(2) *)
+let o_rdonly = 0o0
+let o_wronly = 0o1
+let o_rdwr = 0o2
+let o_creat = 0o100
+let o_trunc = 0o1000
+let o_append = 0o2000
+let o_nonblock = 0o4000
+let o_cloexec = 0o2000000
+
+(* fcntl(2) *)
+let f_dupfd = 0
+let f_getfd = 1
+let f_setfd = 2
+let f_getfl = 3
+let f_setfl = 4
+let fd_cloexec = 1
+
+(* epoll *)
+let epollin = 0x001
+let epollout = 0x004
+let epollerr = 0x008
+let epollhup = 0x010
+let epoll_ctl_add = 1
+let epoll_ctl_del = 2
+let epoll_ctl_mod = 3
+
+(* futex *)
+let futex_wait = 0
+let futex_wake = 1
+
+(* signals *)
+let sigint = 2
+let sigkill = 9
+let sigsegv = 11
+let sigpipe = 13
+let sigterm = 15
+let sigchld = 17
+
+(* lseek whence *)
+let seek_set = 0
+let seek_cur = 1
+let seek_end = 2
+
+(* shutdown how *)
+let shut_rd = 0
+let shut_wr = 1
+let shut_rdwr = 2
+
+(* openat special dirfd *)
+let at_fdcwd = -100

@@ -1,0 +1,93 @@
+(** The simulated Linux kernel.
+
+    Programs run as {!Varan_sim.Engine} tasks and enter the kernel through
+    {!exec}, which implements the semantics of each {!Varan_syscall.Sysno}
+    call over the in-memory object graph ({!Types}): VFS files and devices,
+    pipes, TCP-style sockets, epoll, futexes, processes and signals.
+    Virtual time advances by the cost model's native syscall costs plus
+    per-byte copy charges, and blocking calls park the calling task on the
+    appropriate condition variable.
+
+    The NVX layer builds on three extra entry points: {!fork_proc} (address
+    space duplication for followers and zygote-spawned children),
+    {!install_grant} (duplicating a leader's descriptor into a follower's
+    table over the data channel, §3.3.2 of the paper) and the [fd_object]
+    field of results, which carries descriptor grants. *)
+
+open Types
+
+val create :
+  ?cost:Varan_cycles.Cost.t ->
+  ?link_latency:int ->
+  ?seed:int ->
+  Varan_sim.Engine.t ->
+  t
+(** Fresh kernel with [/dev/null], [/dev/zero], [/dev/urandom] and [/tmp]
+    pre-created. [link_latency] is the one-way network delay in cycles
+    applied to socket payload delivery (default 0). *)
+
+val engine : t -> Varan_sim.Engine.t
+val cost : t -> Varan_cycles.Cost.t
+
+val new_proc : t -> ?parent:proc -> string -> proc
+(** Allocate a process (empty descriptor table, cwd ["/"]). *)
+
+val fork_proc : t -> proc -> string -> proc
+(** Duplicate the descriptor table into a child process, sharing open file
+    descriptions (refcounts bumped), as [fork] does. *)
+
+val register_task : t -> proc -> Varan_sim.Engine.task_id -> unit
+(** Associate an engine task with a process so that fatal signals and
+    [exit_group] can terminate it. *)
+
+val kill_proc : t -> proc -> int -> unit
+(** Deliver a terminating signal: marks the process exited with status
+    [128+signo] and kills its tasks. *)
+
+val exec : t -> proc -> Varan_syscall.Sysno.t -> Varan_syscall.Args.t ->
+  Varan_syscall.Args.result
+(** Execute one system call on behalf of [proc], charging native cycle
+    costs and blocking as needed. Unknown or unsupported requests return
+    [-ENOSYS], mirroring the prototype's on-demand handler policy. *)
+
+(** {1 Descriptor grants (NVX data channel)} *)
+
+type fd_grant = { granted : (int * ofile) list }
+(** Descriptors created by one [New_fd]-class call: the fd numbers chosen
+    in the executing process paired with the kernel objects. *)
+
+val grant_of_result : Varan_syscall.Args.result -> fd_grant option
+(** Decode the [fd_object] field. *)
+
+val install_grant : t -> proc -> fd_grant -> unit
+(** Install every granted descriptor into [proc]'s table {e at the same fd
+    numbers}, bumping refcounts — the simulation's equivalent of receiving
+    SCM_RIGHTS descriptors and [dup2]ing them into place. *)
+
+(** {1 Introspection} *)
+
+val now_ns : t -> int64
+(** Simulated wall clock in nanoseconds. *)
+
+val fd_count : proc -> int
+val proc_alive : proc -> bool
+
+val set_nonblock : proc -> int -> bool -> (unit, Varan_syscall.Errno.t) result
+(** Convenience used by tests: toggle O_NONBLOCK directly. *)
+
+(** {1 Signals}
+
+    Caught signals (those with an installed handler) are queued and
+    delivered at the target's next syscall boundary — both the natural
+    semantics for a syscall-level monitor and close to how the prototype
+    delivers them through its interception points. *)
+
+val set_signal_handler : proc -> int -> (int -> unit) -> unit
+(** Install a handler (the in-simulation analogue of [rt_sigaction] with
+    a handler function). *)
+
+val take_pending_signal : proc -> int option
+(** Pop the next pending caught signal, if any — used by the NVX monitor
+    to stream signal events before the interrupted call. *)
+
+val handler_for : proc -> int -> (int -> unit) option

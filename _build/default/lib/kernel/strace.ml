@@ -1,0 +1,39 @@
+module Sysno = Varan_syscall.Sysno
+module Args = Varan_syscall.Args
+
+type t = {
+  mutable entries : string list; (* reversed *)
+  mutable kept : int;
+  mutable total : int;
+  limit : int;
+}
+
+let format_call sysno args result =
+  Format.asprintf "%s%a = %a" (Sysno.name sysno) Args.pp args Args.pp_result
+    result
+
+let attach ?(limit = 10_000) (api : Api.t) =
+  let t = { entries = []; kept = 0; total = 0; limit } in
+  let sys sysno args =
+    let result = api.Api.sys sysno args in
+    t.total <- t.total + 1;
+    if t.kept < t.limit then begin
+      t.entries <- format_call sysno args result :: t.entries;
+      t.kept <- t.kept + 1
+    end;
+    result
+  in
+  let wrapped = Api.with_sys api.Api.proc sys in
+  wrapped.Api.compute_scale_c1000 <- api.Api.compute_scale_c1000;
+  (wrapped, t)
+
+let lines t = List.rev t.entries
+let calls t = t.total
+
+let pp ppf t =
+  List.iter (fun l -> Format.fprintf ppf "%s@." l) (lines t)
+
+let clear t =
+  t.entries <- [];
+  t.kept <- 0;
+  t.total <- 0

@@ -1,0 +1,1 @@
+lib/nvx/config.ml: Varan_cycles

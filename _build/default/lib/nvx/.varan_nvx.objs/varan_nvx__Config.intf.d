@@ -1,0 +1,1 @@
+lib/nvx/config.mli: Varan_cycles

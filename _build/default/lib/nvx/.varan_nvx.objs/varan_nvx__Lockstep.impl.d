@@ -1,0 +1,1 @@
+lib/nvx/lockstep.ml: Array Printf Ptrace_model Varan_cycles Varan_kernel Varan_sim Varan_syscall Variant

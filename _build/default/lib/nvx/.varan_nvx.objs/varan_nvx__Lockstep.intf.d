@@ -1,0 +1,1 @@
+lib/nvx/lockstep.mli: Varan_cycles Varan_kernel Variant

@@ -1,0 +1,1 @@
+lib/nvx/ptrace_model.ml: Bytes Varan_cycles Varan_syscall

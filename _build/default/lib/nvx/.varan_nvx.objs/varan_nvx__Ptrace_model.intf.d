@@ -1,0 +1,1 @@
+lib/nvx/ptrace_model.mli: Varan_cycles Varan_syscall

@@ -1,0 +1,1 @@
+lib/nvx/record_replay.ml: Array Buffer Bytes Char Config Int32 Int64 List Printexc Printf Session Syscall_table Varan_cycles Varan_kernel Varan_ringbuf Varan_shmem Varan_sim Varan_syscall Variant

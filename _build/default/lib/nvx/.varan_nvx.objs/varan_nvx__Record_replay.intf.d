@@ -1,0 +1,1 @@
+lib/nvx/record_replay.mli: Config Session Varan_cycles Varan_kernel Variant

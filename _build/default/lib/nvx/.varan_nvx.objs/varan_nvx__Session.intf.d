@@ -1,0 +1,1 @@
+lib/nvx/session.mli: Config Varan_binary Varan_kernel Varan_ringbuf Varan_shmem Variant

@@ -1,0 +1,1 @@
+lib/nvx/syscall_table.ml: Hashtbl List Varan_syscall

@@ -1,0 +1,1 @@
+lib/nvx/syscall_table.mli: Varan_syscall

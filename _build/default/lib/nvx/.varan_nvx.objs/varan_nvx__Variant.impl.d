@@ -1,0 +1,1 @@
+lib/nvx/variant.ml: List Printf Varan_bpf Varan_kernel

@@ -1,0 +1,1 @@
+lib/nvx/variant.mli: Varan_bpf Varan_kernel

@@ -1,0 +1,1 @@
+lib/nvx/zygote.ml: Buffer Bytes List Printf String Varan_kernel Varan_sim

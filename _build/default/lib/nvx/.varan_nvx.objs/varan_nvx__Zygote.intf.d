@@ -1,0 +1,1 @@
+lib/nvx/zygote.mli: Varan_kernel

@@ -1,0 +1,28 @@
+type interception = Rewrite | Trap_only | Jump_only
+type follower_wait = Waitlock | Busy_wait
+type streaming = Shared_ring | Event_pump
+
+type t = {
+  ring_size : int;
+  interception : interception;
+  follower_wait : follower_wait;
+  streaming : streaming;
+  enforce_clock_order : bool;
+  pool_bytes : int;
+  cost : Varan_cycles.Cost.t;
+  trace_first_variant : bool;
+}
+
+let default =
+  {
+    ring_size = 256;
+    interception = Rewrite;
+    follower_wait = Waitlock;
+    streaming = Shared_ring;
+    enforce_clock_order = true;
+    pool_bytes = 16 * 1024 * 1024;
+    cost = Varan_cycles.Cost.default;
+    trace_first_variant = false;
+  }
+
+let with_ring_size t n = { t with ring_size = n }

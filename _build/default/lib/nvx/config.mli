@@ -1,0 +1,42 @@
+(** NVX session configuration.
+
+    Beyond the paper's defaults, the knobs expose the ablations DESIGN.md
+    calls out: trap-only interception (no detouring), per-follower queues
+    with an event pump instead of the shared ring (the prototype's
+    discarded first design, §3.3.1), pure busy-waiting instead of
+    waitlocks, and disabling the Lamport ordering. *)
+
+type interception =
+  | Rewrite  (** selective binary rewriting: jump detours + INT3 fallback *)
+  | Trap_only  (** every syscall through the INT3/signal path (ablation) *)
+  | Jump_only
+      (** assume every site was detourable — used by the microbenchmarks,
+          whose loop bodies have no branch targets next to the syscall *)
+
+type follower_wait =
+  | Waitlock  (** futex-backed blocking for blocking syscalls (§3.3.1) *)
+  | Busy_wait  (** spin on the ring cursor for everything (ablation) *)
+
+type streaming =
+  | Shared_ring  (** the Disruptor-pattern shared ring buffer *)
+  | Event_pump
+      (** one queue per follower plus a pump task dispatching events —
+          the design the paper discarded as a bottleneck (ablation) *)
+
+type t = {
+  ring_size : int;  (** default 256 events *)
+  interception : interception;
+  follower_wait : follower_wait;
+  streaming : streaming;
+  enforce_clock_order : bool;
+      (** Lamport ordering for multi-threaded variants (§3.3.3) *)
+  pool_bytes : int;  (** shared-memory pool capacity *)
+  cost : Varan_cycles.Cost.t;
+  trace_first_variant : bool;
+      (** attach an strace-style tracer to variant 0's main unit — the
+          paper's point that ptrace-based tooling still works on VARAN'd
+          programs (§3.1), available here even under the monitor *)
+}
+
+val default : t
+val with_ring_size : t -> int -> t

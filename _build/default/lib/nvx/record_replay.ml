@@ -1,0 +1,324 @@
+module E = Varan_sim.Engine
+module K = Varan_kernel.Kernel
+module Api = Varan_kernel.Api
+module Types = Varan_kernel.Types
+module Flags = Varan_kernel.Flags
+module Sysno = Varan_syscall.Sysno
+module Args = Varan_syscall.Args
+module Errno = Varan_syscall.Errno
+module Cost = Varan_cycles.Cost
+module Ring = Varan_ringbuf.Ring
+module Event = Varan_ringbuf.Event
+module Pool = Varan_shmem.Pool
+
+(* ------------------------------------------------------------------ *)
+(* Log format                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One record:
+     u8  kind        u8 tid       u16 nargs (low 3 bits used)
+     i32 sysno       i32 clock    i64 ret
+     i64 args[nargs]
+     i32 outlen      bytes out *)
+
+let kind_to_int = function
+  | Event.Ev_syscall -> 0
+  | Event.Ev_signal -> 1
+  | Event.Ev_fork -> 2
+  | Event.Ev_exit -> 3
+
+let kind_of_int = function
+  | 0 -> Event.Ev_syscall
+  | 1 -> Event.Ev_signal
+  | 2 -> Event.Ev_fork
+  | _ -> Event.Ev_exit
+
+let serialize buf (e : Event.t) ~out =
+  Buffer.add_uint8 buf (kind_to_int e.Event.kind);
+  Buffer.add_uint8 buf e.Event.tid;
+  Buffer.add_uint16_le buf (Array.length e.Event.args);
+  Buffer.add_int32_le buf (Int32.of_int e.Event.sysno);
+  Buffer.add_int32_le buf (Int32.of_int e.Event.clock);
+  Buffer.add_int64_le buf (Int64.of_int e.Event.ret);
+  Array.iter (fun a -> Buffer.add_int64_le buf (Int64.of_int a)) e.Event.args;
+  let out = match out with Some b -> b | None -> Bytes.empty in
+  Buffer.add_int32_le buf (Int32.of_int (Bytes.length out));
+  Buffer.add_bytes buf out
+
+type cursor = { data : Bytes.t; mutable pos : int }
+
+let deserialize cur : (Event.kind * int * int * int * int * int array * Bytes.t) option =
+  if cur.pos >= Bytes.length cur.data then None
+  else begin
+    let u8 () =
+      let v = Char.code (Bytes.get cur.data cur.pos) in
+      cur.pos <- cur.pos + 1;
+      v
+    in
+    let u16 () =
+      let v = Bytes.get_uint16_le cur.data cur.pos in
+      cur.pos <- cur.pos + 2;
+      v
+    in
+    let i32 () =
+      let v = Int32.to_int (Bytes.get_int32_le cur.data cur.pos) in
+      cur.pos <- cur.pos + 4;
+      v
+    in
+    let i64 () =
+      let v = Int64.to_int (Bytes.get_int64_le cur.data cur.pos) in
+      cur.pos <- cur.pos + 8;
+      v
+    in
+    let kind = kind_of_int (u8 ()) in
+    let tid = u8 () in
+    let nargs = u16 () in
+    let sysno = i32 () in
+    let clock = i32 () in
+    let ret = i64 () in
+    let args = Array.init nargs (fun _ -> i64 ()) in
+    let outlen = i32 () in
+    let out = Bytes.sub cur.data cur.pos outlen in
+    cur.pos <- cur.pos + outlen;
+    Some (kind, tid, sysno, clock, ret, args, out)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Recorder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type recorder = {
+  session : Session.t;
+  ring : Event.t Ring.t;
+  cid : int;
+  api : Api.t;
+  buf : Buffer.t;
+  mutable events : int;
+  mutable stopping : bool;
+  mutable stopped : bool;
+}
+
+let flush_threshold = 4096
+
+let flush r fd =
+  if Buffer.length r.buf > 0 then begin
+    let data = Buffer.to_bytes r.buf in
+    Buffer.clear r.buf;
+    match Api.write_all r.api fd data with
+    | Ok () -> ()
+    | Error e -> failwith ("recorder: write failed: " ^ Errno.name e)
+  end
+
+let record session k ~tuple ~path =
+  let ring = Session.tuple_ring session tuple in
+  let cid = Ring.add_consumer ring in
+  let proc = K.new_proc k "recorder" in
+  let api = Api.direct k proc in
+  let r =
+    {
+      session;
+      ring;
+      cid;
+      api;
+      buf = Buffer.create flush_threshold;
+      events = 0;
+      stopping = false;
+      stopped = false;
+    }
+  in
+  let task () =
+    (* The log is opened from inside the recorder's own task: syscalls
+       only exist in task context. *)
+    let fd =
+      match
+        Api.openf api path (Flags.o_wronly lor Flags.o_creat lor Flags.o_trunc)
+      with
+      | Ok fd -> fd
+      | Error e -> failwith ("recorder: open failed: " ^ Errno.name e)
+    in
+    let rec loop () =
+      match Ring.try_consume ring cid with
+      | Some e ->
+        let out =
+          match e.Event.payload with
+          | Some chunk ->
+            let bytes = Pool.read chunk e.Event.payload_len in
+            Session.release_payload session e;
+            Some bytes
+          | None -> e.Event.inline_out
+        in
+        serialize r.buf e ~out;
+        r.events <- r.events + 1;
+        if Buffer.length r.buf >= flush_threshold then flush r fd;
+        loop ()
+      | None ->
+        if r.stopping then begin
+          flush r fd;
+          ignore (Api.close api fd);
+          Ring.remove_consumer ring cid;
+          r.stopped <- true
+        end
+        else begin
+          Ring.wait_activity ring;
+          loop ()
+        end
+    in
+    loop ()
+  in
+  let tid = E.spawn k.Types.eng ~name:"recorder" task in
+  K.register_task k proc tid;
+  r
+
+let stop r =
+  (* The recorder drains whatever is still in the ring, flushes its tail
+     buffer, closes the log and deregisters itself. *)
+  r.stopping <- true;
+  Ring.poke r.ring
+
+let recorded_events r = r.events
+
+(* ------------------------------------------------------------------ *)
+(* Replayer                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type rstate = {
+  r_idx : int;
+  r_variant : Variant.t;
+  mutable r_consumed : int;
+  mutable r_alive : bool;
+}
+
+type replayer = {
+  rp_ring : Event.t Ring.t;
+  rstates : rstate array;
+  mutable rp_crashes : (int * string) list;
+  mutable rp_published : int;
+}
+
+exception Replay_divergence of string
+
+let replay ?(config = Config.default) k ~path variants =
+  if variants = [] then invalid_arg "Record_replay.replay: no variants";
+  let cost = config.Config.cost in
+  let ring = Ring.create ~size:config.Config.ring_size "replay-ring" in
+  let rstates =
+    Array.of_list
+      (List.mapi
+         (fun i v -> { r_idx = i; r_variant = v; r_consumed = 0; r_alive = true })
+         variants)
+  in
+  let rp = { rp_ring = ring; rstates; rp_crashes = []; rp_published = 0 } in
+  (* Consumers must register before the publisher starts. *)
+  let cids = Array.map (fun _ -> Ring.add_consumer ring) rstates in
+  (* The replay leader: reads the log from persistent storage and
+     publishes events into the ring for consumption by replay clients. *)
+  ignore
+    (E.spawn k.Types.eng ~name:"replay-leader" (fun () ->
+         let proc = K.new_proc k "replay-leader" in
+         let api = Api.direct k proc in
+         let fd =
+           match Api.openf api path Flags.o_rdonly with
+           | Ok fd -> fd
+           | Error e -> failwith ("replayer: open failed: " ^ Errno.name e)
+         in
+         let contents = Buffer.create 4096 in
+         let rec read_all () =
+           match Api.read api fd 4096 with
+           | Ok b when Bytes.length b > 0 ->
+             Buffer.add_bytes contents b;
+             read_all ()
+           | Ok _ -> ()
+           | Error e -> failwith ("replayer: read failed: " ^ Errno.name e)
+         in
+         read_all ();
+         ignore (Api.close api fd);
+         let cur = { data = Buffer.to_bytes contents; pos = 0 } in
+         let rec publish_all () =
+           match deserialize cur with
+           | None -> ()
+           | Some (kind, tid, sysno, clock, ret, args, out) ->
+             E.consume cost.Cost.publish_event;
+             let inline_out =
+               if Bytes.length out > 0 then Some out else None
+             in
+             (* Replay events carry results inline regardless of size:
+                the shared-memory pool is not reconstructed on replay. *)
+             let e =
+               {
+                 Event.kind;
+                 sysno;
+                 tid;
+                 args;
+                 ret;
+                 clock;
+                 payload = None;
+                 payload_len = 0;
+                 inline_out;
+                 grant = None;
+               }
+             in
+             Ring.publish ring e;
+             rp.rp_published <- rp.rp_published + 1;
+             publish_all ()
+         in
+         publish_all ()));
+  (* Replay clients: every streamed call returns the recorded result. *)
+  Array.iteri
+    (fun i rst ->
+      let v = rst.r_variant in
+      let proc = K.new_proc k ("replay." ^ v.Variant.v_name) in
+      let table = Syscall_table.follower in
+      let sys sysno args =
+        match Syscall_table.lookup table sysno with
+        | Syscall_table.Local -> K.exec k proc sysno args
+        | Syscall_table.Unsupported -> Args.err Errno.ENOSYS
+        | Syscall_table.Stream | Syscall_table.Virtual -> (
+          E.consume cost.Cost.consume_event;
+          let e = Ring.consume ring cids.(i) in
+          rst.r_consumed <- rst.r_consumed + 1;
+          if e.Event.sysno <> Sysno.to_int sysno then
+            raise
+              (Replay_divergence
+                 (Printf.sprintf "log has %d, client wants %s" e.Event.sysno
+                    (Sysno.name sysno)))
+          else { Args.ret = e.Event.ret; out = e.Event.inline_out; fd_object = None })
+      in
+      let api = Api.with_sys proc sys in
+      let body = v.Variant.program.Variant.body in
+      let tid =
+        E.spawn k.Types.eng ~name:("replay." ^ v.Variant.v_name) (fun () ->
+            try body ~unit_idx:0 api with
+            | E.Killed -> ()
+            | exn ->
+              rp.rp_crashes <- (i, Printexc.to_string exn) :: rp.rp_crashes;
+              rst.r_alive <- false;
+              Ring.remove_consumer ring cids.(i))
+      in
+      K.register_task k proc tid)
+    rstates;
+  rp
+
+let replayed_events rp =
+  Array.fold_left (fun acc r -> acc + r.r_consumed) 0 rp.rstates
+
+let replay_crashes rp = List.rev rp.rp_crashes
+
+(* ------------------------------------------------------------------ *)
+(* Scribe baseline                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let scribe_api ?(cost = Cost.default) k proc =
+  let sys sysno args =
+    (* In-kernel recording: every syscall pays the logging overhead
+       inline, including copying its payloads into the kernel log. *)
+    E.consume cost.Cost.scribe_per_syscall;
+    let result = K.exec k proc sysno args in
+    let bytes =
+      Args.payload_size args
+      + (match result.Args.out with Some b -> Bytes.length b | None -> 0)
+    in
+    E.consume
+      (Cost.copy_cycles ~rate_c100:cost.Cost.scribe_copy_per_byte_c100 bytes);
+    result
+  in
+  Api.with_sys proc sys

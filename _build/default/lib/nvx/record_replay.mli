@@ -1,0 +1,61 @@
+(** Record-replay on top of event streaming (§5.4).
+
+    Two artificial clients extend VARAN into a full record-replay system:
+
+    - the {e recorder} acts as one more follower whose only job is to
+      drain the ring buffer and append events to persistent storage
+      (batched into page-sized writes), decoupling logging from the
+      application;
+    - the {e replayer} acts as the leader during replay, reading the log
+      and publishing events into a ring consumed by any number of replay
+      clients — which is how several versions can be replayed at once
+      against one recorded execution.
+
+    A cost model of {e Scribe} (kernel-based record-replay) is provided
+    for the paper's comparison: it charges the recording overhead inline
+    on every syscall of the recorded process. *)
+
+type recorder
+
+val record :
+  Session.t -> Varan_kernel.Types.t -> tuple:int -> path:string -> recorder
+(** Attach a recorder to the session's ring for [tuple], writing the
+    binary log to [path] in the simulated filesystem. Must be called
+    before the workload starts publishing (the recorder only sees events
+    published after it attaches). *)
+
+val stop : recorder -> unit
+(** Flush buffered events, close the log and stop the recorder task.
+    Must be called from inside an engine task (it wakes the ring). *)
+
+val recorded_events : recorder -> int
+
+(** {1 Replay} *)
+
+type replayer
+
+val replay :
+  ?config:Config.t ->
+  Varan_kernel.Types.t ->
+  path:string ->
+  Variant.t list ->
+  replayer
+(** Launch the given variants as pure replay clients fed from the log:
+    every streamed syscall returns the recorded result; nothing touches
+    the outside world. Several variants replay the same log at once. *)
+
+val replayed_events : replayer -> int
+val replay_crashes : replayer -> (int * string) list
+(** Replay clients that diverged from the log or crashed — the
+    "which versions are susceptible to this crash" use case. *)
+
+(** {1 The Scribe baseline} *)
+
+val scribe_api :
+  ?cost:Varan_cycles.Cost.t ->
+  Varan_kernel.Types.t ->
+  Varan_kernel.Types.proc ->
+  Varan_kernel.Api.t
+(** A syscall API that models Scribe: native execution plus the in-kernel
+    recording charge on every call (per-syscall cost and per-byte copy of
+    the payloads). *)

@@ -1,0 +1,1186 @@
+module E = Varan_sim.Engine
+module K = Varan_kernel.Kernel
+module Api = Varan_kernel.Api
+module Types = Varan_kernel.Types
+module Sysno = Varan_syscall.Sysno
+module Args = Varan_syscall.Args
+module Errno = Varan_syscall.Errno
+module Cost = Varan_cycles.Cost
+module Ring = Varan_ringbuf.Ring
+module Event = Varan_ringbuf.Event
+module Pool = Varan_shmem.Pool
+module Lamport = Varan_vclock.Lamport
+module Interp = Varan_bpf.Interp
+module Rules = Varan_bpf.Rules
+module Rewriter = Varan_binary.Rewriter
+module Codegen = Varan_binary.Codegen
+module Image = Varan_binary.Image
+module Vdso = Varan_binary.Vdso
+module Prng = Varan_util.Prng
+
+type role = Leader | Follower
+
+exception Divergence_kill of string
+
+(* Internal: a follower unit discovered it is the new leader. *)
+exception Promote
+
+type vstats = {
+  mutable syscalls : int;
+  mutable local_calls : int;
+  mutable events_published : int;
+  mutable events_consumed : int;
+  mutable stall_blocks : int;
+  mutable stall_cycles : int64;
+  mutable wait_charge_cycles : int64;
+  mutable sys_cycles : int64;
+  mutable divergences_executed : int;
+  mutable divergences_skipped : int;
+  mutable divergences_coalesced : int;
+  mutable bpf_steps : int;
+  mutable jump_dispatches : int;
+  mutable trap_dispatches : int;
+  mutable vdso_dispatches : int;
+}
+
+let fresh_vstats () =
+  {
+    syscalls = 0;
+    local_calls = 0;
+    events_published = 0;
+    events_consumed = 0;
+    stall_blocks = 0;
+    stall_cycles = 0L;
+    wait_charge_cycles = 0L;
+    sys_cycles = 0L;
+    divergences_executed = 0;
+    divergences_skipped = 0;
+    divergences_coalesced = 0;
+    bpf_steps = 0;
+    jump_dispatches = 0;
+    trap_dispatches = 0;
+    vdso_dispatches = 0;
+  }
+
+type vstate = {
+  idx : int;
+  variant : Variant.t;
+  mutable vrole : role;
+  mutable main_proc : Types.proc option;
+  mutable unit_procs : Types.proc array;
+  (* Consumer ids per tuple ring; -1 when not a consumer there. *)
+  mutable consumer_ids : int array;
+  mutable clocks : Lamport.t array; (* per tuple *)
+  mutable promoted : bool array; (* per unit: takes the leader path *)
+  mutable unit_tuple : int array; (* per unit: the tuple it belongs to *)
+  mutable unit_tid : int array; (* per unit: its stream tid in the tuple *)
+  (* Bytes of the head event already handed out to coalesced calls, keyed
+     by tuple (§2.3's coalescing pattern: a buffered leader write serves
+     several smaller follower writes). *)
+  partial_consumed : (int, int) Hashtbl.t;
+  mutable alive : bool;
+  mutable table : Syscall_table.t;
+  mutable trap_share_c1000 : int;
+  mutable rewrite : Rewriter.stats option;
+  mutable trap_acc : int;
+  st : vstats;
+  mutable apis : Api.t list;
+}
+
+type t = {
+  k : Types.t;
+  cfg : Config.t;
+  cost : Cost.t;
+  pool : Pool.t;
+  mutable ntuples : int;
+  (* Shared_ring mode: one ring per tuple. Event_pump mode: the leader's
+     private queues, one per tuple. Tuples grow when processes fork. *)
+  mutable rings : Event.t Ring.t array;
+  (* Event_pump mode only: per-tuple, per-variant follower queues. *)
+  pump_queues : Event.t Ring.t array array option;
+  vstates : vstate array;
+  mutable leader_idx : int;
+  payload_refs : (int, int ref) Hashtbl.t;
+  mutable zygote : Zygote.t option;
+  mutable crash_list : (int * string) list; (* reversed *)
+  mutable max_lag : int;
+  mutable waitlock_sleepers : int array;
+      (* per tuple: followers asleep in a waitlock *)
+  mutable tuple_ready : int array;
+      (* per tuple: followers registered on a forked tuple *)
+  ready_cond : E.Cond.cond;
+      (* the coordinator's "wait until all followers fork" rendezvous *)
+  mutable divergence_log : divergence_record list; (* reversed, bounded *)
+  mutable divergence_log_len : int;
+  mutable tracer : Varan_kernel.Strace.t option;
+}
+
+and divergence_record = {
+  dv_variant : string;
+  dv_follower_call : string;
+  dv_leader_event : string;
+  dv_verdict : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Payload reference counting                                          *)
+(* ------------------------------------------------------------------ *)
+
+let register_payload t (e : Event.t) readers =
+  match e.Event.payload with
+  | None -> ()
+  | Some chunk ->
+    if readers <= 0 then Pool.free t.pool chunk
+    else Hashtbl.replace t.payload_refs chunk.Pool.addr (ref readers)
+
+let release_payload t (e : Event.t) =
+  match e.Event.payload with
+  | None -> ()
+  | Some chunk -> (
+    match Hashtbl.find_opt t.payload_refs chunk.Pool.addr with
+    | None -> ()
+    | Some r ->
+      decr r;
+      if !r <= 0 then begin
+        Hashtbl.remove t.payload_refs chunk.Pool.addr;
+        Pool.free t.pool chunk
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Stream access (shared ring vs event pump)                           *)
+(* ------------------------------------------------------------------ *)
+
+let tuple_of_unit vst u = vst.unit_tuple.(u)
+
+let follower_queue t vst tuple =
+  match t.pump_queues with
+  | None -> t.rings.(tuple)
+  | Some pq -> pq.(tuple).(vst.idx)
+
+let stream_publish_k t tuple make = Ring.publish_k t.rings.(tuple) make
+
+let stream_peek t vst tuple =
+  match t.pump_queues with
+  | None -> Ring.peek t.rings.(tuple) vst.consumer_ids.(tuple)
+  | Some pq -> Ring.peek pq.(tuple).(vst.idx) 0
+
+let stream_advance t vst tuple =
+  match t.pump_queues with
+  | None -> ignore (Ring.try_consume t.rings.(tuple) vst.consumer_ids.(tuple))
+  | Some pq -> ignore (Ring.try_consume pq.(tuple).(vst.idx) 0)
+
+let stream_wait t vst tuple = Ring.wait_activity (follower_queue t vst tuple)
+
+let wait_activity_timeout t vst tuple budget =
+  Ring.wait_activity_timeout (follower_queue t vst tuple) budget
+
+let stream_lag t vst tuple =
+  match t.pump_queues with
+  | None -> Ring.lag t.rings.(tuple) vst.consumer_ids.(tuple)
+  | Some pq -> Ring.lag pq.(tuple).(vst.idx) 0
+
+let stream_remove t vst =
+  match t.pump_queues with
+  | None ->
+    Array.iteri
+      (fun tuple cid ->
+        if cid >= 0 then Ring.remove_consumer t.rings.(tuple) cid)
+      vst.consumer_ids
+  | Some pq ->
+    Array.iter
+      (fun per_tuple ->
+        Ring.remove_consumer per_tuple.(vst.idx) 0;
+        Ring.poke per_tuple.(vst.idx))
+      pq
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic tuples and units (process forks)                            *)
+(* ------------------------------------------------------------------ *)
+
+let grow_array a len fill =
+  if Array.length a >= len then a
+  else begin
+    let bigger = Array.make len fill in
+    Array.blit a 0 bigger 0 (Array.length a);
+    bigger
+  end
+
+(* Allocate a fresh tuple: its own ring buffer and bookkeeping slots.
+   Only meaningful in shared-ring mode; the event-pump ablation predates
+   multi-process support, as did the prototype's first design. *)
+let new_tuple t =
+  (match t.pump_queues with
+  | Some _ -> invalid_arg "Session: fork is unsupported in event-pump mode"
+  | None -> ());
+  let idx = t.ntuples in
+  t.ntuples <- idx + 1;
+  let fresh = Ring.create ~size:t.cfg.Config.ring_size (Printf.sprintf "ring%d" idx) in
+  t.rings <- grow_array t.rings t.ntuples fresh;
+  t.rings.(idx) <- fresh;
+  t.waitlock_sleepers <- grow_array t.waitlock_sleepers t.ntuples 0;
+  t.tuple_ready <- grow_array t.tuple_ready t.ntuples 0;
+  Array.iter
+    (fun vst ->
+      vst.consumer_ids <- grow_array vst.consumer_ids t.ntuples (-1);
+      vst.consumer_ids.(idx) <- -1;
+      vst.clocks <- grow_array vst.clocks t.ntuples (Lamport.create ());
+      vst.clocks.(idx) <- Lamport.create ())
+    t.vstates;
+  idx
+
+(* Allocate a unit slot in a variant (a forked child process). *)
+let new_unit vst ~tuple ~tid ~promoted =
+  let u = Array.length vst.unit_tuple in
+  vst.unit_tuple <- grow_array vst.unit_tuple (u + 1) tuple;
+  vst.unit_tid <- grow_array vst.unit_tid (u + 1) tid;
+  vst.promoted <- grow_array vst.promoted (u + 1) promoted;
+  vst.unit_tuple.(u) <- tuple;
+  vst.unit_tid.(u) <- tid;
+  vst.promoted.(u) <- promoted;
+  u
+
+let poke_all t =
+  Array.iter Ring.poke t.rings;
+  match t.pump_queues with
+  | None -> ()
+  | Some pq -> Array.iter (fun per_tuple -> Array.iter Ring.poke per_tuple) pq
+
+(* ------------------------------------------------------------------ *)
+(* Crash handling and failover (§5.1)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let alive_followers t =
+  Array.fold_left
+    (fun n v -> if v.alive && v.idx <> t.leader_idx then n + 1 else n)
+    0 t.vstates
+
+let handle_crash t vst exn =
+  if vst.alive then begin
+    vst.alive <- false;
+    t.crash_list <- (vst.idx, Printexc.to_string exn) :: t.crash_list;
+    let was_leader = t.leader_idx = vst.idx in
+    (* The SIGSEGV handler notifies the coordinator over the control
+       socket; the coordinator reacts after the notification delay. *)
+    ignore
+      (E.spawn_here ~name:"coordinator-failover" (fun () ->
+           E.consume t.cost.Cost.failover_notify;
+           (match vst.main_proc with
+           | Some proc -> K.kill_proc t.k proc Varan_kernel.Flags.sigsegv
+           | None -> ());
+           stream_remove t vst;
+           if was_leader then begin
+             (* Elect the alive follower with the smallest internal id. *)
+             let candidate =
+               Array.fold_left
+                 (fun acc v ->
+                   if v.alive then
+                     match acc with
+                     | None -> Some v
+                     | Some best when v.idx < best.idx -> Some v
+                     | some -> some
+                   else acc)
+                 None t.vstates
+             in
+             match candidate with
+             | Some v -> t.leader_idx <- v.idx
+             | None -> ()
+           end;
+           poke_all t;
+           E.Cond.broadcast t.ready_cond))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cost charging helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let charge_interception t vst (disp : Syscall_table.disposition) sysno =
+  let c = t.cost in
+  match disp with
+  | Syscall_table.Virtual ->
+    vst.st.vdso_dispatches <- vst.st.vdso_dispatches + 1;
+    E.consume c.Cost.intercept_vdso
+  | _ -> (
+    match t.cfg.Config.interception with
+    | Config.Trap_only ->
+      vst.st.trap_dispatches <- vst.st.trap_dispatches + 1;
+      E.consume c.Cost.intercept_int
+    | Config.Jump_only ->
+      vst.st.jump_dispatches <- vst.st.jump_dispatches + 1;
+      E.consume (max 0 (c.Cost.intercept_jump + c.Cost.intercept_extra sysno))
+    | Config.Rewrite ->
+      vst.trap_acc <- vst.trap_acc + vst.trap_share_c1000;
+      if vst.trap_acc >= 1000 then begin
+        vst.trap_acc <- vst.trap_acc - 1000;
+        vst.st.trap_dispatches <- vst.st.trap_dispatches + 1;
+        E.consume c.Cost.intercept_int
+      end
+      else begin
+        vst.st.jump_dispatches <- vst.st.jump_dispatches + 1;
+        E.consume
+          (max 0 (c.Cost.intercept_jump + c.Cost.intercept_extra sysno))
+      end)
+
+let publish_cost t disp nfollowers =
+  let c = t.cost in
+  let base =
+    match (disp : Syscall_table.disposition) with
+    | Syscall_table.Virtual -> c.Cost.publish_event * 4 / 5
+    | _ -> c.Cost.publish_event
+  in
+  base + (c.Cost.publish_per_follower * nfollowers)
+
+(* ------------------------------------------------------------------ *)
+(* Leader path                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let leader_execute_and_record t vst ~unit_idx ~tuple proc
+    (disp : Syscall_table.disposition) sysno args =
+  let c = t.cost in
+  let is_exit = sysno = Sysno.Exit || sysno = Sysno.Exit_group in
+  let nfoll = alive_followers t in
+  (* With nobody consuming the stream (no followers, no recorder), the
+     leader skips recording entirely: running VARAN with zero followers
+     measures pure interception overhead, as in Figure 5's first bars. *)
+  let nconsumers =
+    match t.pump_queues with
+    | None -> Ring.active_consumers t.rings.(tuple)
+    | Some _ -> nfoll
+  in
+  let publish result =
+    (* Shared-memory payload for out-buffer results. *)
+    let payload, payload_len, inline_out =
+      match result.Args.out with
+      | Some out when Bytes.length out > Event.max_inline_bytes ->
+        E.consume c.Cost.shmem_alloc;
+        E.consume
+          (Cost.copy_cycles ~rate_c100:c.Cost.shmem_copy_leader_c100
+             (Bytes.length out));
+        let chunk = Pool.alloc t.pool (Bytes.length out) in
+        Pool.write chunk out;
+        (Some chunk, Bytes.length out, None)
+      | Some out when Bytes.length out > 0 -> (None, 0, Some out)
+      | _ -> (None, 0, None)
+    in
+    (* In-buffer payload digest for divergence checking. *)
+    (match Sysno.transfer_class sysno with
+    | Sysno.In_buffer ->
+      E.consume (Cost.copy_cycles ~rate_c100:8 (Args.payload_size args))
+    | _ -> ());
+    (* Descriptor grants travel over the data channel, per follower. *)
+    let grant =
+      match K.grant_of_result result with
+      | Some g when result.Args.ret >= 0 ->
+        E.consume (c.Cost.fd_send * nfoll);
+        Some (Obj.repr g)
+      | _ -> None
+    in
+    (* Followers asleep in a waitlock need a futex wake — a real system
+       call on the leader's fast path (§3.3.1). *)
+    if t.waitlock_sleepers.(tuple) > 0 then E.consume c.Cost.waitlock_wake;
+    E.consume (publish_cost t disp nfoll);
+    let int_args =
+      Array.map
+        (function
+          | Args.Int n -> n
+          | Args.Str _ -> 1
+          | Args.Buf_in b -> Bytes.length b
+          | Args.Buf_out n -> n)
+        args
+    in
+    let int_args =
+      if Array.length int_args > 6 then Array.sub int_args 0 6 else int_args
+    in
+    (* The Lamport tick happens atomically with the slot claim: sibling
+       leader threads must not interleave between stamping and writing,
+       or followers would observe out-of-order timestamps (Figure 3). *)
+    stream_publish_k t tuple (fun () ->
+        let clockv = Lamport.tick vst.clocks.(tuple) in
+        let event =
+          Event.make
+            ~kind:(if is_exit then Event.Ev_exit else Event.Ev_syscall)
+            ~tid:vst.unit_tid.(unit_idx) ~args:int_args ~ret:result.Args.ret
+            ?payload
+            ~payload_len ?inline_out ?grant ~clock:clockv
+            (Sysno.to_int sysno)
+        in
+        register_payload t event nfoll;
+        event);
+    vst.st.events_published <- vst.st.events_published + 1
+  in
+  let publish result = if nconsumers > 0 then publish result in
+  if is_exit then begin
+    (* Publish before executing: the kernel-side exit never returns. *)
+    publish (Args.ok 0);
+    K.exec t.k proc sysno args
+  end
+  else begin
+    let result = K.exec t.k proc sysno args in
+    publish result;
+    result
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Follower path                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let charge_wait_cost t vst sysno blocked_cycles ~slept =
+  let c = t.cost in
+  ignore sysno;
+  vst.st.stall_blocks <- vst.st.stall_blocks + 1;
+  vst.st.stall_cycles <- Int64.add vst.st.stall_cycles blocked_cycles;
+  let charge = if slept then c.Cost.waitlock_block else c.Cost.spin_check in
+  vst.st.wait_charge_cycles <-
+    Int64.add vst.st.wait_charge_cycles (Int64.of_int charge);
+  E.consume charge
+
+(* Wait until the head event of this unit's stream is addressed to this
+   unit. Raises [Promote] when the variant has been elected leader and the
+   stream is drained, and [Divergence_kill] when no leader remains. *)
+let rec await_event t vst ~unit_idx ~tuple sysno =
+  match stream_peek t vst tuple with
+  | Some e when e.Event.tid = vst.unit_tid.(unit_idx) -> e
+  | Some _ ->
+    (* Head event belongs to a sibling thread; wait for it to advance. *)
+    stream_wait t vst tuple;
+    await_event t vst ~unit_idx ~tuple sysno
+  | None ->
+    if t.leader_idx = vst.idx then raise Promote
+    else if not t.vstates.(t.leader_idx).alive && alive_followers t = 0 then
+      raise (Divergence_kill "no leader remains")
+    else begin
+      let t0 = E.now_cycles () in
+      let uses_waitlock =
+        t.cfg.Config.follower_wait = Config.Waitlock && Sysno.is_blocking sysno
+      in
+      (* Adaptive waiting: spin for a short window first; only if nothing
+         arrives does the follower sleep in the futex — and only sleeping
+         followers force the leader to pay a wake on publish (§3.3.1). *)
+      let slept =
+        if not uses_waitlock then begin
+          stream_wait t vst tuple;
+          false
+        end
+        else if
+          wait_activity_timeout t vst tuple t.cost.Cost.waitlock_spin_cycles
+        then false
+        else begin
+          t.waitlock_sleepers.(tuple) <- t.waitlock_sleepers.(tuple) + 1;
+          Fun.protect
+            ~finally:(fun () ->
+              t.waitlock_sleepers.(tuple) <- t.waitlock_sleepers.(tuple) - 1)
+            (fun () -> stream_wait t vst tuple);
+          true
+        end
+      in
+      let blocked = Int64.sub (E.now_cycles ()) t0 in
+      charge_wait_cost t vst sysno blocked ~slept;
+      await_event t vst ~unit_idx ~tuple sysno
+    end
+
+let decode_event_result t vst (disp : Syscall_table.disposition) proc
+    (e : Event.t) : Args.result =
+  let c = t.cost in
+  (match disp with
+  | Syscall_table.Virtual -> E.consume c.Cost.consume_vdso
+  | _ -> E.consume c.Cost.consume_event);
+  let out =
+    match e.Event.payload with
+    | None -> e.Event.inline_out
+    | Some chunk ->
+      E.consume
+        (Cost.copy_cycles ~rate_c100:c.Cost.shmem_copy_follower_c100
+           e.Event.payload_len);
+      let bytes = Pool.read chunk e.Event.payload_len in
+      release_payload t e;
+      Some bytes
+  in
+  (match e.Event.grant with
+  | Some g ->
+    E.consume c.Cost.fd_recv;
+    K.install_grant t.k proc (Obj.obj g : K.fd_grant)
+  | None -> ());
+  vst.st.events_consumed <- vst.st.events_consumed + 1;
+  { Args.ret = e.Event.ret; out; fd_object = None }
+
+let divergence_log_limit = 256
+
+let log_divergence t vst (e : Event.t) sysno verdict =
+  if t.divergence_log_len < divergence_log_limit then begin
+    let leader_name =
+      match Sysno.of_int e.Event.sysno with
+      | Some s -> Sysno.name s
+      | None -> string_of_int e.Event.sysno
+    in
+    t.divergence_log <-
+      {
+        dv_variant = vst.variant.Variant.v_name;
+        dv_follower_call = Sysno.name sysno;
+        dv_leader_event = leader_name;
+        dv_verdict = verdict;
+      }
+      :: t.divergence_log;
+    t.divergence_log_len <- t.divergence_log_len + 1
+  end
+
+let run_rewrite_rule t vst (e : Event.t) sysno args =
+  match vst.variant.Variant.rules with
+  | None ->
+    raise
+      (Divergence_kill
+         (Printf.sprintf "follower wants %s, leader streamed %s"
+            (Sysno.name sysno)
+            (match Sysno.of_int e.Event.sysno with
+            | Some s -> Sysno.name s
+            | None -> string_of_int e.Event.sysno)))
+  | Some prog ->
+    let int_args =
+      Array.map
+        (function
+          | Args.Int n -> n
+          | Args.Str _ -> 1
+          | Args.Buf_in b -> Bytes.length b
+          | Args.Buf_out n -> n)
+        args
+    in
+    let out =
+      Interp.run prog
+        ~data:{ Interp.nr = Sysno.to_int sysno; args = int_args }
+        ~event:
+          {
+            Interp.ev_nr = e.Event.sysno;
+            ev_ret = e.Event.ret;
+            ev_args = e.Event.args;
+          }
+    in
+    vst.st.bpf_steps <- vst.st.bpf_steps + out.Interp.steps;
+    E.consume (t.cost.Cost.bpf_per_insn * out.Interp.steps);
+    Rules.verdict_of_action out.Interp.action
+
+let run_signal_handler proc signo =
+  match K.handler_for proc signo with
+  | Some f -> f signo
+  | None -> ()
+
+let rec follower_replay t vst ~unit_idx ~tuple proc
+    (disp : Syscall_table.disposition) sysno args =
+  let e = await_event t vst ~unit_idx ~tuple sysno in
+  if e.Event.kind = Event.Ev_signal then begin
+    (* A signal the leader received at this point in the stream: consume
+       the event and run our own handler, then resume the pending call. *)
+    if t.cfg.Config.enforce_clock_order then
+      ignore (Lamport.try_advance vst.clocks.(tuple) e.Event.clock);
+    stream_advance t vst tuple;
+    E.consume t.cost.Cost.consume_event;
+    vst.st.events_consumed <- vst.st.events_consumed + 1;
+    run_signal_handler proc e.Event.sysno;
+    follower_replay t vst ~unit_idx ~tuple proc disp sysno args
+  end
+  else if
+    (* Coalescing (§2.3 pattern ii): the leader's single buffered write
+       covers several smaller writes in this follower. Serve this call a
+       slice of the event and keep the event at the head until its bytes
+       are exhausted. Gated to In_buffer calls, whose result is a byte
+       count. *)
+    e.Event.sysno = Sysno.to_int sysno
+    && Sysno.transfer_class sysno = Sysno.In_buffer
+    && e.Event.ret > 0
+    &&
+    let requested = Args.payload_size args in
+    let used =
+      Option.value ~default:0 (Hashtbl.find_opt vst.partial_consumed tuple)
+    in
+    requested > 0 && e.Event.ret - used > requested
+  then begin
+    let requested = Args.payload_size args in
+    let used =
+      Option.value ~default:0 (Hashtbl.find_opt vst.partial_consumed tuple)
+    in
+    Hashtbl.replace vst.partial_consumed tuple (used + requested);
+    E.consume t.cost.Cost.consume_event;
+    vst.st.divergences_coalesced <- vst.st.divergences_coalesced + 1;
+    { Args.ret = requested; out = None; fd_object = None }
+  end
+  else if e.Event.sysno = Sysno.to_int sysno then begin
+    if t.cfg.Config.enforce_clock_order then begin
+      let ok = Lamport.try_advance vst.clocks.(tuple) e.Event.clock in
+      (* With a shared cursor the head event always carries the next
+         timestamp; a violation indicates stream corruption. *)
+      if not ok then
+        raise
+          (Divergence_kill
+             (Printf.sprintf "clock violation: at %d got stamp %d"
+                (Lamport.current vst.clocks.(tuple))
+                e.Event.clock))
+    end;
+    (* If earlier coalesced calls took a prefix of this event, this final
+       call receives only the remainder. *)
+    let remainder_adjust r =
+      match Hashtbl.find_opt vst.partial_consumed tuple with
+      | Some used when used > 0
+                       && Sysno.transfer_class sysno = Sysno.In_buffer ->
+        Hashtbl.remove vst.partial_consumed tuple;
+        { r with Args.ret = max 0 (r.Args.ret - used) }
+      | _ -> r
+    in
+    stream_advance t vst tuple;
+    if e.Event.kind = Event.Ev_exit then begin
+      (* The leader exited here: the follower's process must die too, so
+         execute the exit locally (it unwinds the unit task). *)
+      vst.st.events_consumed <- vst.st.events_consumed + 1;
+      K.exec t.k proc sysno args
+    end
+    else remainder_adjust (decode_event_result t vst disp proc e)
+  end
+  else begin
+    match run_rewrite_rule t vst e sysno args with
+    | Rules.Execute_follower_call ->
+      log_divergence t vst e sysno "execute-follower-call";
+      vst.st.divergences_executed <- vst.st.divergences_executed + 1;
+      (* The follower performs its additional call itself; the leader's
+         event stays for the next match attempt. *)
+      K.exec t.k proc sysno args
+    | Rules.Skip_leader_event ->
+      log_divergence t vst e sysno "skip-leader-event";
+      vst.st.divergences_skipped <- vst.st.divergences_skipped + 1;
+      if t.cfg.Config.enforce_clock_order then
+        ignore (Lamport.try_advance vst.clocks.(tuple) e.Event.clock);
+      stream_advance t vst tuple;
+      (* Keep descriptor tables aligned even for skipped events. *)
+      (match e.Event.grant with
+      | Some g -> K.install_grant t.k proc (Obj.obj g : K.fd_grant)
+      | None -> ());
+      release_payload t e;
+      follower_replay t vst ~unit_idx ~tuple proc disp sysno args
+    | Rules.Kill | Rules.Other _ ->
+      log_divergence t vst e sysno "kill";
+      raise (Divergence_kill "rewrite rule returned kill")
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The interposed syscall entry point                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Transparent failover: adopt the leader role, stop consuming (our
+   cursor must no longer hold the ring back); the caller then restarts
+   the in-flight operation as leader (§3.2, §5.1). *)
+let do_promote t vst ~unit_idx ~tuple =
+  (match vst.variant.Variant.program.Variant.unit_kind with
+  | Variant.Thread ->
+    Array.fill vst.promoted 0 (Array.length vst.promoted) true
+  | Variant.Process -> vst.promoted.(unit_idx) <- true);
+  (match t.pump_queues with
+  | None ->
+    if vst.consumer_ids.(tuple) >= 0 then begin
+      Ring.remove_consumer t.rings.(tuple) vst.consumer_ids.(tuple);
+      vst.consumer_ids.(tuple) <- -1
+    end
+  | Some _ -> ());
+  if vst.vrole = Follower then begin
+    vst.vrole <- Leader;
+    vst.table <- Syscall_table.leader;
+    Lamport.force vst.clocks.(tuple) (Lamport.current vst.clocks.(tuple))
+  end;
+  E.consume t.cost.Cost.failover_promote
+
+(* Publish a signal-delivery event: followers must run their handler at
+   the same stream position (§2.2). *)
+let leader_publish_signal t vst ~unit_idx ~tuple signo =
+  let nfoll = alive_followers t in
+  let nconsumers =
+    match t.pump_queues with
+    | None -> Ring.active_consumers t.rings.(tuple)
+    | Some _ -> nfoll
+  in
+  if nconsumers > 0 then begin
+    E.consume (publish_cost t Syscall_table.Stream nfoll);
+    stream_publish_k t tuple (fun () ->
+        let clockv = Lamport.tick vst.clocks.(tuple) in
+        Event.make ~kind:Event.Ev_signal ~tid:vst.unit_tid.(unit_idx)
+          ~clock:clockv signo);
+    vst.st.events_published <- vst.st.events_published + 1
+  end
+
+let interposed t vst ~unit_idx proc sysno args =
+  let tuple = tuple_of_unit vst unit_idx in
+  let t0 = E.now_cycles () in
+  (* Deliver pending caught signals at the interception boundary: the
+     leader streams an Ev_signal first so followers replay the handler at
+     the same point. *)
+  (if t.leader_idx = vst.idx && vst.promoted.(unit_idx) then
+     let rec drain () =
+       match K.take_pending_signal proc with
+       | None -> ()
+       | Some signo ->
+         leader_publish_signal t vst ~unit_idx ~tuple signo;
+         run_signal_handler proc signo;
+         drain ()
+     in
+     drain ());
+  let disp = Syscall_table.lookup vst.table sysno in
+  charge_interception t vst disp sysno;
+  let result =
+    match disp with
+    | Syscall_table.Local ->
+      vst.st.local_calls <- vst.st.local_calls + 1;
+      K.exec t.k proc sysno args
+    | Syscall_table.Unsupported ->
+      Logs.err (fun m ->
+          m "varan: unhandled system call %s in %s" (Sysno.name sysno)
+            vst.variant.Variant.v_name);
+      Args.err Errno.ENOSYS
+    | Syscall_table.Stream | Syscall_table.Virtual -> (
+      let leading = t.leader_idx = vst.idx && vst.promoted.(unit_idx) in
+      if leading then
+        leader_execute_and_record t vst ~unit_idx ~tuple proc disp sysno args
+      else begin
+        try follower_replay t vst ~unit_idx ~tuple proc disp sysno args
+        with Promote ->
+          do_promote t vst ~unit_idx ~tuple;
+          leader_execute_and_record t vst ~unit_idx ~tuple proc disp sysno
+            args
+      end)
+  in
+  vst.st.syscalls <- vst.st.syscalls + 1;
+  vst.st.sys_cycles <-
+    Int64.add vst.st.sys_cycles (Int64.sub (E.now_cycles ()) t0);
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Setup                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Build the variant's synthetic text segment and rewrite it, recording
+   the dispatch mix; also patch a vDSO image so interception covers the
+   virtual syscalls (§3.2.1). *)
+let prepare_image vst =
+  let p = vst.variant.Variant.profile in
+  let rng = Prng.create p.Variant.code_seed in
+  let code =
+    Codegen.profile_image rng ~code_bytes:p.Variant.code_bytes
+      ~syscall_share:p.Variant.syscall_share
+  in
+  let seg =
+    Image.make_segment ~name:(vst.variant.Variant.v_name ^ ".text") ~base:0
+      ~perm:Image.rx code
+  in
+  let _sites, stats = Rewriter.rewrite_segment seg in
+  vst.rewrite <- Some stats;
+  vst.trap_share_c1000 <-
+    (if stats.Rewriter.total_syscalls = 0 then 0
+     else stats.Rewriter.trap_sites * 1000 / stats.Rewriter.total_syscalls);
+  (* vDSO patching is shared across variants in the prototype; here we
+     patch per variant for the stats only. *)
+  let vdso_code, symbols =
+    Vdso.build (List.map (fun n -> (n, 0l)) Vdso.default_symbols)
+  in
+  ignore (Vdso.patch vdso_code symbols)
+
+(* Build the monitor-interposed API for one execution unit, including the
+   NVX fork hook (§3.3.3). *)
+let rec make_unit_api t vst ~unit_idx proc =
+  let api =
+    Api.with_sys proc (fun sysno args ->
+        interposed t vst ~unit_idx proc sysno args)
+  in
+  let scale =
+    vst.variant.Variant.compute_multiplier_c1000
+    * Cost.mem_slowdown_c1000 t.cost
+        ~intensity_c1000:vst.variant.Variant.mem_intensity_c1000
+        ~variants:(Array.length t.vstates)
+    / 1000
+  in
+  api.Api.compute_scale_c1000 <- scale;
+  api.Api.fork_child <- Some (fun body -> nvx_fork t vst ~unit_idx proc body);
+  (* Debuggability (§3.1): the monitor does not occupy the tracing slot,
+     so an strace wrapper composes with the interposed API. *)
+  let api =
+    if t.cfg.Config.trace_first_variant && vst.idx = 0 && unit_idx = 0
+       && t.tracer = None
+    then begin
+      let traced, tracer = Varan_kernel.Strace.attach api in
+      traced.Api.fork_child <- api.Api.fork_child;
+      t.tracer <- Some tracer;
+      traced
+    end
+    else api
+  in
+  vst.apis <- api :: vst.apis;
+  api
+
+(* fork(2) under NVX: the leader allocates a fresh tuple (ring buffer),
+   streams an Ev_fork event carrying the tuple id and the child pid, forks
+   its own child and waits for every live follower to subscribe to the new
+   ring before the child starts publishing; followers replay the event by
+   forking their own child subscribed to that ring (§3.3.3). *)
+and nvx_fork t vst ~unit_idx parent_proc body =
+  let tuple = tuple_of_unit vst unit_idx in
+  let child_name =
+    Printf.sprintf "%s.fork%d" vst.variant.Variant.v_name
+      (Array.length vst.unit_tuple)
+  in
+  let spawn_child_unit ~promoted ~new_tu child_proc ~pre =
+    let child_unit = new_unit vst ~tuple:new_tu ~tid:0 ~promoted in
+    let child_api = make_unit_api t vst ~unit_idx:child_unit child_proc in
+    let tid =
+      E.spawn_here ~name:child_name (fun () ->
+          try
+            pre ();
+            body child_api
+          with
+          | E.Killed -> ()
+          | exn -> handle_crash t vst exn)
+    in
+    K.register_task t.k child_proc tid
+  in
+  let leading = t.leader_idx = vst.idx && vst.promoted.(unit_idx) in
+  if leading then begin
+    let new_tu = new_tuple t in
+    let child_proc = K.fork_proc t.k parent_proc child_name in
+    E.consume (t.cost.Cost.native_base Sysno.Fork);
+    let nfoll = alive_followers t in
+    let nconsumers = Ring.active_consumers t.rings.(tuple) in
+    if nconsumers > 0 then begin
+      if t.waitlock_sleepers.(tuple) > 0 then
+        E.consume t.cost.Cost.waitlock_wake;
+      E.consume (publish_cost t Syscall_table.Stream nfoll);
+      stream_publish_k t tuple (fun () ->
+          let clockv = Lamport.tick vst.clocks.(tuple) in
+          Event.make ~kind:Event.Ev_fork ~tid:vst.unit_tid.(unit_idx)
+            ~args:[| new_tu |] ~ret:child_proc.Types.pid ~clock:clockv
+            (Sysno.to_int Sysno.Fork));
+      vst.st.events_published <- vst.st.events_published + 1
+    end;
+    (* "The leader then continues execution, but the coordinator waits
+       until all followers fork", so the child only starts once every
+       live follower has subscribed to the new ring. *)
+    let barrier () =
+      while t.tuple_ready.(new_tu) < alive_followers t do
+        E.Cond.wait t.ready_cond
+      done
+    in
+    spawn_child_unit ~promoted:true ~new_tu child_proc ~pre:barrier;
+    child_proc.Types.pid
+  end
+  else begin
+    match await_event t vst ~unit_idx ~tuple Sysno.Fork with
+    | exception Promote ->
+      do_promote t vst ~unit_idx ~tuple;
+      nvx_fork t vst ~unit_idx parent_proc body
+    | e ->
+      if e.Event.kind <> Event.Ev_fork then
+        raise
+          (Divergence_kill
+             "follower called fork but the leader streamed another event");
+      if t.cfg.Config.enforce_clock_order then
+        ignore (Lamport.try_advance vst.clocks.(tuple) e.Event.clock);
+      stream_advance t vst tuple;
+      E.consume t.cost.Cost.consume_event;
+      vst.st.events_consumed <- vst.st.events_consumed + 1;
+      let new_tu = e.Event.args.(0) in
+      let child_proc = K.fork_proc t.k parent_proc child_name in
+      E.consume (t.cost.Cost.native_base Sysno.Fork);
+      vst.consumer_ids.(new_tu) <- Ring.add_consumer t.rings.(new_tu);
+      t.tuple_ready.(new_tu) <- t.tuple_ready.(new_tu) + 1;
+      E.Cond.broadcast t.ready_cond;
+      spawn_child_unit ~promoted:false ~new_tu child_proc
+        ~pre:(fun () -> ());
+      e.Event.ret
+  end
+
+let start_units t vst =
+  let program = vst.variant.Variant.program in
+  let main_proc =
+    match vst.main_proc with Some p -> p | None -> assert false
+  in
+  let nunits = program.Variant.units in
+  vst.unit_procs <-
+    Array.init nunits (fun u ->
+        match program.Variant.unit_kind with
+        | Variant.Thread -> main_proc
+        | Variant.Process ->
+          if u = 0 then main_proc
+          else
+            K.fork_proc t.k main_proc
+              (Printf.sprintf "%s.worker%d" vst.variant.Variant.v_name u));
+  for u = 0 to nunits - 1 do
+    let proc = vst.unit_procs.(u) in
+    let api = make_unit_api t vst ~unit_idx:u proc in
+    let task_name =
+      Printf.sprintf "%s.unit%d" vst.variant.Variant.v_name u
+    in
+    let tid =
+      E.spawn_here ~name:task_name (fun () ->
+          try program.Variant.body ~unit_idx:u api with
+          | E.Killed -> ()
+          | exn -> handle_crash t vst exn)
+    in
+    K.register_task t.k proc tid
+  done
+
+let launch ?(config = Config.default) k variants =
+  if variants = [] then invalid_arg "Session.launch: no variants";
+  let variants = Array.of_list variants in
+  let shape = variants.(0).Variant.program in
+  Array.iter
+    (fun v ->
+      if
+        v.Variant.program.Variant.units <> shape.Variant.units
+        || v.Variant.program.Variant.unit_kind <> shape.Variant.unit_kind
+      then invalid_arg "Session.launch: variants have different unit shapes")
+    variants;
+  let ntuples =
+    match shape.Variant.unit_kind with
+    | Variant.Thread -> 1
+    | Variant.Process -> shape.Variant.units
+  in
+  let nvariants = Array.length variants in
+  let rings =
+    Array.init ntuples (fun i ->
+        Ring.create ~size:config.Config.ring_size (Printf.sprintf "ring%d" i))
+  in
+  let pump_queues =
+    match config.Config.streaming with
+    | Config.Shared_ring -> None
+    | Config.Event_pump ->
+      Some
+        (Array.init ntuples (fun tu ->
+             Array.init nvariants (fun v ->
+                 Ring.create ~size:config.Config.ring_size
+                   (Printf.sprintf "pump%d.%d" tu v))))
+  in
+  let vstates =
+    Array.mapi
+      (fun idx variant ->
+        {
+          idx;
+          variant;
+          vrole = (if idx = 0 then Leader else Follower);
+          main_proc = None;
+          unit_procs = [||];
+          consumer_ids = Array.make ntuples (-1);
+          clocks =
+            (match shape.Variant.unit_kind with
+            | Variant.Thread ->
+              let c = Lamport.create () in
+              Array.make ntuples c
+            | Variant.Process ->
+              Array.init ntuples (fun _ -> Lamport.create ()));
+          promoted = Array.make shape.Variant.units (idx = 0);
+          unit_tuple =
+            (match shape.Variant.unit_kind with
+            | Variant.Thread -> Array.make shape.Variant.units 0
+            | Variant.Process -> Array.init shape.Variant.units Fun.id);
+          unit_tid = Array.init shape.Variant.units Fun.id;
+          partial_consumed = Hashtbl.create 4;
+          alive = true;
+          table =
+            (if idx = 0 then Syscall_table.leader else Syscall_table.follower);
+          trap_share_c1000 = 0;
+          rewrite = None;
+          trap_acc = 0;
+          st = fresh_vstats ();
+          apis = [];
+        })
+      variants
+  in
+  let t =
+    {
+      k;
+      cfg = config;
+      cost = config.Config.cost;
+      pool = Pool.create ~pool_bytes:config.Config.pool_bytes ();
+      ntuples;
+      rings;
+      pump_queues;
+      vstates;
+      leader_idx = 0;
+      payload_refs = Hashtbl.create 64;
+      zygote = None;
+      crash_list = [];
+      max_lag = 0;
+      waitlock_sleepers = Array.make ntuples 0;
+      tuple_ready = Array.make ntuples 0;
+      ready_cond = E.Cond.create "fork-ready";
+      divergence_log = [];
+      divergence_log_len = 0;
+      tracer = None;
+    }
+  in
+  (* Register ring consumers for followers (and pump consumers). *)
+  (match pump_queues with
+  | None ->
+    Array.iter
+      (fun vst ->
+        if vst.idx <> 0 then
+          for tu = 0 to ntuples - 1 do
+            vst.consumer_ids.(tu) <- Ring.add_consumer rings.(tu)
+          done)
+      vstates
+  | Some pq ->
+    (* The pump is the only consumer of the leader's queues; followers
+       each consume their own queue (consumer id 0 by construction). *)
+    for tu = 0 to ntuples - 1 do
+      let pump_cid = Ring.add_consumer rings.(tu) in
+      Array.iter
+        (fun vst ->
+          if vst.idx <> 0 then begin
+            let cid = Ring.add_consumer pq.(tu).(vst.idx) in
+            assert (cid = 0);
+            vst.consumer_ids.(tu) <- cid
+          end)
+        vstates;
+      ignore
+        (E.spawn k.Types.eng ~name:(Printf.sprintf "event-pump%d" tu)
+           (fun () ->
+             let c = t.cost in
+             let rec loop () =
+               let e = Ring.consume rings.(tu) pump_cid in
+               E.consume c.Cost.consume_event;
+               Array.iter
+                 (fun vst ->
+                   if vst.idx <> t.leader_idx && vst.alive then begin
+                     E.consume c.Cost.publish_event;
+                     Ring.publish pq.(tu).(vst.idx) e
+                   end)
+                 vstates;
+               loop ()
+             in
+             loop ()))
+    done);
+  (* Coordinator: spawn the zygote, fork each variant through it, prepare
+     images and start execution units (Figure 2). *)
+  ignore
+    (E.spawn k.Types.eng ~name:"coordinator" (fun () ->
+         let launcher proc ~name =
+           match
+             Array.find_opt
+               (fun vst -> vst.variant.Variant.v_name = name)
+               vstates
+           with
+           | None -> ()
+           | Some vst ->
+             vst.main_proc <- Some proc;
+             prepare_image vst;
+             start_units t vst
+         in
+         let z = Zygote.spawn k ~launcher in
+         t.zygote <- Some z;
+         Array.iter
+           (fun vst ->
+             ignore (Zygote.fork_request z vst.variant.Variant.v_name))
+           vstates;
+         Zygote.shutdown z));
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let leader_index t = t.leader_idx
+let role_of t idx = t.vstates.(idx).vrole
+let is_alive t idx = t.vstates.(idx).alive
+
+let alive_count t =
+  Array.fold_left (fun n v -> if v.alive then n + 1 else n) 0 t.vstates
+
+let crashes t = List.rev t.crash_list
+let crash_log_nonempty t = t.crash_list <> []
+
+type variant_stats = {
+  vs_name : string;
+  vs_role : role;
+  vs_alive : bool;
+  vs_syscalls : int;
+  vs_local_calls : int;
+  vs_events_published : int;
+  vs_events_consumed : int;
+  vs_stall_blocks : int;
+  vs_stall_cycles : int64;
+  vs_wait_charge_cycles : int64;
+  vs_sys_cycles : int64;
+  vs_divergences_executed : int;
+  vs_divergences_skipped : int;
+  vs_divergences_coalesced : int;
+  vs_bpf_steps : int;
+  vs_jump_dispatches : int;
+  vs_trap_dispatches : int;
+  vs_vdso_dispatches : int;
+  vs_rewrite : Rewriter.stats option;
+}
+
+type stats = {
+  variants : variant_stats array;
+  rings : Ring.stats array;
+  pool : Pool.stats;
+  max_observed_lag : int;
+}
+
+let stats t =
+  {
+    variants =
+      Array.map
+        (fun vst ->
+          {
+            vs_name = vst.variant.Variant.v_name;
+            vs_role = vst.vrole;
+            vs_alive = vst.alive;
+            vs_syscalls = vst.st.syscalls;
+            vs_local_calls = vst.st.local_calls;
+            vs_events_published = vst.st.events_published;
+            vs_events_consumed = vst.st.events_consumed;
+            vs_stall_blocks = vst.st.stall_blocks;
+            vs_stall_cycles = vst.st.stall_cycles;
+            vs_wait_charge_cycles = vst.st.wait_charge_cycles;
+            vs_sys_cycles = vst.st.sys_cycles;
+            vs_divergences_executed = vst.st.divergences_executed;
+            vs_divergences_skipped = vst.st.divergences_skipped;
+            vs_divergences_coalesced = vst.st.divergences_coalesced;
+            vs_bpf_steps = vst.st.bpf_steps;
+            vs_jump_dispatches = vst.st.jump_dispatches;
+            vs_trap_dispatches = vst.st.trap_dispatches;
+            vs_vdso_dispatches = vst.st.vdso_dispatches;
+            vs_rewrite = vst.rewrite;
+          })
+        t.vstates;
+    rings = Array.map Ring.stats t.rings;
+    pool = Pool.stats t.pool;
+    max_observed_lag = t.max_lag;
+  }
+
+type divergence_entry = {
+  d_variant : string;
+  d_follower_call : string;
+  d_leader_event : string;
+  d_verdict : string;
+}
+
+let divergence_log t =
+  List.rev_map
+    (fun r ->
+      {
+        d_variant = r.dv_variant;
+        d_follower_call = r.dv_follower_call;
+        d_leader_event = r.dv_leader_event;
+        d_verdict = r.dv_verdict;
+      })
+    t.divergence_log
+
+let trace_lines t =
+  match t.tracer with
+  | Some tr -> Varan_kernel.Strace.lines tr
+  | None -> []
+
+let sample_lag t idx =
+  let vst = t.vstates.(idx) in
+  if vst.alive && idx <> t.leader_idx && vst.consumer_ids.(0) >= 0 then
+    stream_lag t vst 0
+  else 0
+
+let observe_lags t =
+  Array.iter
+    (fun vst ->
+      if vst.alive && vst.idx <> t.leader_idx && vst.consumer_ids.(0) >= 0
+      then t.max_lag <- max t.max_lag (stream_lag t vst 0))
+    t.vstates
+
+let tuple_ring (t : t) tu = t.rings.(tu)

@@ -1,0 +1,113 @@
+(** An N-version execution session — VARAN's core (§2, §3).
+
+    [launch] plays the coordinator's role from Figure 2: it creates the
+    shared-memory pool and ring buffers, spawns the {e zygote}, asks it to
+    fork one process per variant, builds each variant's synthetic text
+    segment and runs the {e selective binary rewriter} over it (recording
+    the jump/INT3 dispatch mix that interception costs draw from), patches
+    the vDSO, and finally starts every variant's execution units under a
+    monitor-interposed syscall API.
+
+    At run time the leader executes system calls against the simulated
+    kernel and streams events into the per-tuple ring buffers; followers
+    replay them, with Lamport-clock ordering across threads, BPF rewrite
+    rules on divergence, descriptor grants over the data channel, and
+    transparent failover when a variant crashes. *)
+
+type t
+
+type role = Leader | Follower
+
+exception Divergence_kill of string
+(** Raised inside a follower whose divergence was not permitted by its
+    rewrite rules; the monitor turns it into a crash notification. *)
+
+val launch :
+  ?config:Config.t -> Varan_kernel.Types.t -> Variant.t list -> t
+(** Set up and start the session. All variants' tasks are scheduled; the
+    caller then runs the engine. The first variant is the initial leader.
+    @raise Invalid_argument on an empty variant list or inconsistent unit
+    shapes. *)
+
+val leader_index : t -> int
+val role_of : t -> int -> role
+val is_alive : t -> int -> bool
+val alive_count : t -> int
+
+val crashes : t -> (int * string) list
+(** Variants that crashed, oldest first, with the exception text. *)
+
+val crash_log_nonempty : t -> bool
+
+(** {1 Statistics} *)
+
+type variant_stats = {
+  vs_name : string;
+  vs_role : role;
+  vs_alive : bool;
+  vs_syscalls : int;  (** calls through the interposed entry point *)
+  vs_local_calls : int;
+  vs_events_published : int;
+  vs_events_consumed : int;
+  vs_stall_blocks : int;  (** times a follower found the ring empty *)
+  vs_stall_cycles : int64;  (** virtual time spent waiting for events *)
+  vs_wait_charge_cycles : int64;
+      (** cycles charged by the waiting machinery itself (waitlock
+          block/wake, spin checks) *)
+  vs_sys_cycles : int64;  (** virtual time inside the syscall layer *)
+  vs_divergences_executed : int;  (** BPF verdict: follower-local call *)
+  vs_divergences_skipped : int;  (** BPF verdict: leader event dropped *)
+  vs_divergences_coalesced : int;
+      (** smaller follower writes served as slices of one buffered leader
+          write — the coalescing pattern of §2.3 *)
+  vs_bpf_steps : int;
+  vs_jump_dispatches : int;
+  vs_trap_dispatches : int;
+  vs_vdso_dispatches : int;
+  vs_rewrite : Varan_binary.Rewriter.stats option;
+}
+
+type stats = {
+  variants : variant_stats array;
+  rings : Varan_ringbuf.Ring.stats array;
+  pool : Varan_shmem.Pool.stats;
+  max_observed_lag : int;
+}
+
+val stats : t -> stats
+
+val sample_lag : t -> int -> int
+(** Current event lag of variant [idx] on its tuple-0 ring: the "distance
+    between the leader and the follower" measured in §5.3. *)
+
+val observe_lags : t -> unit
+(** Record the current lags into the running maximum (benchmarks call
+    this periodically). *)
+
+val trace_lines : t -> string list
+(** With {!Config.t.trace_first_variant} set: the strace-style trace of
+    variant 0's main unit, as observed {e through} the monitor. *)
+
+(** {1 Divergence audit log} *)
+
+type divergence_entry = {
+  d_variant : string;
+  d_follower_call : string;
+  d_leader_event : string;
+  d_verdict : string;
+}
+
+val divergence_log : t -> divergence_entry list
+(** The first 256 divergences resolved through rewrite rules, oldest
+    first — what a rule author inspects when tuning filters for a new
+    revision pair. *)
+
+(** {1 Hooks for the record-replay clients (§5.4)} *)
+
+val tuple_ring : t -> int -> Varan_ringbuf.Event.t Varan_ringbuf.Ring.t
+(** The shared ring of the given tuple (shared-ring mode). A recorder
+    registers as an extra consumer on it. *)
+
+val release_payload : t -> Varan_ringbuf.Event.t -> unit
+(** Drop one reader's reference to an event's shared-memory payload,
+    freeing the chunk when every reader has passed it. *)

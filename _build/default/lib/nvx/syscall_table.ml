@@ -1,0 +1,38 @@
+module Sysno = Varan_syscall.Sysno
+
+type disposition = Stream | Local | Virtual | Unsupported
+
+type t = {
+  tname : string;
+  entries : (Sysno.t, disposition) Hashtbl.t;
+}
+
+let name t = t.tname
+
+let lookup t sysno =
+  match Hashtbl.find_opt t.entries sysno with
+  | Some d -> d
+  | None -> Unsupported
+
+let disposition_of_class (sysno : Sysno.t) =
+  match Sysno.transfer_class sysno with
+  | Sysno.Process_local -> Local
+  | Sysno.Vdso -> Virtual
+  | Sysno.By_value | Sysno.Out_buffer | Sysno.In_buffer | Sysno.New_fd
+  | Sysno.Process_control ->
+    Stream
+
+let default_table tname =
+  let entries = Hashtbl.create 128 in
+  List.iter
+    (fun sysno -> Hashtbl.replace entries sysno (disposition_of_class sysno))
+    Sysno.all;
+  { tname; entries }
+
+let override t changes =
+  let entries = Hashtbl.copy t.entries in
+  List.iter (fun (sysno, d) -> Hashtbl.replace entries sysno d) changes;
+  { tname = t.tname ^ "+overrides"; entries }
+
+let leader = default_table "leader"
+let follower = default_table "follower"

@@ -1,0 +1,39 @@
+(** Internal system call tables (§3.2).
+
+    The syscall entry point consults a per-variant table to find the
+    handler for each call; the only difference between leader and follower
+    is which table is installed, and replacing a table is how a follower
+    is promoted during failover. Tables map each call to a disposition;
+    the monitor interprets the disposition according to its role. *)
+
+type disposition =
+  | Stream
+      (** leader: execute and record; follower: replay from the ring *)
+  | Local
+      (** process-local calls (mmap, brk, …): every variant executes its
+          own, nothing is streamed *)
+  | Virtual
+      (** vDSO calls: intercepted via entry-point patching; streamed with
+          the cheaper value-only event handling (§3.2.1) *)
+  | Unsupported
+      (** no handler installed — the prototype "emits an error message
+          when an unhandled system call is encountered" *)
+
+type t
+
+val name : t -> string
+val lookup : t -> Varan_syscall.Sysno.t -> disposition
+
+val default_table : string -> t
+(** Dispositions derived from each call's transfer class, covering all
+    implemented syscalls. *)
+
+val override : t -> (Varan_syscall.Sysno.t * disposition) list -> t
+(** A copy with some entries replaced — the equivalent of the prototype's
+    template-generated custom tables. *)
+
+val leader : t
+val follower : t
+(** The two stock tables. Dispositions are identical — the {e role}
+    interprets them — but they are distinct values so promotion can be
+    observed in tests and stats. *)

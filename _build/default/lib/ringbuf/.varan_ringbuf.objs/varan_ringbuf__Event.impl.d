@@ -1,0 +1,1 @@
+lib/ringbuf/event.ml: Array Bytes Format Obj Printf Varan_shmem

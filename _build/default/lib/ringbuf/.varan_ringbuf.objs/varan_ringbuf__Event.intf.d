@@ -1,0 +1,1 @@
+lib/ringbuf/event.mli: Bytes Format Obj Varan_shmem

@@ -1,0 +1,1 @@
+lib/ringbuf/ring.ml: Array List Printf Varan_sim

@@ -1,0 +1,1 @@
+lib/ringbuf/ring.mli:

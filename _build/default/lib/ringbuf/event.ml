@@ -1,0 +1,43 @@
+type kind = Ev_syscall | Ev_signal | Ev_fork | Ev_exit
+
+type t = {
+  kind : kind;
+  sysno : int;
+  tid : int;
+  args : int array;
+  ret : int;
+  clock : int;
+  payload : Varan_shmem.Pool.chunk option;
+  payload_len : int;
+  inline_out : Bytes.t option;
+  grant : Obj.t option;
+}
+
+let event_bytes = 64
+
+let max_inline_bytes = 48
+
+let make ?(kind = Ev_syscall) ?(tid = 0) ?(args = [||]) ?(ret = 0) ?payload
+    ?(payload_len = 0) ?inline_out ?grant ~clock sysno =
+  if Array.length args > 6 then
+    invalid_arg "Event.make: more than six register arguments";
+  (match inline_out with
+  | Some b when Bytes.length b > max_inline_bytes ->
+    invalid_arg "Event.make: inline payload exceeds the event size"
+  | _ -> ());
+  { kind; sysno; tid; args; ret; clock; payload; payload_len; inline_out; grant }
+
+let fits_inline e = e.payload = None
+
+let kind_name = function
+  | Ev_syscall -> "syscall"
+  | Ev_signal -> "signal"
+  | Ev_fork -> "fork"
+  | Ev_exit -> "exit"
+
+let pp ppf e =
+  Format.fprintf ppf "[%s nr=%d ret=%d clk=%d%s]" (kind_name e.kind) e.sysno
+    e.ret e.clock
+    (match e.payload with
+    | None -> ""
+    | Some _ -> Printf.sprintf " shm:%dB" e.payload_len)

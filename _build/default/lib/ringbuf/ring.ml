@@ -1,0 +1,161 @@
+module E = Varan_sim.Engine
+module Cond = E.Cond
+
+type consumer = { cid : int; mutable cursor : int; mutable active : bool }
+
+type stats = {
+  publishes : int;
+  consumes : int;
+  producer_stalls : int;
+  consumer_stalls : int;
+}
+
+type 'a t = {
+  rname : string;
+  slots : 'a option array;
+  mutable head : int; (* next sequence number to publish *)
+  mutable consumers : consumer list;
+  mutable next_cid : int;
+  not_empty : Cond.cond;
+  not_full : Cond.cond;
+  activity : Cond.cond;
+  mutable n_publishes : int;
+  mutable n_consumes : int;
+  mutable n_producer_stalls : int;
+  mutable n_consumer_stalls : int;
+}
+
+let create ?(size = 256) rname =
+  if size < 1 then invalid_arg "Ring.create: size must be positive";
+  {
+    rname;
+    slots = Array.make size None;
+    head = 0;
+    consumers = [];
+    next_cid = 0;
+    not_empty = Cond.create (rname ^ "-not-empty");
+    not_full = Cond.create (rname ^ "-not-full");
+    activity = Cond.create (rname ^ "-activity");
+    n_publishes = 0;
+    n_consumes = 0;
+    n_producer_stalls = 0;
+    n_consumer_stalls = 0;
+  }
+
+let size t = Array.length t.slots
+let name t = t.rname
+
+let add_consumer t =
+  let c = { cid = t.next_cid; cursor = t.head; active = true } in
+  t.next_cid <- t.next_cid + 1;
+  t.consumers <- c :: t.consumers;
+  c.cid
+
+let find_consumer t cid =
+  match List.find_opt (fun c -> c.cid = cid && c.active) t.consumers with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Ring %s: no consumer %d" t.rname cid)
+
+let remove_consumer t cid =
+  match List.find_opt (fun c -> c.cid = cid) t.consumers with
+  | None -> ()
+  | Some c ->
+    c.active <- false;
+    t.consumers <- List.filter (fun c -> c.cid <> cid) t.consumers;
+    (* The departed consumer may have been the one holding the ring full. *)
+    Cond.broadcast t.not_full
+
+let active_consumers t = List.length t.consumers
+
+let min_cursor t =
+  List.fold_left (fun acc c -> min acc c.cursor) t.head t.consumers
+
+let is_full t = t.head - min_cursor t >= Array.length t.slots
+
+let publish_now t v =
+  (* Slots behind every consumer are dead; overwriting implements the
+     paper's immediate deallocation of consumed events. *)
+  t.slots.(t.head mod Array.length t.slots) <- Some v;
+  t.head <- t.head + 1;
+  t.n_publishes <- t.n_publishes + 1;
+  Cond.broadcast t.not_empty;
+  Cond.broadcast t.activity
+
+let publish t v =
+  while is_full t do
+    t.n_producer_stalls <- t.n_producer_stalls + 1;
+    Cond.wait t.not_full
+  done;
+  publish_now t v
+
+let publish_k t make =
+  while is_full t do
+    t.n_producer_stalls <- t.n_producer_stalls + 1;
+    Cond.wait t.not_full
+  done;
+  (* No effects between the space check and the slot write: the claimed
+     sequence number and the caller's timestamp stay in order. *)
+  publish_now t (make ())
+
+let try_publish t v =
+  if is_full t then begin
+    t.n_producer_stalls <- t.n_producer_stalls + 1;
+    false
+  end
+  else begin
+    publish_now t v;
+    true
+  end
+
+let consume_now t c =
+  match t.slots.(c.cursor mod Array.length t.slots) with
+  | None -> assert false
+  | Some v ->
+    c.cursor <- c.cursor + 1;
+    t.n_consumes <- t.n_consumes + 1;
+    Cond.broadcast t.not_full;
+    Cond.broadcast t.activity;
+    v
+
+let consume t cid =
+  let c = find_consumer t cid in
+  while c.cursor >= t.head do
+    t.n_consumer_stalls <- t.n_consumer_stalls + 1;
+    Cond.wait t.not_empty
+  done;
+  consume_now t c
+
+let try_consume t cid =
+  let c = find_consumer t cid in
+  if c.cursor >= t.head then begin
+    t.n_consumer_stalls <- t.n_consumer_stalls + 1;
+    None
+  end
+  else Some (consume_now t c)
+
+let peek t cid =
+  let c = find_consumer t cid in
+  if c.cursor >= t.head then None
+  else t.slots.(c.cursor mod Array.length t.slots)
+
+let lag t cid =
+  let c = find_consumer t cid in
+  t.head - c.cursor
+
+let published t = t.head
+
+let stats t =
+  {
+    publishes = t.n_publishes;
+    consumes = t.n_consumes;
+    producer_stalls = t.n_producer_stalls;
+    consumer_stalls = t.n_consumer_stalls;
+  }
+
+let wait_activity t = Cond.wait t.activity
+let wait_activity_timeout t cycles = Cond.wait_timeout t.activity cycles
+
+let poke t =
+  Cond.broadcast t.not_empty;
+  Cond.broadcast t.not_full;
+  Cond.broadcast t.activity

@@ -1,0 +1,82 @@
+(** Disruptor-style shared ring buffer (§3.3.1 of the paper).
+
+    One producer (the leader) and any number of consumers (followers)
+    share a fixed-size ring. The producer may not overwrite a slot some
+    consumer has not read yet, so it stalls when the ring is full — this
+    is the backpressure that makes a slow follower eventually slow the
+    leader down. Consumers stall when they are caught up; the NVX layer
+    chooses whether a stall busy-waits or blocks on a waitlock and charges
+    cycles accordingly — the ring only counts the stalls.
+
+    Events are deallocated as soon as every consumer has passed them
+    (the paper's in-memory log is fixed size), so the ring also reports
+    each consumer's {e lag}, used by the live-sanitization experiment. *)
+
+type 'a t
+
+val create : ?size:int -> string -> 'a t
+(** [size] defaults to 256 events, the prototype's default. *)
+
+val size : 'a t -> int
+val name : 'a t -> string
+
+val add_consumer : 'a t -> int
+(** Register a consumer starting at the current head (it will only see
+    events published after this call). Returns its consumer id. *)
+
+val remove_consumer : 'a t -> int -> unit
+(** Unsubscribe (e.g. a crashed follower, §5.1): its cursor no longer
+    holds back the producer. *)
+
+val active_consumers : 'a t -> int
+
+val publish : 'a t -> 'a -> unit
+(** Append one event; blocks while the ring is full. *)
+
+val publish_k : 'a t -> (unit -> 'a) -> unit
+(** [publish_k t make] waits for space, then runs [make] and publishes
+    its result with no interleaving point in between — used by leaders
+    whose event must carry a Lamport timestamp taken atomically with the
+    slot claim (§3.3.3). [make] must not block. *)
+
+val try_publish : 'a t -> 'a -> bool
+(** Non-blocking variant; [false] when full. *)
+
+val consume : 'a t -> int -> 'a
+(** [consume ring cid] returns the next unread event for consumer [cid],
+    blocking while none is available. *)
+
+val try_consume : 'a t -> int -> 'a option
+
+val peek : 'a t -> int -> 'a option
+(** Next unread event without advancing. *)
+
+val lag : 'a t -> int -> int
+(** Events published but not yet read by this consumer. *)
+
+val published : 'a t -> int
+(** Total events ever published. *)
+
+val wait_activity_timeout : 'a t -> int -> bool
+(** [wait_activity_timeout t cycles] waits for activity for at most the
+    given budget; [false] on timeout. The adaptive-spin phase of the
+    waitlock protocol (§3.3.1). *)
+
+val wait_activity : 'a t -> unit
+(** Block until something happens on the ring — a publish, a consume or a
+    {!poke}. Used by follower threads waiting for a sibling to take the
+    head event, and by the failover path. *)
+
+val poke : 'a t -> unit
+(** Wake everyone blocked on the ring (publishers, consumers and
+    {!wait_activity} waiters) so they can re-examine shared state — the
+    coordinator uses this during leader replacement (§3.3.2). *)
+
+type stats = {
+  publishes : int;
+  consumes : int;
+  producer_stalls : int;  (** publisher found the ring full *)
+  consumer_stalls : int;  (** a consumer found the ring empty *)
+}
+
+val stats : 'a t -> stats

@@ -1,0 +1,1 @@
+lib/shmem/pool.ml: Array Bytes

@@ -1,0 +1,1 @@
+lib/shmem/pool.mli: Bytes

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Effect Hashtbl Int64 List Printf Queue

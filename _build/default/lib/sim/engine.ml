@@ -1,0 +1,416 @@
+type task_id = int
+
+exception Deadlock of string list
+exception Killed
+
+type task_state = Runnable | Blocked | Finished | Dead
+
+type task = {
+  id : task_id;
+  name : string;
+  mutable time : int64; (* local virtual clock, cycles *)
+  mutable state : task_state;
+  (* Set while the task is parked on a condition variable (no scheduled
+     resumption exists): given a wake time, schedule a [discontinue Killed]
+     so the fiber unwinds. Cleared on resume. *)
+  mutable on_kill : (int64 -> unit) option;
+  mutable killed : bool;
+}
+
+type entry = {
+  etime : int64;
+  eseq : int;
+  mutable cancelled : bool;
+  run : unit -> unit;
+}
+
+module Heap = struct
+  (* Binary min-heap on (etime, eseq); eseq breaks ties FIFO so execution
+     order is deterministic. *)
+  type t = { mutable a : entry array; mutable len : int }
+
+  let dummy = { etime = 0L; eseq = 0; cancelled = true; run = ignore }
+  let create () = { a = Array.make 256 dummy; len = 0 }
+  let lt x y = x.etime < y.etime || (x.etime = y.etime && x.eseq < y.eseq)
+
+  let push h e =
+    if h.len = Array.length h.a then begin
+      let bigger = Array.make (2 * h.len) dummy in
+      Array.blit h.a 0 bigger 0 h.len;
+      h.a <- bigger
+    end;
+    h.a.(h.len) <- e;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && lt h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.len <- h.len - 1;
+      h.a.(0) <- h.a.(h.len);
+      h.a.(h.len) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && lt h.a.(l) h.a.(!smallest) then smallest := l;
+        if r < h.len && lt h.a.(r) h.a.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.a.(!smallest) in
+          h.a.(!smallest) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+type cond_waiter = {
+  w_task : task;
+  mutable w_claimed : bool;
+  w_wake : int64 -> unit; (* schedule resumption at the given wake time *)
+}
+
+type cond = { c_name : string; c_waiters : cond_waiter Queue.t }
+
+type t = {
+  heap : Heap.t;
+  mutable seq : int;
+  mutable next_id : task_id;
+  tasks : (task_id, task) Hashtbl.t;
+  mutable global_time : int64;
+  mutable failure_list : (task_id * exn) list; (* reversed *)
+}
+
+type _ Effect.t +=
+  | E_consume : int -> unit Effect.t
+  | E_sleep : int -> unit Effect.t
+  | E_now : int64 Effect.t
+  | E_self : task_id Effect.t
+  | E_spawn : (string option * (unit -> unit)) -> task_id Effect.t
+  | E_kill : task_id -> unit Effect.t
+  | E_yield : unit Effect.t
+  | E_wait : cond -> unit Effect.t
+  | E_wait_timeout : (cond * int) -> bool Effect.t
+  | E_signal : cond -> unit Effect.t
+  | E_broadcast : cond -> unit Effect.t
+
+let create () =
+  {
+    heap = Heap.create ();
+    seq = 0;
+    next_id = 0;
+    tasks = Hashtbl.create 64;
+    global_time = 0L;
+    failure_list = [];
+  }
+
+let schedule t time run =
+  let e = { etime = time; eseq = t.seq; cancelled = false; run } in
+  t.seq <- t.seq + 1;
+  Heap.push t.heap e;
+  e
+
+let now t = t.global_time
+
+let task_name t id =
+  match Hashtbl.find_opt t.tasks id with Some task -> task.name | None -> "?"
+
+let is_alive t id =
+  match Hashtbl.find_opt t.tasks id with
+  | Some task -> task.state <> Finished && task.state <> Dead
+  | None -> false
+
+let failures t = List.rev t.failure_list
+
+let max64 a b : int64 = if a > b then a else b
+
+(* Wake one claimable waiter of [c] at a time not before [at]. *)
+let signal_at c at =
+  let rec pop () =
+    if not (Queue.is_empty c.c_waiters) then begin
+      let w = Queue.pop c.c_waiters in
+      if w.w_claimed || w.w_task.state = Dead then pop ()
+      else begin
+        w.w_claimed <- true;
+        w.w_wake (max64 at w.w_task.time)
+      end
+    end
+  in
+  pop ()
+
+let broadcast_at c at =
+  let pending = Queue.copy c.c_waiters in
+  Queue.clear c.c_waiters;
+  Queue.iter
+    (fun w ->
+      if (not w.w_claimed) && w.w_task.state <> Dead then begin
+        w.w_claimed <- true;
+        w.w_wake (max64 at w.w_task.time)
+      end)
+    pending
+
+let rec make_fiber : t -> task -> (unit -> unit) -> unit =
+ fun t task f ->
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> if task.state <> Dead then task.state <- Finished);
+      exnc =
+        (fun e ->
+          match e with
+          | Killed -> task.state <- Dead
+          | e ->
+            t.failure_list <- (task.id, e) :: t.failure_list;
+            task.state <- Dead);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_consume n ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if task.killed then discontinue k Killed
+                else begin
+                  task.time <- Int64.add task.time (Int64.of_int n);
+                  ignore
+                    (schedule t task.time (fun () ->
+                         if task.killed then discontinue k Killed
+                         else continue k ()))
+                end)
+          | E_sleep n ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if task.killed then discontinue k Killed
+                else begin
+                  task.state <- Blocked;
+                  let wake = Int64.add task.time (Int64.of_int n) in
+                  ignore
+                    (schedule t wake (fun () ->
+                         if task.killed then discontinue k Killed
+                         else begin
+                           task.state <- Runnable;
+                           task.time <- wake;
+                           continue k ()
+                         end))
+                end)
+          | E_now -> Some (fun k -> continue k task.time)
+          | E_self -> Some (fun k -> continue k task.id)
+          | E_spawn (name, body) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if task.killed then discontinue k Killed
+                else begin
+                  let id = spawn_internal t ?name ~at:task.time body in
+                  continue k id
+                end)
+          | E_kill victim ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                kill_internal t ~at:task.time victim;
+                if task.killed then discontinue k Killed else continue k ())
+          | E_yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if task.killed then discontinue k Killed
+                else
+                  ignore
+                    (schedule t task.time (fun () ->
+                         if task.killed then discontinue k Killed
+                         else continue k ())))
+          | E_wait c ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if task.killed then discontinue k Killed
+                else begin
+                  task.state <- Blocked;
+                  let waiter =
+                    {
+                      w_task = task;
+                      w_claimed = false;
+                      w_wake =
+                        (fun at ->
+                          (* Disarm immediately: a kill arriving between
+                             this wake being scheduled and running must
+                             not discontinue the same continuation. *)
+                          task.on_kill <- None;
+                          ignore
+                            (schedule t at (fun () ->
+                                 if task.killed then discontinue k Killed
+                                 else begin
+                                   task.state <- Runnable;
+                                   task.time <- max64 at task.time;
+                                   continue k ()
+                                 end)));
+                    }
+                  in
+                  Queue.push waiter c.c_waiters;
+                  task.on_kill <-
+                    Some
+                      (fun at ->
+                        waiter.w_claimed <- true;
+                        ignore
+                          (schedule t at (fun () -> discontinue k Killed)))
+                end)
+          | E_wait_timeout (c, cycles) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if task.killed then discontinue k Killed
+                else begin
+                  task.state <- Blocked;
+                  let settled = ref false in
+                  let resume signalled at =
+                    if task.killed then discontinue k Killed
+                    else begin
+                      task.state <- Runnable;
+                      task.time <- max64 at task.time;
+                      continue k signalled
+                    end
+                  in
+                  let waiter =
+                    {
+                      w_task = task;
+                      w_claimed = false;
+                      w_wake =
+                        (fun at ->
+                          settled := true;
+                          task.on_kill <- None;
+                          ignore (schedule t at (fun () -> resume true at)));
+                    }
+                  in
+                  Queue.push waiter c.c_waiters;
+                  let deadline = Int64.add task.time (Int64.of_int cycles) in
+                  ignore
+                    (schedule t deadline (fun () ->
+                         if (not !settled) && not waiter.w_claimed then begin
+                           settled := true;
+                           waiter.w_claimed <- true;
+                           task.on_kill <- None;
+                           resume false deadline
+                         end));
+                  task.on_kill <-
+                    Some
+                      (fun at ->
+                        settled := true;
+                        waiter.w_claimed <- true;
+                        ignore
+                          (schedule t at (fun () -> discontinue k Killed)))
+                end)
+          | E_signal c ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if task.killed then discontinue k Killed
+                else begin
+                  signal_at c task.time;
+                  continue k ()
+                end)
+          | E_broadcast c ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if task.killed then discontinue k Killed
+                else begin
+                  broadcast_at c task.time;
+                  continue k ()
+                end)
+          | _ -> None);
+    }
+
+and spawn_internal : t -> ?name:string -> at:int64 -> (unit -> unit) -> task_id
+    =
+ fun t ?name ~at body ->
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "task-%d" id
+  in
+  let task =
+    { id; name; time = at; state = Runnable; on_kill = None; killed = false }
+  in
+  Hashtbl.replace t.tasks id task;
+  ignore
+    (schedule t at (fun () ->
+         if task.killed || task.state = Dead then task.state <- Dead
+         else make_fiber t task body));
+  id
+
+and kill_internal t ~at victim_id =
+  match Hashtbl.find_opt t.tasks victim_id with
+  | None -> ()
+  | Some victim ->
+    if victim.state <> Finished && victim.state <> Dead then begin
+      victim.killed <- true;
+      match victim.on_kill with
+      | Some disc ->
+        victim.on_kill <- None;
+        victim.state <- Dead;
+        disc (max64 at victim.time)
+      | None ->
+        (* Running, queued, or not yet started: the flag is checked at the
+           next scheduled resumption / effect point. *)
+        ()
+    end
+
+let spawn t ?name body = spawn_internal t ?name ~at:t.global_time body
+
+let blocked_task_names t =
+  Hashtbl.fold
+    (fun _ task acc ->
+      match task.state with
+      | Runnable | Blocked -> task.name :: acc
+      | Finished | Dead -> acc)
+    t.tasks []
+
+let drain t =
+  let rec loop () =
+    match Heap.pop t.heap with
+    | None -> ()
+    | Some e ->
+      if not e.cancelled then begin
+        if e.etime > t.global_time then t.global_time <- e.etime;
+        e.run ()
+      end;
+      loop ()
+  in
+  loop ()
+
+let run t =
+  drain t;
+  let leftover = blocked_task_names t in
+  if leftover <> [] then raise (Deadlock (List.sort compare leftover))
+
+let run_until_quiescent t = drain t
+
+(* Task-context wrappers. *)
+let consume n = if n > 0 then Effect.perform (E_consume n)
+let sleep n = Effect.perform (E_sleep (max n 0))
+let now_cycles () = Effect.perform E_now
+let self () = Effect.perform E_self
+let spawn_here ?name body = Effect.perform (E_spawn (name, body))
+let kill t id = kill_internal t ~at:t.global_time id
+let kill_here id = Effect.perform (E_kill id)
+let yield () = Effect.perform E_yield
+
+module Cond = struct
+  type nonrec cond = cond
+
+  let create name = { c_name = name; c_waiters = Queue.create () }
+  let wait c = Effect.perform (E_wait c)
+  let wait_timeout c cycles = Effect.perform (E_wait_timeout (c, cycles))
+  let signal c = Effect.perform (E_signal c)
+  let broadcast c = Effect.perform (E_broadcast c)
+
+  let waiters c =
+    Queue.fold (fun n w -> if w.w_claimed then n else n + 1) 0 c.c_waiters
+
+  let _name c = c.c_name
+end

@@ -1,0 +1,108 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine runs cooperative {e tasks} — OCaml 5 effect-based fibers —
+    over a virtual clock measured in CPU cycles. A task runs uninterrupted
+    OCaml code between {e effect points} (consuming cycles, blocking,
+    sleeping); at every effect point the engine requeues it and resumes the
+    globally earliest task, so shared-state interleavings are totally
+    ordered by virtual time and, on ties, by task creation order. This makes
+    every simulation bit-for-bit reproducible.
+
+    The kernel, ring buffer and NVX monitors are all built as ordinary
+    OCaml data structures manipulated by tasks at effect points. *)
+
+type t
+(** A simulation engine instance. *)
+
+type task_id = private int
+(** Stable identifier for a spawned task. *)
+
+exception Deadlock of string list
+(** Raised by {!run} when no task is runnable but some are still blocked;
+    carries the names of the blocked tasks. *)
+
+exception Killed
+(** Raised inside a task that is being killed, so that it can unwind. *)
+
+val create : unit -> t
+
+val spawn : t -> ?name:string -> (unit -> unit) -> task_id
+(** [spawn t f] registers a new task executing [f], runnable at the current
+    global virtual time. May be called from inside or outside a running
+    simulation. *)
+
+val run : t -> unit
+(** Run until every task has finished. @raise Deadlock if tasks remain
+    blocked with nothing runnable. Uncaught task exceptions propagate out
+    of [run] after being recorded. *)
+
+val run_until_quiescent : t -> unit
+(** Like {!run} but treats remaining blocked tasks as acceptable (they are
+    simply abandoned); used by benchmarks whose servers block in [accept]
+    forever once the clients are done. *)
+
+val now : t -> int64
+(** Global high-water virtual time, in cycles. *)
+
+val kill : t -> task_id -> unit
+(** Forcibly terminate a task: if blocked or queued it is discarded; if it
+    is the caller, {!Killed} is raised at the next effect point. Used to
+    model variant crashes and teardown. *)
+
+val is_alive : t -> task_id -> bool
+
+val task_name : t -> task_id -> string
+
+val failures : t -> (task_id * exn) list
+(** Tasks that terminated with an uncaught exception, oldest first. *)
+
+(** {1 Task-context operations}
+
+    These must be called from inside a running task; calling them outside a
+    simulation raises [Effect.Unhandled]. *)
+
+val consume : int -> unit
+(** [consume cycles] advances the calling task's local clock. This is the
+    only way simulated computation takes time. *)
+
+val sleep : int -> unit
+(** Block for the given number of cycles. *)
+
+val now_cycles : unit -> int64
+(** The calling task's local virtual time. *)
+
+val self : unit -> task_id
+
+val spawn_here : ?name:string -> (unit -> unit) -> task_id
+(** Spawn a sibling task from inside a task, runnable at the caller's
+    current local time. *)
+
+val kill_here : task_id -> unit
+(** Kill another task from inside a task. *)
+
+val yield : unit -> unit
+(** Requeue at the same time, letting equal-time tasks run. *)
+
+(** {1 Condition variables} *)
+
+module Cond : sig
+  type cond
+  (** A broadcast/signal rendezvous. Waiters park their continuation; a
+      signaller wakes them at [max (signal time, waiter time)]. *)
+
+  val create : string -> cond
+  val wait : cond -> unit
+  (** Park until signalled. *)
+
+  val wait_timeout : cond -> int -> bool
+  (** [wait_timeout c cycles] parks until signalled or until [cycles] have
+      elapsed; returns [true] if signalled, [false] on timeout. *)
+
+  val signal : cond -> unit
+  (** Wake the oldest waiter, if any. *)
+
+  val broadcast : cond -> unit
+  (** Wake every current waiter. *)
+
+  val waiters : cond -> int
+end

@@ -1,0 +1,1 @@
+lib/syscall/args.ml: Array Bytes Errno Format Obj Printf String

@@ -1,0 +1,1 @@
+lib/syscall/args.mli: Bytes Errno Format Obj

@@ -1,0 +1,1 @@
+lib/syscall/errno.ml: Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/syscall/errno.mli: Format

@@ -1,0 +1,1 @@
+lib/syscall/sysno.ml: Format Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/syscall/sysno.mli: Format

@@ -1,0 +1,53 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g =
+  let s = next_int64 g in
+  { state = s }
+
+let copy g = { state = g.state }
+
+let int g bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value fits OCaml's 63-bit int non-negatively. *)
+  let r = Int64.to_int (Int64.logand (next_int64 g) 0x3FFF_FFFF_FFFF_FFFFL) in
+  r mod bound
+
+let int_in g lo hi =
+  assert (lo <= hi);
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  (* 53 random bits scaled into [0,1) *)
+  r /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let exponential g mean =
+  let u = float g 1.0 in
+  (* Avoid log 0. *)
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))

@@ -1,0 +1,67 @@
+let mean xs =
+  assert (xs <> []);
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let sorted xs = List.sort compare xs
+
+let median_sorted a =
+  let n = Array.length a in
+  assert (n > 0);
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let median xs = median_sorted (Array.of_list (sorted xs))
+
+let percentile_sorted p a =
+  let n = Array.length a in
+  assert (n > 0);
+  if p <= 0.0 then a.(0)
+  else if p >= 100.0 then a.(n - 1)
+  else begin
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let percentile p xs = percentile_sorted p (Array.of_list (sorted xs))
+
+let stddev xs =
+  let m = mean xs in
+  let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+  sqrt (sq /. float_of_int (List.length xs))
+
+let min_max xs =
+  assert (xs <> []);
+  let f (lo, hi) x = (Stdlib.min lo x, Stdlib.max hi x) in
+  match xs with
+  | [] -> assert false
+  | x :: rest -> List.fold_left f (x, x) rest
+
+type summary = {
+  n : int;
+  mean : float;
+  median : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p95 : float;
+  p99 : float;
+}
+
+let summarize xs =
+  assert (xs <> []);
+  let a = Array.of_list (sorted xs) in
+  let lo = a.(0) and hi = a.(Array.length a - 1) in
+  {
+    n = Array.length a;
+    mean = mean xs;
+    median = median_sorted a;
+    stddev = stddev xs;
+    min = lo;
+    max = hi;
+    p95 = percentile_sorted 95.0 a;
+    p99 = percentile_sorted 99.0 a;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.2f median=%.2f stddev=%.2f min=%.2f max=%.2f p95=%.2f p99=%.2f"
+    s.n s.mean s.median s.stddev s.min s.max s.p95 s.p99

@@ -1,0 +1,101 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string option;
+  header : string list;
+  aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title columns =
+  {
+    title;
+    header = List.map fst columns;
+    aligns = Array.of_list (List.map snd columns);
+    rows = [];
+  }
+
+let ncols t = List.length t.header
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > ncols t then invalid_arg "Tablefmt.add_row: too many cells";
+  let padded = cells @ List.init (ncols t - n) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.header) in
+  let update_widths = function
+    | Rule -> ()
+    | Cells cs ->
+      List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cs
+  in
+  List.iter update_widths rows;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let emit_cells ?(aligns = t.aligns) cs =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad aligns.(i) widths.(i) c))
+      cs;
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (Array.length widths - 1))
+  in
+  let emit_rule () =
+    Buffer.add_string buf (String.make total_width '-');
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | None -> ()
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n');
+  let header_aligns = Array.make (ncols t) Left in
+  emit_cells ~aligns:header_aligns t.header;
+  emit_rule ();
+  List.iter (function Rule -> emit_rule () | Cells cs -> emit_cells cs) rows;
+  Buffer.contents buf
+
+let csv_cell c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then begin
+    let buf = Buffer.create (String.length c + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+        if ch = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf ch)
+      c;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else c
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  let emit cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  emit t.header;
+  List.iter
+    (function Rule -> () | Cells cs -> emit cs)
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let ratio r = Printf.sprintf "%.2fx" r
+let pct p = Printf.sprintf "%.1f%%" (p *. 100.0)

@@ -1,0 +1,36 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The harness prints one table per paper table/figure; this module keeps
+    the layout logic (column widths, alignment, rules) in one place. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given header cells and
+    per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row. Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val add_rule : t -> unit
+(** Append a horizontal rule (drawn as dashes). *)
+
+val render : t -> string
+(** Render to a string, ready for [print_string]. *)
+
+val to_csv : t -> string
+(** RFC-4180-style CSV: the header row then every data row (rules are
+    skipped); cells containing commas, quotes or newlines are quoted. *)
+
+val print : t -> unit
+(** [render] then print to stdout with a trailing newline. *)
+
+val ratio : float -> string
+(** Format an overhead ratio the way the paper does: ["1.52x"]. *)
+
+val pct : float -> string
+(** Format an overhead as a percentage: 0.113 becomes ["11.3%"]. *)

@@ -1,0 +1,1 @@
+lib/vclock/lamport.ml:

@@ -1,0 +1,17 @@
+type t = { mutable value : int }
+
+let create () = { value = 0 }
+let current t = t.value
+
+let tick t =
+  t.value <- t.value + 1;
+  t.value
+
+let try_advance t stamp =
+  if t.value = stamp - 1 then begin
+    t.value <- stamp;
+    true
+  end
+  else false
+
+let force t v = t.value <- v

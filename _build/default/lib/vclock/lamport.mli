@@ -1,0 +1,29 @@
+(** Lamport clocks for multi-threaded event ordering (§3.3.3).
+
+    Each variant has one internal clock shared by all of its threads. A
+    leader thread increments the variant clock when it writes an event to
+    its ring and attaches the new value as the event's timestamp. A
+    follower thread may only process an event when its variant clock has
+    reached the event's predecessor — i.e. [current clock = timestamp - 1]
+    — which enforces the leader's happens-before order across the
+    follower's threads and prevents the divergence of Figure 3. *)
+
+type t
+
+val create : unit -> t
+(** Clock at 0. *)
+
+val current : t -> int
+
+val tick : t -> int
+(** Leader side: increment and return the new value (the timestamp to
+    attach to the event being published). *)
+
+val try_advance : t -> int -> bool
+(** Follower side: [try_advance t stamp] succeeds (and bumps the clock to
+    [stamp]) iff [current t = stamp - 1]; otherwise the caller must wait
+    for the sibling thread that owns the earlier event. *)
+
+val force : t -> int -> unit
+(** Set the clock outright — used when a follower is promoted to leader
+    and must adopt the stream position (§3.3.2). *)

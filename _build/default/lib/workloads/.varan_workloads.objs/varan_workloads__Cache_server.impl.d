@@ -1,0 +1,1 @@
+lib/workloads/cache_server.ml: Api Bytes Hashtbl Printf Server_core String Varan_kernel

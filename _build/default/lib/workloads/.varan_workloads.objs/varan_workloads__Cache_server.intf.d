@@ -1,0 +1,1 @@
+lib/workloads/cache_server.mli: Api Bytes Varan_kernel

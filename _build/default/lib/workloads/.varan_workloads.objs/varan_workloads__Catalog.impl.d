@@ -1,0 +1,1 @@
+lib/workloads/catalog.ml: Bytes Cache_server Clients Http_server Kv_server Printf Queue_server String Varan_kernel Varan_nvx Varan_util Workload

@@ -1,0 +1,1 @@
+lib/workloads/clients.ml: Api Bytes Int64 Printf Proto Varan_cycles Varan_kernel Varan_sim Varan_syscall Varan_util

@@ -1,0 +1,1 @@
+lib/workloads/clients.mli: Bytes Types Varan_cycles Varan_kernel

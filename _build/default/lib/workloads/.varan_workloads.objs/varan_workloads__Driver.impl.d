@@ -1,0 +1,1 @@
+lib/workloads/driver.ml: Array Clients Int64 List Printf Spec Varan_cycles Varan_kernel Varan_nvx Varan_sim Workload

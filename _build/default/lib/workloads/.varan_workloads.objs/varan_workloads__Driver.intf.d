@@ -1,0 +1,1 @@
+lib/workloads/driver.mli: Spec Varan_nvx Workload

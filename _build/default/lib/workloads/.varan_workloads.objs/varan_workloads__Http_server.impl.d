@@ -1,0 +1,1 @@
+lib/workloads/http_server.ml: Api Bytes Server_core String Varan_kernel Varan_syscall

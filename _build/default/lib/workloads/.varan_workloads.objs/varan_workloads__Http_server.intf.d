@@ -1,0 +1,1 @@
+lib/workloads/http_server.mli: Api Bytes Varan_kernel

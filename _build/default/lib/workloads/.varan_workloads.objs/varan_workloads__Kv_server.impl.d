@@ -1,0 +1,1 @@
+lib/workloads/kv_server.ml: Api Bytes Hashtbl List Server_core String Varan_kernel Varan_syscall

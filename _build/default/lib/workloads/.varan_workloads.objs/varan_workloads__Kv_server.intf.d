@@ -1,0 +1,1 @@
+lib/workloads/kv_server.mli: Api Bytes Varan_kernel

@@ -1,0 +1,1 @@
+lib/workloads/proto.ml: Api Bytes Int32 Option Result Varan_kernel Varan_syscall

@@ -1,0 +1,1 @@
+lib/workloads/proto.mli: Api Bytes Varan_kernel Varan_syscall

@@ -1,0 +1,1 @@
+lib/workloads/queue_server.ml: Api Bytes Printf Queue Server_core String Varan_kernel Varan_syscall

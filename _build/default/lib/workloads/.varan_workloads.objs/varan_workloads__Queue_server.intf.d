@@ -1,0 +1,1 @@
+lib/workloads/queue_server.mli: Api Bytes Varan_kernel

@@ -1,0 +1,1 @@
+lib/workloads/revisions.ml: Api Http_server Kv_server String Varan_bpf Varan_kernel Varan_nvx Varan_syscall Vfs

@@ -1,0 +1,1 @@
+lib/workloads/revisions.mli: Varan_bpf Varan_kernel Varan_nvx

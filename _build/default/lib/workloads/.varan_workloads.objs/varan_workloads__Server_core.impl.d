@@ -1,0 +1,1 @@
+lib/workloads/server_core.ml: Api Bytes List Printf Proto Varan_kernel Varan_syscall

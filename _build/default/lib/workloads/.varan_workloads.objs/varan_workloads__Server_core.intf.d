@@ -1,0 +1,1 @@
+lib/workloads/server_core.mli: Api Bytes Varan_kernel

@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Api Hashtbl String Varan_kernel Varan_nvx Varan_syscall Vfs

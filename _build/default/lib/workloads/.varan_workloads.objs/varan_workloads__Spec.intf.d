@@ -1,0 +1,1 @@
+lib/workloads/spec.mli: Varan_kernel Varan_nvx

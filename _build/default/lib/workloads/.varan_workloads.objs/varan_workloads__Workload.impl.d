@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Clients Varan_bpf Varan_kernel Varan_nvx

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Clients Varan_bpf Varan_kernel Varan_nvx

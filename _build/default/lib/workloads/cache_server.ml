@@ -1,0 +1,51 @@
+open Varan_kernel
+
+type config = {
+  port : int;
+  units : int;
+  work_cycles : int;
+  expected_conns : int;
+}
+
+let set_cmd key value =
+  let prefix = Printf.sprintf "set %s %d " key (Bytes.length value) in
+  Bytes.cat (Bytes.of_string prefix) value
+
+let get_cmd key = Bytes.of_string ("get " ^ key)
+
+let handle cfg store api req =
+  Api.compute api cfg.work_cycles;
+  (* memcached stamps items with the current time on every command. *)
+  ignore (Api.time api);
+  let text = Bytes.to_string req in
+  let reply =
+    match String.split_on_char ' ' text with
+    | "set" :: key :: len :: rest ->
+      let payload = String.concat " " rest in
+      let len = try int_of_string len with _ -> String.length payload in
+      let value =
+        if String.length payload >= len then String.sub payload 0 len
+        else payload
+      in
+      Hashtbl.replace store key value;
+      "STORED"
+    | [ "get"; key ] -> (
+      match Hashtbl.find_opt store key with
+      | Some v -> "VALUE " ^ v
+      | None -> "END")
+    | _ -> "ERROR"
+  in
+  Bytes.of_string reply
+
+let make_body cfg () =
+  let store : (string, string) Hashtbl.t = Hashtbl.create 1024 in
+  fun ~unit_idx api ->
+    let expected =
+      Server_core.conns_for_unit ~connections:cfg.expected_conns
+        ~units:cfg.units unit_idx
+    in
+    if expected > 0 then
+      Server_core.epoll_server ~port:(cfg.port + unit_idx)
+        ~expected_conns:expected
+        ~handler:(fun api req -> handle cfg store api req)
+        api

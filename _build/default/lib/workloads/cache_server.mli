@@ -1,0 +1,17 @@
+(** A memcached-style object cache: [set key len] + payload and
+    [get key] commands over framed messages, multi-threaded with all
+    units sharing the variant's slab store. *)
+
+open Varan_kernel
+
+type config = {
+  port : int;
+  units : int;
+  work_cycles : int;  (** hashing + slab accounting per command *)
+  expected_conns : int;
+}
+
+val make_body : config -> unit -> unit_idx:int -> Api.t -> unit
+
+val set_cmd : string -> Bytes.t -> Bytes.t
+val get_cmd : string -> Bytes.t

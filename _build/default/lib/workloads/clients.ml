@@ -1,0 +1,94 @@
+open Varan_kernel
+module E = Varan_sim.Engine
+module K = Varan_kernel.Kernel
+module Errno = Varan_syscall.Errno
+module Cost = Varan_cycles.Cost
+
+type load = {
+  connections : int;
+  requests_per_conn : int;
+  request_of : conn:int -> seq:int -> Bytes.t;
+  think_cycles : int;
+  warmup_requests : int;
+}
+
+type result = {
+  mutable completed : int;
+  mutable errors : int;
+  mutable latencies_us : float list;
+  mutable first_send : int64;
+  mutable last_reply : int64;
+  mutable conns_done : int;
+}
+
+let rec connect_retry api fd port attempts =
+  match Api.connect api fd port with
+  | Ok () -> Ok ()
+  | Error Errno.ECONNREFUSED when attempts > 0 ->
+    E.sleep 5_000;
+    connect_retry api fd port (attempts - 1)
+  | Error e -> Error e
+
+let launch k ~cost ~port_of load =
+  let r =
+    {
+      completed = 0;
+      errors = 0;
+      latencies_us = [];
+      first_send = Int64.max_int;
+      last_reply = 0L;
+      conns_done = 0;
+    }
+  in
+  for conn = 0 to load.connections - 1 do
+    let proc = K.new_proc k (Printf.sprintf "client%d" conn) in
+    let tid =
+      E.spawn (Varan_kernel.Kernel.engine k) ~name:(Printf.sprintf "client%d" conn)
+        (fun () ->
+          let api = Api.direct k proc in
+          match Api.socket api with
+          | Error _ -> r.errors <- r.errors + 1
+          | Ok fd -> (
+            match connect_retry api fd (port_of conn) 2000 with
+            | Error _ -> r.errors <- r.errors + 1
+            | Ok () ->
+              for seq = 0 to load.requests_per_conn - 1 do
+                let counted = seq >= load.warmup_requests in
+                let request = load.request_of ~conn ~seq in
+                let t0 = E.now_cycles () in
+                if counted && t0 < r.first_send then r.first_send <- t0;
+                (match Proto.send_msg api fd request with
+                | Error _ -> r.errors <- r.errors + 1
+                | Ok () -> (
+                  match Proto.recv_msg api fd with
+                  | Ok (Some _reply) ->
+                    let t1 = E.now_cycles () in
+                    if counted then begin
+                      if t1 > r.last_reply then r.last_reply <- t1;
+                      r.completed <- r.completed + 1;
+                      r.latencies_us <-
+                        Cost.cycles_to_us cost (Int64.sub t1 t0)
+                        :: r.latencies_us
+                    end
+                  | Ok None | Error _ -> r.errors <- r.errors + 1));
+                if load.think_cycles > 0 then E.consume load.think_cycles
+              done;
+              ignore (Api.close api fd);
+              r.conns_done <- r.conns_done + 1))
+    in
+    K.register_task k proc tid
+  done;
+  r
+
+let duration_cycles r =
+  if r.last_reply <= r.first_send then 0L else Int64.sub r.last_reply r.first_send
+
+let throughput_rps cost r =
+  let cycles = Int64.to_float (duration_cycles r) in
+  if cycles <= 0.0 then 0.0
+  else float_of_int r.completed /. (cycles /. (cost.Cost.cpu_ghz *. 1e9))
+
+let mean_latency_us r =
+  match r.latencies_us with
+  | [] -> 0.0
+  | ls -> Varan_util.Stats.mean ls

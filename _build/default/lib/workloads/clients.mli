@@ -1,0 +1,41 @@
+(** Closed-loop load generators, standing in for wrk, ApacheBench,
+    http_load, redis-benchmark, memslap and beanstalkd-benchmark.
+
+    Each connection is an independent client task: connect (with retry
+    while the server is still starting), then send request / await reply
+    in a closed loop. Latency is measured per request in virtual
+    microseconds; throughput over the span from the first request sent to
+    the last reply received. *)
+
+open Varan_kernel
+
+type load = {
+  connections : int;
+  requests_per_conn : int;
+  request_of : conn:int -> seq:int -> Bytes.t;
+  think_cycles : int;  (** client-side work between requests *)
+  warmup_requests : int;
+      (** per-connection requests excluded from throughput and latency,
+          mirroring the paper's discarded warm-up measurement *)
+}
+
+type result = {
+  mutable completed : int;
+  mutable errors : int;
+  mutable latencies_us : float list;  (** reversed arrival order *)
+  mutable first_send : int64;
+  mutable last_reply : int64;
+  mutable conns_done : int;
+}
+
+val launch :
+  Types.t -> cost:Varan_cycles.Cost.t -> port_of:(int -> int) -> load -> result
+(** Spawn one task per connection; the returned record fills in as the
+    simulation runs. [port_of conn] maps a connection index to the port
+    it should dial (units listen on consecutive ports). *)
+
+val duration_cycles : result -> int64
+val throughput_rps : Varan_cycles.Cost.t -> result -> float
+(** Requests per virtual second. *)
+
+val mean_latency_us : result -> float

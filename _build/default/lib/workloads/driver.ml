@@ -1,0 +1,211 @@
+module E = Varan_sim.Engine
+module K = Varan_kernel.Kernel
+module Api = Varan_kernel.Api
+module Types = Varan_kernel.Types
+module Cost = Varan_cycles.Cost
+module Nvx = Varan_nvx.Session
+module Config = Varan_nvx.Config
+module Variant = Varan_nvx.Variant
+module Lockstep = Varan_nvx.Lockstep
+module Record_replay = Varan_nvx.Record_replay
+
+type measurement = {
+  m_label : string;
+  requests : int;
+  errors : int;
+  throughput_rps : float;
+  mean_latency_us : float;
+  duration_cycles : int64;
+}
+
+type mode =
+  | Native
+  | Nvx of { followers : int; config : Config.t }
+  | Lockstep of { versions : int }
+  | Scribe
+  | Nvx_record of { followers : int; log_path : string }
+
+let default_link_latency = 3_500 (* 1 us one way: same-rack, kernel-bypass client *)
+
+(* Run a server natively (or with a wrapped API) by replicating the unit
+   structure the NVX session would create. *)
+let start_plain w k ~api_of =
+  let body = w.Workload.make_body () in
+  let main_proc = K.new_proc k w.Workload.w_name in
+  let unit_procs =
+    Array.init w.Workload.units (fun u ->
+        match w.Workload.unit_kind with
+        | Variant.Thread -> main_proc
+        | Variant.Process ->
+          if u = 0 then main_proc
+          else K.fork_proc k main_proc (Printf.sprintf "worker%d" u))
+  in
+  Array.iteri
+    (fun u proc ->
+      let api = api_of proc in
+      let tid =
+        E.spawn (K.engine k)
+          ~name:(Printf.sprintf "%s.unit%d" w.Workload.w_name u)
+          (fun () -> try body ~unit_idx:u api with E.Killed -> ())
+      in
+      K.register_task k proc tid)
+    unit_procs
+
+let variants_for w n =
+  List.init n (fun i ->
+      Workload.fresh_variant w (Printf.sprintf "%s.v%d" w.Workload.w_name i))
+
+let measure_clients label k cost w =
+  let result =
+    Clients.launch k ~cost ~port_of:(Workload.port_of_conn w) w.Workload.load
+  in
+  let finish () =
+    {
+      m_label = label;
+      requests = result.Clients.completed;
+      errors = result.Clients.errors;
+      throughput_rps = Clients.throughput_rps cost result;
+      mean_latency_us = Clients.mean_latency_us result;
+      duration_cycles = Clients.duration_cycles result;
+    }
+  in
+  (result, finish)
+
+let fresh_machine ?(link_latency = default_link_latency) w =
+  let eng = E.create () in
+  let k = K.create ~link_latency eng in
+  w.Workload.setup_fs k;
+  (eng, k)
+
+let run ?link_latency w mode =
+  let eng, k = fresh_machine ?link_latency w in
+  let cost = K.cost k in
+  let label, session_opt =
+    match mode with
+    | Native ->
+      start_plain w k ~api_of:(fun proc -> Api.direct k proc);
+      ("native", None)
+    | Scribe ->
+      start_plain w k ~api_of:(fun proc -> Record_replay.scribe_api k proc);
+      ("scribe", None)
+    | Nvx { followers; config } ->
+      let session = Nvx.launch ~config k (variants_for w (followers + 1)) in
+      (Printf.sprintf "varan+%df" followers, Some session)
+    | Lockstep { versions } ->
+      ignore (Lockstep.launch k (variants_for w versions));
+      (Printf.sprintf "lockstep%dv" versions, None)
+    | Nvx_record { followers; log_path } ->
+      let config = Config.default in
+      let session = Nvx.launch ~config k (variants_for w (followers + 1)) in
+      let recorder = Record_replay.record session k ~tuple:0 ~path:log_path in
+      ignore recorder;
+      (Printf.sprintf "varan+rec+%df" followers, Some session)
+  in
+  let _result, finish = measure_clients label k cost w in
+  E.run_until_quiescent eng;
+  (match session_opt with Some s -> Nvx.observe_lags s | None -> ());
+  finish ()
+
+let run_with_full_session ?link_latency w ~followers ~config =
+  let eng, k = fresh_machine ?link_latency w in
+  let cost = K.cost k in
+  let session = Nvx.launch ~config k (variants_for w (followers + 1)) in
+  let _result, finish = measure_clients "varan" k cost w in
+  E.run_until_quiescent eng;
+  Nvx.observe_lags session;
+  (finish (), Nvx.stats session, session)
+
+let run_with_session ?link_latency w ~followers ~config =
+  let m, st, _ = run_with_full_session ?link_latency w ~followers ~config in
+  (m, st)
+
+let overhead ~baseline m =
+  if m.throughput_rps <= 0.0 then infinity
+  else baseline.throughput_rps /. m.throughput_rps
+
+(* ------------------------------------------------------------------ *)
+(* SPEC                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Completion time of one native run. *)
+let spec_native_cycles params =
+  let eng = E.create () in
+  let k = K.create eng in
+  Spec.setup_fs k;
+  let done_at = ref 0L in
+  let proc = K.new_proc k params.Spec.sp_name in
+  let tid =
+    E.spawn eng ~name:params.Spec.sp_name (fun () ->
+        let api = Api.direct k proc in
+        Spec.make_body params () ~unit_idx:0 api;
+        done_at := E.now_cycles ())
+  in
+  K.register_task k proc tid;
+  E.run_until_quiescent eng;
+  !done_at
+
+let spec_nvx_cycles params ~followers =
+  let eng = E.create () in
+  let k = K.create eng in
+  Spec.setup_fs k;
+  let leader_done = ref 0L in
+  let base = Spec.variant_of params (params.Spec.sp_name ^ ".v0") in
+  (* Wrap the leader's body to capture its completion time; followers
+     get plain copies. *)
+  let leader =
+    {
+      base with
+      Variant.program =
+        {
+          base.Variant.program with
+          Variant.body =
+            (fun ~unit_idx api ->
+              base.Variant.program.Variant.body ~unit_idx api;
+              leader_done := E.now_cycles ());
+        };
+    }
+  in
+  let followers_v =
+    List.init followers (fun i ->
+        Spec.variant_of params (Printf.sprintf "%s.v%d" params.Spec.sp_name (i + 1)))
+  in
+  ignore (Nvx.launch k (leader :: followers_v));
+  E.run_until_quiescent eng;
+  !leader_done
+
+let run_spec params ~followers =
+  let native = Int64.to_float (spec_native_cycles params) in
+  let nvx = Int64.to_float (spec_nvx_cycles params ~followers) in
+  if native <= 0.0 then infinity else nvx /. native
+
+let spec_lockstep_cycles params ~versions =
+  let eng = E.create () in
+  let k = K.create eng in
+  Spec.setup_fs k;
+  let leader_done = ref 0L in
+  let base = Spec.variant_of params (params.Spec.sp_name ^ ".v0") in
+  let leader =
+    {
+      base with
+      Variant.program =
+        {
+          base.Variant.program with
+          Variant.body =
+            (fun ~unit_idx api ->
+              base.Variant.program.Variant.body ~unit_idx api;
+              leader_done := E.now_cycles ());
+        };
+    }
+  in
+  let others =
+    List.init (versions - 1) (fun i ->
+        Spec.variant_of params (Printf.sprintf "%s.v%d" params.Spec.sp_name (i + 1)))
+  in
+  ignore (Lockstep.launch k (leader :: others));
+  E.run_until_quiescent eng;
+  !leader_done
+
+let run_spec_lockstep params ~versions =
+  let native = Int64.to_float (spec_native_cycles params) in
+  let ls = Int64.to_float (spec_lockstep_cycles params ~versions) in
+  if native <= 0.0 then infinity else ls /. native

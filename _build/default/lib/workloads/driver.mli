@@ -1,0 +1,55 @@
+(** Measurement driver: run a workload natively, under VARAN, under the
+    ptrace lockstep baseline, under the Scribe model, or under VARAN with
+    a recorder attached — each in a fresh simulated machine — and report
+    throughput, latency and overhead. *)
+
+type measurement = {
+  m_label : string;
+  requests : int;
+  errors : int;
+  throughput_rps : float;
+  mean_latency_us : float;
+  duration_cycles : int64;
+}
+
+type mode =
+  | Native
+  | Nvx of { followers : int; config : Varan_nvx.Config.t }
+  | Lockstep of { versions : int }  (** total versions, lockstep monitor *)
+  | Scribe
+  | Nvx_record of { followers : int; log_path : string }
+
+val run : ?link_latency:int -> Workload.t -> mode -> measurement
+(** Build a fresh engine/kernel, start the server(s) in the requested
+    mode, run the load to completion and measure from the client side. *)
+
+val run_with_full_session :
+  ?link_latency:int ->
+  Workload.t ->
+  followers:int ->
+  config:Varan_nvx.Config.t ->
+  measurement * Varan_nvx.Session.stats * Varan_nvx.Session.t
+(** Like {!run_with_session} but also returning the live session handle
+    (for trace/divergence-log inspection). *)
+
+val run_with_session :
+  ?link_latency:int ->
+  Workload.t ->
+  followers:int ->
+  config:Varan_nvx.Config.t ->
+  measurement * Varan_nvx.Session.stats
+(** Like {!run} with [Nvx] but also returning the session statistics
+    (stall cycles, dispatch mix, ring stats, observed lag). *)
+
+val overhead : baseline:measurement -> measurement -> float
+(** Throughput-based overhead ratio, the paper's metric: ≥ 1.0 means
+    slower than baseline. *)
+
+(** {1 SPEC (compute-bound) runs} *)
+
+val run_spec : Spec.params -> followers:int -> float
+(** Leader completion-time overhead vs a native run of the same kernel
+    with the given number of followers (0 = interception only). *)
+
+val run_spec_lockstep : Spec.params -> versions:int -> float
+(** The same benchmark under the ptrace lockstep monitor. *)

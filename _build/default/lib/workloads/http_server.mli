@@ -1,0 +1,30 @@
+(** Static-file HTTP-style servers.
+
+    One parameterised implementation models the four web servers of the
+    paper's evaluation — lighttpd, nginx, Apache httpd and thttpd — which
+    differ in architecture (event loop vs prefork accept loop, number of
+    workers) and per-request work. Each request names a document; the
+    server stats, opens, reads and closes it, burns the configured parse
+    cycles, optionally appends an access-log line, and replies with the
+    file contents. *)
+
+open Varan_kernel
+
+type style = Event_loop | Prefork
+
+type config = {
+  port : int;  (** unit [u] listens on [port + u] *)
+  units : int;
+  style : style;
+  doc_path : string;  (** the document every request fetches *)
+  parse_cycles : int;  (** request parsing / response assembly work *)
+  access_log : string option;  (** append a log line per request *)
+  expected_conns : int;  (** total client connections across units *)
+}
+
+val make_body : config -> unit -> unit_idx:int -> Api.t -> unit
+(** Fresh per-variant server state; pass the result to
+    {!Varan_nvx.Variant.make}. *)
+
+val request : string -> Bytes.t
+(** ["GET <path>"] request frame payload. *)

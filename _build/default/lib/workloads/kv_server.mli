@@ -1,0 +1,26 @@
+(** A Redis-style in-memory key-value store.
+
+    Supports [PING], [SET key value], [GET key], [HSET key field value]
+    and [HMGET key field...]; write commands optionally append to an
+    append-only file. Multi-threaded: each unit runs an event loop on its
+    own port and all units share the variant's store.
+
+    [crash_on_hmget] reproduces the §5.1 experiment: the revision that
+    introduced the HMGET segfault dies while processing that command,
+    after reading the request but before replying. *)
+
+open Varan_kernel
+
+type config = {
+  port : int;
+  units : int;
+  aof_path : string option;  (** append-only file for write commands *)
+  work_cycles : int;  (** command dispatch/encoding work *)
+  expected_conns : int;
+  crash_on_hmget : bool;
+}
+
+val make_body : config -> unit -> unit_idx:int -> Api.t -> unit
+
+val cmd : string -> Bytes.t
+(** Build a command frame, e.g. [cmd "SET k v"]. *)

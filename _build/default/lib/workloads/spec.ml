@@ -1,0 +1,102 @@
+open Varan_kernel
+module Flags = Varan_kernel.Flags
+
+type params = {
+  sp_name : string;
+  compute_mcycles : int;
+  mem_intensity_c1000 : int;
+  input_reads : int;
+  mallocs : int;
+}
+
+let p name compute intensity reads mallocs =
+  {
+    sp_name = name;
+    compute_mcycles = compute;
+    mem_intensity_c1000 = intensity;
+    input_reads = reads;
+    mallocs = mallocs;
+  }
+
+(* Intensities reflect the published memory characterisation of the
+   suites (mcf, twolf, omnetpp and libquantum being the notoriously
+   memory-bound ones; crafty, eon, hmmer and sjeng living in cache). *)
+let cpu2000 =
+  [
+    p "164.gzip" 40 420 60 40;
+    p "175.vpr" 45 700 40 60;
+    p "176.gcc" 50 640 80 120;
+    p "181.mcf" 40 1250 30 80;
+    p "186.crafty" 45 260 20 30;
+    p "197.parser" 40 540 40 70;
+    p "252.eon" 45 300 30 50;
+    p "253.perlbmk" 50 480 60 90;
+    p "254.gap" 45 520 40 60;
+    p "255.vortex" 50 660 70 80;
+    p "256.bzip2" 40 560 50 40;
+    p "300.twolf" 45 800 30 60;
+  ]
+
+let cpu2006 =
+  [
+    p "400.perlbench" 55 520 70 100;
+    p "401.bzip2" 50 560 50 40;
+    p "403.gcc" 55 720 90 130;
+    p "429.mcf" 45 1300 30 80;
+    p "445.gobmk" 50 400 40 50;
+    p "456.hmmer" 50 280 30 40;
+    p "458.sjeng" 50 330 20 30;
+    p "462.libquantum" 45 950 20 40;
+    p "464.h264ref" 55 460 60 70;
+    p "471.omnetpp" 50 860 40 90;
+    p "473.astar" 50 620 30 50;
+    p "483.xalancbmk" 55 740 80 110;
+  ]
+
+let input_path = "/spec/input.bin"
+
+let setup_fs k = Vfs.add_file k input_path (String.make 8192 'x')
+
+let slice_cycles = 500_000
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> failwith (what ^ ": " ^ Varan_syscall.Errno.name e)
+
+let make_body params () ~unit_idx api =
+  if unit_idx = 0 then begin
+    (* Read the input set. *)
+    let fd = ok_exn "open input" (Api.openf api input_path Flags.o_rdonly) in
+    for _ = 1 to params.input_reads do
+      ignore (ok_exn "read input" (Api.read api fd 512));
+      ignore (Api.lseek api fd 0 Flags.seek_set)
+    done;
+    ignore (Api.close api fd);
+    (* Warm-up allocations. *)
+    for i = 1 to params.mallocs do
+      ignore (api.Api.sys Varan_syscall.Sysno.Mmap
+                [| Varan_syscall.Args.Int 0; Varan_syscall.Args.Int (4096 * (1 + (i mod 16))) |])
+    done;
+    (* The compute phases, interleaved with occasional bookkeeping. *)
+    let total = params.compute_mcycles * 1_000_000 in
+    let slices = total / slice_cycles in
+    for s = 1 to slices do
+      Api.compute api slice_cycles;
+      if s mod 64 = 0 then ignore (Api.getpid api)
+    done
+  end
+
+let variant_of params name =
+  Varan_nvx.Variant.make ~mem_intensity_c1000:params.mem_intensity_c1000
+    ~profile:
+      {
+        Varan_nvx.Variant.code_bytes = 60_000;
+        syscall_share = 0.004;
+        code_seed = Hashtbl.hash params.sp_name;
+      }
+    name
+    {
+      Varan_nvx.Variant.units = 1;
+      unit_kind = Varan_nvx.Variant.Thread;
+      body = make_body params ();
+    }

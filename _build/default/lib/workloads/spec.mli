@@ -1,0 +1,36 @@
+(** Synthetic SPEC CPU2000 / CPU2006 kernels.
+
+    The paper's Figures 7 and 8 run SPEC under VARAN with up to six
+    followers. These are compute-bound programs whose NVX behaviour is
+    governed by (a) a tiny syscall footprint (input reading, memory
+    management) and (b) memory pressure once several copies compete for
+    the cache and memory bandwidth of a 4-core machine — the reason the
+    paper observes poor scaling (§4.3). Each kernel carries a
+    memory-intensity parameter feeding the machine contention model and a
+    compute budget split into slices so the simulation interleaves
+    variants realistically. *)
+
+type params = {
+  sp_name : string;
+  compute_mcycles : int;  (** total compute in millions of cycles *)
+  mem_intensity_c1000 : int;
+  input_reads : int;  (** read syscalls over the input set *)
+  mallocs : int;  (** brk/mmap calls *)
+}
+
+val cpu2000 : params list
+(** The twelve CINT2000 benchmarks used in Figure 7. *)
+
+val cpu2006 : params list
+(** The twelve CINT2006 benchmarks used in Figure 8. *)
+
+val make_body :
+  params -> unit -> unit_idx:int -> Varan_kernel.Api.t -> unit
+(** The kernel's program: reads its input set, allocates, then alternates
+    compute slices with occasional bookkeeping syscalls. *)
+
+val variant_of : params -> string -> Varan_nvx.Variant.t
+(** Package as an NVX variant with the right memory intensity. *)
+
+val setup_fs : Varan_kernel.Types.t -> unit
+(** Create the shared input file the kernels read. *)

@@ -1,0 +1,23 @@
+type t = {
+  w_name : string;
+  units : int;
+  unit_kind : Varan_nvx.Variant.unit_kind;
+  make_body : unit -> unit_idx:int -> Varan_kernel.Api.t -> unit;
+  profile : Varan_nvx.Variant.code_profile;
+  mem_intensity_c1000 : int;
+  port_base : int;
+  load : Clients.load;
+  setup_fs : Varan_kernel.Types.t -> unit;
+  rules : Varan_bpf.Insn.t array option;
+}
+
+let port_of_conn w conn = w.port_base + (conn mod w.units)
+
+let fresh_variant w name =
+  Varan_nvx.Variant.make ~profile:w.profile
+    ~mem_intensity_c1000:w.mem_intensity_c1000 ?rules:w.rules name
+    {
+      Varan_nvx.Variant.units = w.units;
+      unit_kind = w.unit_kind;
+      body = w.make_body ();
+    }

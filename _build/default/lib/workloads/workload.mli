@@ -1,0 +1,23 @@
+(** A benchmarkable server workload: how to build a fresh server variant,
+    how to generate client load against it, and the machine-level
+    characteristics feeding the cost model. *)
+
+type t = {
+  w_name : string;
+  units : int;
+  unit_kind : Varan_nvx.Variant.unit_kind;
+  make_body : unit -> unit_idx:int -> Varan_kernel.Api.t -> unit;
+      (** fresh per-variant server state on every call *)
+  profile : Varan_nvx.Variant.code_profile;
+  mem_intensity_c1000 : int;
+  port_base : int;
+  load : Clients.load;
+  setup_fs : Varan_kernel.Types.t -> unit;  (** document roots etc. *)
+  rules : Varan_bpf.Insn.t array option;  (** divergence rules, if any *)
+}
+
+val port_of_conn : t -> int -> int
+(** Round-robin connections over the unit ports. *)
+
+val fresh_variant : t -> string -> Varan_nvx.Variant.t
+(** A new variant with its own server state. *)

@@ -1,0 +1,1 @@
+test/test_binary.ml: Alcotest Array Bytes Format Hashtbl List QCheck QCheck_alcotest Varan_binary Varan_isa Varan_util

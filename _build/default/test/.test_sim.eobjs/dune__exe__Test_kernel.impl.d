@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bytes Hashtbl Int64 List Printf Result String Varan_kernel Varan_sim Varan_syscall

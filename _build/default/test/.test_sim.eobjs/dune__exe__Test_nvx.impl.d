@@ -1,0 +1,1 @@
+test/test_nvx.ml: Alcotest Array Buffer Bytes Int64 List Printf String Varan_binary Varan_bpf Varan_kernel Varan_nvx Varan_ringbuf Varan_shmem Varan_sim Varan_syscall

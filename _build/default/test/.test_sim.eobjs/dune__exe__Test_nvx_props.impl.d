@@ -1,0 +1,1 @@
+test/test_nvx_props.ml: Alcotest Array Buffer Bytes Hashtbl List Printf QCheck QCheck_alcotest String Varan_kernel Varan_nvx Varan_sim Varan_syscall Varan_util

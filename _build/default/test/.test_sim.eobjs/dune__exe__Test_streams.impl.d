@@ -1,0 +1,1 @@
+test/test_streams.ml: Alcotest Array Bytes List Printf QCheck QCheck_alcotest String Varan_bpf Varan_ringbuf Varan_shmem Varan_sim Varan_vclock

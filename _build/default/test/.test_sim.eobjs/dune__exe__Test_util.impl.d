@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Fun Gen Int64 List QCheck QCheck_alcotest Result String Varan_kernel Varan_sim Varan_syscall Varan_util Varan_workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bytes List Printf Result Varan_cycles Varan_kernel Varan_nvx Varan_sim Varan_workloads

@@ -1,0 +1,420 @@
+(* Tests for the ISA, disassembler, VM, binary rewriter and vDSO patching.
+   The central property: a rewritten program, run with a hook handler that
+   performs the syscall, is observationally identical to the original. *)
+
+module I = Varan_isa.Insn
+module D = Varan_isa.Disasm
+module Vm = Varan_isa.Vm
+module R = Varan_binary.Rewriter
+module Codegen = Varan_binary.Codegen
+module Image = Varan_binary.Image
+module Vdso = Varan_binary.Vdso
+module Prng = Varan_util.Prng
+
+(* --- encode/decode ------------------------------------------------- *)
+
+let all_example_insns =
+  [
+    I.Nop; I.Syscall; I.Int3; I.Int 0x80; I.Hook 42;
+    I.Mov_imm (3, 123456l); I.Add (1, 2); I.Sub (7, 0); I.Cmp (4, 4);
+    I.Add_imm (5, -3); I.Jmp 1000l; I.Jmp (-12l); I.Jmp_short (-128);
+    I.Je 127; I.Jne (-1); I.Call 500l; I.Ret; I.Push 6; I.Pop 6;
+    I.Load (2, 3); I.Store (3, 2); I.Hlt;
+  ]
+
+let test_encode_decode_roundtrip () =
+  List.iter
+    (fun insn ->
+      let b = I.encode insn in
+      Alcotest.(check int)
+        (Format.asprintf "%a length" I.pp insn)
+        (I.length insn) (Bytes.length b);
+      match I.decode b 0 with
+      | Some (insn', len) ->
+        Alcotest.(check bool)
+          (Format.asprintf "%a roundtrip" I.pp insn)
+          true
+          (I.equal insn insn' && len = I.length insn)
+      | None -> Alcotest.failf "%s failed to decode" (Format.asprintf "%a" I.pp insn))
+    all_example_insns
+
+let test_decode_invalid () =
+  Alcotest.(check bool)
+    "0xFF invalid" true
+    (I.decode (Bytes.of_string "\xFF") 0 = None);
+  (* Truncated MOV *)
+  Alcotest.(check bool)
+    "truncated mov" true
+    (I.decode (Bytes.of_string "\xB8\x01") 0 = None)
+
+let test_branch_target () =
+  (* jmp +10 at address 100 (5 bytes): target 115. *)
+  Alcotest.(check (option int))
+    "jmp rel32" (Some 115)
+    (I.branch_target ~at:100 (I.Jmp 10l));
+  Alcotest.(check (option int))
+    "je rel8" (Some 95)
+    (I.branch_target ~at:100 (I.Je (-7)));
+  Alcotest.(check (option int)) "non-branch" None (I.branch_target ~at:0 I.Nop)
+
+let test_with_target () =
+  (match I.with_target ~at:100 (I.Je 0) 400 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "rel8 overflow should refuse");
+  match I.with_target ~at:100 (I.Jmp 0l) 400 with
+  | Some (I.Jmp rel) -> Alcotest.(check int32) "rel32 fits" 295l rel
+  | _ -> Alcotest.fail "jmp retarget failed"
+
+(* --- disassembler --------------------------------------------------- *)
+
+let test_sweep_skips_data () =
+  let code = Bytes.of_string "\x90\xFF\x05\xF4" in
+  let items = D.sweep code in
+  Alcotest.(check int) "four items" 4 (List.length items);
+  let decoded = D.instructions code in
+  Alcotest.(check int) "three decoded" 3 (List.length decoded);
+  Alcotest.(check (list int))
+    "syscall site" [ 2 ] (D.syscall_sites code)
+
+let test_branch_targets_collected () =
+  let code = Codegen.loop_with_syscall ~iterations:3 in
+  let targets = D.branch_targets code in
+  Alcotest.(check bool) "loop head is a target" true (Hashtbl.mem targets 10)
+
+(* --- VM -------------------------------------------------------------- *)
+
+let test_vm_arithmetic () =
+  let code =
+    Bytes.concat Bytes.empty
+      (List.map I.encode
+         [ I.Mov_imm (1, 20l); I.Mov_imm (2, 22l); I.Add (1, 2); I.Hlt ])
+  in
+  let st = Vm.run code ~entry:0 in
+  Alcotest.(check int) "r1 = 42" 42 st.Vm.regs.(1)
+
+let test_vm_loop () =
+  let code = Codegen.loop_with_syscall ~iterations:5 in
+  let st = Vm.run code ~entry:0 in
+  Alcotest.(check int) "five syscalls" 5 (List.length (Vm.syscall_trace st));
+  Alcotest.(check int) "counter" 5 st.Vm.regs.(1)
+
+let test_vm_call_ret () =
+  (* call the function at the end; it sets r3 := 7 and returns. *)
+  let code =
+    Bytes.concat Bytes.empty
+      (List.map I.encode
+         [
+           I.Call 1l (* skip the hlt: call target = 5+1 = 6 *);
+           I.Hlt;
+           I.Mov_imm (3, 7l);
+           I.Ret;
+         ])
+  in
+  let st = Vm.run code ~entry:0 in
+  Alcotest.(check int) "r3 set by callee" 7 st.Vm.regs.(3)
+
+let test_vm_stack_fault () =
+  let code = I.encode (I.Pop 0) in
+  match Vm.run (Bytes.cat code (I.encode I.Hlt)) ~entry:0 with
+  | exception Vm.Fault _ -> ()
+  | _ -> Alcotest.fail "expected stack fault"
+
+let run_insns insns =
+  let code =
+    Bytes.concat Bytes.empty (List.map I.encode (insns @ [ I.Hlt ]))
+  in
+  Vm.run code ~entry:0
+
+let test_vm_mov_xor_test () =
+  let st =
+    run_insns
+      [ I.Mov_imm (1, 5l); I.Mov (2, 1); I.Xor (1, 1); I.Test (2, 2) ]
+  in
+  Alcotest.(check int) "mov copied" 5 st.Vm.regs.(2);
+  Alcotest.(check int) "xor zeroed" 0 st.Vm.regs.(1);
+  Alcotest.(check bool) "test cleared zf (5 land 5 <> 0)" false st.Vm.zf;
+  let st = run_insns [ I.Mov_imm (1, 0l); I.Test (1, 1) ] in
+  Alcotest.(check bool) "test set zf on zero" true st.Vm.zf
+
+let test_vm_inc_dec () =
+  let st = run_insns [ I.Mov_imm (3, 10l); I.Inc 3; I.Inc 3; I.Dec 3 ] in
+  Alcotest.(check int) "inc/dec" 11 st.Vm.regs.(3)
+
+let test_vm_signed_branches () =
+  (* r1=1, r2=2: jl taken; jg not taken. *)
+  let code =
+    Bytes.concat Bytes.empty
+      (List.map I.encode
+         [
+           I.Mov_imm (1, 1l);
+           I.Mov_imm (2, 2l);
+           I.Cmp (1, 2);
+           I.Jl 5 (* skip the mov below *);
+           I.Mov_imm (7, 111l) (* must be skipped *);
+           I.Cmp (2, 1);
+           I.Jg 5 (* taken: 2 > 1 *);
+           I.Mov_imm (6, 222l) (* must be skipped *);
+           I.Hlt;
+         ])
+  in
+  let st = Vm.run code ~entry:0 in
+  Alcotest.(check int) "jl skipped the mov" 0 st.Vm.regs.(7);
+  Alcotest.(check int) "jg skipped the mov" 0 st.Vm.regs.(6)
+
+let test_new_insn_roundtrips () =
+  List.iter
+    (fun insn ->
+      match I.decode (I.encode insn) 0 with
+      | Some (insn', len) ->
+        Alcotest.(check bool)
+          (Format.asprintf "%a" I.pp insn)
+          true
+          (I.equal insn insn' && len = I.length insn)
+      | None -> Alcotest.failf "decode failed")
+    [
+      I.Mov (1, 2); I.Xor (3, 4); I.Test (5, 6); I.Inc 7; I.Dec 0;
+      I.Jl (-8); I.Jg 127;
+    ]
+
+(* --- rewriter -------------------------------------------------------- *)
+
+(* Hooks that implement the monitor side: a hook performs the syscall
+   (records it), a trap does the same through the signal path. *)
+let monitor_hooks =
+  {
+    Vm.on_syscall = Vm.record_syscall;
+    on_hook = Some (fun _site st -> Vm.record_syscall st);
+    on_trap = Some (fun _vec st -> Vm.record_syscall st);
+  }
+
+
+let check_equivalent name code =
+  let before = Vm.run ~hooks:monitor_hooks code ~entry:0 in
+  let r = R.rewrite code in
+  let after = Vm.run ~hooks:monitor_hooks r.R.code ~entry:0 in
+  Alcotest.(check bool)
+    (name ^ ": same registers")
+    true
+    (Array.to_list before.Vm.regs = Array.to_list after.Vm.regs);
+  Alcotest.(check bool)
+    (name ^ ": same syscall trace")
+    true
+    (Vm.syscall_trace before = Vm.syscall_trace after);
+  r
+
+let test_rel8_universal_expansion () =
+  (* A conditional branch relocated into a stub must still reach its
+     original target even though rel8 no longer fits: layout a syscall
+     directly followed by a far-reaching conditional branch. *)
+  let insns =
+    [
+      I.Mov_imm (0, 1l);
+      I.Mov_imm (1, 1l);
+      I.Mov_imm (2, 1l);
+      I.Cmp (1, 2);
+      I.Syscall;
+      I.Je 5 (* skip the next mov when r1 = r2 (always) *);
+      I.Mov_imm (5, 99l);
+      I.Hlt;
+    ]
+  in
+  let code = Bytes.concat Bytes.empty (List.map I.encode insns) in
+  let before = Vm.run ~hooks:monitor_hooks code ~entry:0 in
+  let r = R.rewrite code in
+  (* The Je was inside the relocation window, re-emitted in the stub far
+     from its target. *)
+  Alcotest.(check bool) "je relocated" true (r.R.stats.R.relocated_insns >= 1);
+  let after = Vm.run ~hooks:monitor_hooks r.R.code ~entry:0 in
+  Alcotest.(check bool) "same registers" true
+    (Array.to_list before.Vm.regs = Array.to_list after.Vm.regs);
+  Alcotest.(check int) "mov skipped in both" 0 after.Vm.regs.(5)
+
+let test_rewrite_straightline () =
+  let code = Codegen.straightline ~syscall_numbers:[ 0; 1; 3 ] in
+  let r = check_equivalent "straightline" code in
+  Alcotest.(check int) "three sites" 3 r.R.stats.R.total_syscalls;
+  Alcotest.(check int) "all jump-dispatched" 3 r.R.stats.R.jump_sites;
+  Alcotest.(check int) "no traps" 0 r.R.stats.R.trap_sites
+
+let test_rewrite_no_syscall_instructions_remain () =
+  let code = Codegen.straightline ~syscall_numbers:[ 1; 2; 3; 4 ] in
+  let r = R.rewrite code in
+  Alcotest.(check (list int))
+    "no raw syscalls left" [] (D.syscall_sites r.R.code)
+
+let test_rewrite_trap_fallback () =
+  let code = Codegen.trap_forcing () in
+  let r = check_equivalent "trap fallback" code in
+  Alcotest.(check int) "one trap site" 1 r.R.stats.R.trap_sites;
+  Alcotest.(check int) "no jump site" 0 r.R.stats.R.jump_sites
+
+let test_rewrite_loop () =
+  let code = Codegen.loop_with_syscall ~iterations:7 in
+  let r = check_equivalent "loop" code in
+  Alcotest.(check int) "one site" 1 r.R.stats.R.total_syscalls
+
+let test_rewrite_preserves_original_length_prefix () =
+  let code = Codegen.straightline ~syscall_numbers:[ 1 ] in
+  let r = R.rewrite code in
+  Alcotest.(check bool)
+    "stub appended after original" true
+    (Bytes.length r.R.code > Bytes.length code);
+  Alcotest.(check int)
+    "stub bytes accounted"
+    (Bytes.length r.R.code - Bytes.length code)
+    r.R.stats.R.stub_bytes
+
+let test_site_at () =
+  let code = Codegen.straightline ~syscall_numbers:[ 9; 8 ] in
+  let r = R.rewrite code in
+  match r.R.sites with
+  | [ s1; s2 ] ->
+    Alcotest.(check bool) "lookup first" true (R.site_at r.R.sites s1.R.orig_addr = Some s1);
+    Alcotest.(check bool) "lookup second" true (R.site_at r.R.sites s2.R.orig_addr = Some s2);
+    Alcotest.(check bool) "missing" true (R.site_at r.R.sites 9999 = None)
+  | _ -> Alcotest.fail "expected two sites"
+
+(* Property: random programs behave identically after rewriting. *)
+let prop_rewrite_equivalence =
+  QCheck.Test.make ~name:"rewrite preserves semantics" ~count:200
+    QCheck.(pair small_nat (int_bound 1_000_000))
+    (fun (size, seed) ->
+      let rng = Prng.create seed in
+      let code =
+        Codegen.random_program rng ~size:(8 + size) ~syscall_share:0.15
+      in
+      let before = Vm.run ~hooks:monitor_hooks code ~entry:0 in
+      let r = R.rewrite code in
+      let after = Vm.run ~hooks:monitor_hooks r.R.code ~entry:0 in
+      Array.to_list before.Vm.regs = Array.to_list after.Vm.regs
+      && Vm.syscall_trace before = Vm.syscall_trace after
+      && D.syscall_sites r.R.code = [])
+
+let prop_sites_cover_all_syscalls =
+  QCheck.Test.make ~name:"every syscall gets a site" ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let code = Codegen.random_program rng ~size:60 ~syscall_share:0.25 in
+      let n_sys = List.length (D.syscall_sites code) in
+      let r = R.rewrite code in
+      r.R.stats.R.total_syscalls = n_sys
+      && List.length r.R.sites = n_sys)
+
+(* --- W^X ------------------------------------------------------------- *)
+
+let test_wx_violation () =
+  (match
+     Image.make_segment ~name:"bad" ~base:0
+       ~perm:{ Image.r = true; w = true; x = true }
+       Bytes.empty
+   with
+  | exception Image.Wx_violation _ -> ()
+  | _ -> Alcotest.fail "expected Wx_violation on creation");
+  let seg =
+    Image.make_segment ~name:"text" ~base:0 ~perm:Image.rx
+      (Codegen.straightline ~syscall_numbers:[ 1 ])
+  in
+  match Image.set_perm seg { Image.r = true; w = true; x = true } with
+  | exception Image.Wx_violation _ -> ()
+  | _ -> Alcotest.fail "expected Wx_violation on set_perm"
+
+let test_rewrite_segment_respects_wx () =
+  let seg =
+    Image.make_segment ~name:"text" ~base:0 ~perm:Image.rx
+      (Codegen.straightline ~syscall_numbers:[ 1; 2 ])
+  in
+  let sites, stats = R.rewrite_segment seg in
+  Alcotest.(check int) "two sites" 2 (List.length sites);
+  Alcotest.(check int) "two jumps" 2 stats.R.jump_sites;
+  Alcotest.(check bool) "still executable" true seg.Image.perm.Image.x;
+  Alcotest.(check bool) "not writable" false seg.Image.perm.Image.w
+
+(* --- vDSO ------------------------------------------------------------ *)
+
+let test_vdso_build_and_patch () =
+  let values =
+    [ ("clock_gettime", 111l); ("getcpu", 2l); ("gettimeofday", 333l); ("time", 444l) ]
+  in
+  let code, symbols = Vdso.build values in
+  (* Calling the unpatched function returns its value. *)
+  let time_sym = List.find (fun s -> s.Vdso.sym_name = "time") symbols in
+  let st = Vm.run code ~entry:time_sym.Vdso.sym_addr in
+  Alcotest.(check int) "unpatched returns value" 444 st.Vm.regs.(0);
+  (* Patch; calling now triggers the hook. *)
+  let p = Vdso.patch code symbols in
+  let hook_hits = ref [] in
+  let hooks =
+    {
+      Vm.on_syscall = Vm.record_syscall;
+      on_hook =
+        Some
+          (fun site st ->
+            hook_hits := site :: !hook_hits;
+            st.Vm.regs.(0) <- 999;
+            (* The monitor returns straight to the caller. *)
+            st.Vm.pc <- (match st.Vm.stack with [] -> st.Vm.pc | ra :: _ -> ra));
+      on_trap = None;
+    }
+  in
+  let st = Vm.run ~hooks p.Vdso.v_code ~entry:time_sym.Vdso.sym_addr in
+  Alcotest.(check int) "hooked value" 999 st.Vm.regs.(0);
+  Alcotest.(check int) "hook fired once" 1 (List.length !hook_hits);
+  (* The trampoline still runs the original implementation. *)
+  let tramp = List.assoc "time" p.Vdso.v_trampolines in
+  let st = Vm.run ~hooks p.Vdso.v_code ~entry:tramp in
+  Alcotest.(check int) "trampoline gives original" 444 st.Vm.regs.(0)
+
+let () =
+  Alcotest.run "varan_binary"
+    [
+      ( "isa",
+        [
+          Alcotest.test_case "encode/decode roundtrip" `Quick
+            test_encode_decode_roundtrip;
+          Alcotest.test_case "decode invalid" `Quick test_decode_invalid;
+          Alcotest.test_case "branch target" `Quick test_branch_target;
+          Alcotest.test_case "with_target" `Quick test_with_target;
+        ] );
+      ( "disasm",
+        [
+          Alcotest.test_case "sweep skips data" `Quick test_sweep_skips_data;
+          Alcotest.test_case "branch targets" `Quick
+            test_branch_targets_collected;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_vm_arithmetic;
+          Alcotest.test_case "loop" `Quick test_vm_loop;
+          Alcotest.test_case "call/ret" `Quick test_vm_call_ret;
+          Alcotest.test_case "stack fault" `Quick test_vm_stack_fault;
+          Alcotest.test_case "mov/xor/test" `Quick test_vm_mov_xor_test;
+          Alcotest.test_case "inc/dec" `Quick test_vm_inc_dec;
+          Alcotest.test_case "signed branches" `Quick test_vm_signed_branches;
+          Alcotest.test_case "new insn roundtrips" `Quick
+            test_new_insn_roundtrips;
+        ] );
+      ( "rewriter",
+        [
+          Alcotest.test_case "straightline" `Quick test_rewrite_straightline;
+          Alcotest.test_case "no syscalls remain" `Quick
+            test_rewrite_no_syscall_instructions_remain;
+          Alcotest.test_case "trap fallback" `Quick test_rewrite_trap_fallback;
+          Alcotest.test_case "loop" `Quick test_rewrite_loop;
+          Alcotest.test_case "stub accounting" `Quick
+            test_rewrite_preserves_original_length_prefix;
+          Alcotest.test_case "site lookup" `Quick test_site_at;
+          Alcotest.test_case "rel8 universal expansion" `Quick
+            test_rel8_universal_expansion;
+          QCheck_alcotest.to_alcotest prop_rewrite_equivalence;
+          QCheck_alcotest.to_alcotest prop_sites_cover_all_syscalls;
+        ] );
+      ( "image",
+        [
+          Alcotest.test_case "W^X violation" `Quick test_wx_violation;
+          Alcotest.test_case "rewrite_segment W^X" `Quick
+            test_rewrite_segment_respects_wx;
+        ] );
+      ( "vdso",
+        [ Alcotest.test_case "build and patch" `Quick test_vdso_build_and_patch ] );
+    ]

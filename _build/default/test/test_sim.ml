@@ -1,0 +1,282 @@
+(* Tests for the discrete-event engine: virtual time, ordering, condition
+   variables, timeouts, kill semantics and deadlock detection. *)
+
+module E = Varan_sim.Engine
+
+let test_consume_advances_time () =
+  let eng = E.create () in
+  let final = ref 0L in
+  ignore
+    (E.spawn eng ~name:"a" (fun () ->
+         E.consume 100;
+         E.consume 50;
+         final := E.now_cycles ()));
+  E.run eng;
+  Alcotest.(check int64) "local time" 150L !final;
+  Alcotest.(check int64) "global time" 150L (E.now eng)
+
+let test_zero_consume_is_free () =
+  let eng = E.create () in
+  ignore (E.spawn eng (fun () -> E.consume 0));
+  E.run eng;
+  Alcotest.(check int64) "no time passes" 0L (E.now eng)
+
+let test_interleaving_by_time () =
+  let eng = E.create () in
+  let log = ref [] in
+  let emit tag = log := tag :: !log in
+  ignore
+    (E.spawn eng ~name:"slow" (fun () ->
+         E.consume 100;
+         emit "slow1";
+         E.consume 100;
+         emit "slow2"));
+  ignore
+    (E.spawn eng ~name:"fast" (fun () ->
+         E.consume 30;
+         emit "fast1";
+         E.consume 30;
+         emit "fast2"));
+  E.run eng;
+  Alcotest.(check (list string))
+    "events ordered by virtual time"
+    [ "fast1"; "fast2"; "slow1"; "slow2" ]
+    (List.rev !log)
+
+let test_fifo_tie_break () =
+  let eng = E.create () in
+  let log = ref [] in
+  ignore (E.spawn eng ~name:"first" (fun () -> log := "first" :: !log));
+  ignore (E.spawn eng ~name:"second" (fun () -> log := "second" :: !log));
+  E.run eng;
+  Alcotest.(check (list string))
+    "creation order on ties" [ "first"; "second" ] (List.rev !log)
+
+let test_sleep () =
+  let eng = E.create () in
+  let woke = ref 0L in
+  ignore
+    (E.spawn eng (fun () ->
+         E.consume 10;
+         E.sleep 90;
+         woke := E.now_cycles ()));
+  E.run eng;
+  Alcotest.(check int64) "sleep adds to clock" 100L !woke
+
+let test_cond_signal () =
+  let eng = E.create () in
+  let c = E.Cond.create "c" in
+  let wake_time = ref 0L in
+  ignore
+    (E.spawn eng ~name:"waiter" (fun () ->
+         E.Cond.wait c;
+         wake_time := E.now_cycles ()));
+  ignore
+    (E.spawn eng ~name:"signaller" (fun () ->
+         E.consume 500;
+         E.Cond.signal c));
+  E.run eng;
+  Alcotest.(check int64) "woken at signaller's time" 500L !wake_time
+
+let test_cond_broadcast () =
+  let eng = E.create () in
+  let c = E.Cond.create "c" in
+  let count = ref 0 in
+  for _ = 1 to 5 do
+    ignore
+      (E.spawn eng (fun () ->
+           E.Cond.wait c;
+           incr count))
+  done;
+  ignore
+    (E.spawn eng (fun () ->
+         E.consume 10;
+         E.Cond.broadcast c));
+  E.run eng;
+  Alcotest.(check int) "all woken" 5 !count
+
+let test_cond_signal_wakes_one () =
+  let eng = E.create () in
+  let c = E.Cond.create "c" in
+  let count = ref 0 in
+  for _ = 1 to 3 do
+    ignore
+      (E.spawn eng (fun () ->
+           E.Cond.wait c;
+           incr count))
+  done;
+  ignore
+    (E.spawn eng (fun () ->
+         E.consume 10;
+         E.Cond.signal c));
+  E.run_until_quiescent eng;
+  Alcotest.(check int) "exactly one woken" 1 !count;
+  Alcotest.(check int) "two still waiting" 2 (E.Cond.waiters c)
+
+let test_wait_timeout_expires () =
+  let eng = E.create () in
+  let c = E.Cond.create "c" in
+  let result = ref true in
+  let woke = ref 0L in
+  ignore
+    (E.spawn eng (fun () ->
+         result := E.Cond.wait_timeout c 250;
+         woke := E.now_cycles ()));
+  E.run eng;
+  Alcotest.(check bool) "timed out" false !result;
+  Alcotest.(check int64) "at deadline" 250L !woke
+
+let test_wait_timeout_signalled () =
+  let eng = E.create () in
+  let c = E.Cond.create "c" in
+  let result = ref false in
+  ignore (E.spawn eng (fun () -> result := E.Cond.wait_timeout c 1_000));
+  ignore
+    (E.spawn eng (fun () ->
+         E.consume 100;
+         E.Cond.signal c));
+  E.run eng;
+  Alcotest.(check bool) "signalled before deadline" true !result
+
+let test_deadlock_detection () =
+  let eng = E.create () in
+  let c = E.Cond.create "never" in
+  ignore (E.spawn eng ~name:"stuck" (fun () -> E.Cond.wait c));
+  match E.run eng with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception E.Deadlock names ->
+    Alcotest.(check (list string)) "stuck task reported" [ "stuck" ] names
+
+let test_kill_blocked_task () =
+  let eng = E.create () in
+  let c = E.Cond.create "never" in
+  let cleaned = ref false in
+  let victim =
+    E.spawn eng ~name:"victim" (fun () ->
+        Fun.protect
+          ~finally:(fun () -> cleaned := true)
+          (fun () -> E.Cond.wait c))
+  in
+  ignore
+    (E.spawn eng ~name:"killer" (fun () ->
+         E.consume 10;
+         E.kill_here victim));
+  E.run eng;
+  Alcotest.(check bool) "finally ran on kill" true !cleaned;
+  Alcotest.(check bool) "victim dead" false (E.is_alive eng victim)
+
+let test_kill_running_task () =
+  let eng = E.create () in
+  let reached = ref false in
+  let vid =
+    E.spawn eng ~name:"victim" (fun () ->
+        E.consume 10;
+        E.consume 10;
+        reached := true)
+  in
+  ignore
+    (E.spawn eng ~name:"killer" (fun () ->
+         E.consume 5;
+         E.kill_here vid));
+  E.run eng;
+  Alcotest.(check bool) "victim never finished body" false !reached
+
+let test_kill_not_started () =
+  let eng = E.create () in
+  let ran = ref false in
+  let vid = E.spawn eng ~name:"victim" (fun () -> ran := true) in
+  E.kill eng vid;
+  E.run eng;
+  Alcotest.(check bool) "never ran" false !ran
+
+let test_spawn_here_inherits_time () =
+  let eng = E.create () in
+  let child_time = ref 0L in
+  ignore
+    (E.spawn eng (fun () ->
+         E.consume 1234;
+         ignore
+           (E.spawn_here ~name:"child" (fun () ->
+                child_time := E.now_cycles ()))));
+  E.run eng;
+  Alcotest.(check int64) "child starts at parent's time" 1234L !child_time
+
+let test_failure_recorded () =
+  let eng = E.create () in
+  ignore (E.spawn eng ~name:"boom" (fun () -> failwith "boom"));
+  E.run eng;
+  match E.failures eng with
+  | [ (_, Failure msg) ] -> Alcotest.(check string) "message" "boom" msg
+  | _ -> Alcotest.fail "expected exactly one failure"
+
+let test_yield_fairness () =
+  let eng = E.create () in
+  let log = ref [] in
+  let task tag =
+    E.spawn eng ~name:tag (fun () ->
+        for _ = 1 to 2 do
+          log := tag :: !log;
+          E.yield ()
+        done)
+  in
+  ignore (task "a");
+  ignore (task "b");
+  E.run eng;
+  Alcotest.(check (list string))
+    "round-robin at equal time"
+    [ "a"; "b"; "a"; "b" ]
+    (List.rev !log)
+
+let test_many_tasks_scale () =
+  let eng = E.create () in
+  let total = ref 0 in
+  for i = 1 to 1000 do
+    ignore
+      (E.spawn eng (fun () ->
+           E.consume i;
+           incr total))
+  done;
+  E.run eng;
+  Alcotest.(check int) "all tasks ran" 1000 !total;
+  Alcotest.(check int64) "time is max consume" 1000L (E.now eng)
+
+let () =
+  Alcotest.run "varan_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "consume advances time" `Quick
+            test_consume_advances_time;
+          Alcotest.test_case "zero consume free" `Quick
+            test_zero_consume_is_free;
+          Alcotest.test_case "interleaving by time" `Quick
+            test_interleaving_by_time;
+          Alcotest.test_case "fifo tie break" `Quick test_fifo_tie_break;
+          Alcotest.test_case "sleep" `Quick test_sleep;
+          Alcotest.test_case "many tasks" `Quick test_many_tasks_scale;
+          Alcotest.test_case "spawn_here inherits time" `Quick
+            test_spawn_here_inherits_time;
+          Alcotest.test_case "failure recorded" `Quick test_failure_recorded;
+          Alcotest.test_case "yield fairness" `Quick test_yield_fairness;
+        ] );
+      ( "cond",
+        [
+          Alcotest.test_case "signal wakes at signaller time" `Quick
+            test_cond_signal;
+          Alcotest.test_case "broadcast wakes all" `Quick test_cond_broadcast;
+          Alcotest.test_case "signal wakes one" `Quick
+            test_cond_signal_wakes_one;
+          Alcotest.test_case "wait_timeout expires" `Quick
+            test_wait_timeout_expires;
+          Alcotest.test_case "wait_timeout signalled" `Quick
+            test_wait_timeout_signalled;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "deadlock detection" `Quick
+            test_deadlock_detection;
+          Alcotest.test_case "kill blocked task" `Quick test_kill_blocked_task;
+          Alcotest.test_case "kill running task" `Quick test_kill_running_task;
+          Alcotest.test_case "kill before start" `Quick test_kill_not_started;
+        ] );
+    ]

@@ -1,0 +1,449 @@
+(* Tests for the shared-memory pool, the Disruptor ring buffer, Lamport
+   clocks and the BPF engine (verifier, interpreter, assembler, rules). *)
+
+module E = Varan_sim.Engine
+module Pool = Varan_shmem.Pool
+module Ring = Varan_ringbuf.Ring
+module Event = Varan_ringbuf.Event
+module Lamport = Varan_vclock.Lamport
+module Bi = Varan_bpf.Insn
+module Verifier = Varan_bpf.Verifier
+module Interp = Varan_bpf.Interp
+module Asm = Varan_bpf.Asm
+module Rules = Varan_bpf.Rules
+
+(* --- pool ------------------------------------------------------------ *)
+
+let test_pool_alloc_free () =
+  let p = Pool.create () in
+  let c = Pool.alloc p 100 in
+  Alcotest.(check bool) "chunk live" true c.Pool.live;
+  Alcotest.(check bool)
+    "bucket rounds up to power of two" true
+    (Pool.chunk_capacity p c >= 100);
+  Pool.write c (Bytes.of_string "hello");
+  Alcotest.(check string)
+    "roundtrip" "hello"
+    (Bytes.to_string (Pool.read c 5));
+  Pool.free p c;
+  let s = Pool.stats p in
+  Alcotest.(check int) "allocs" 1 s.Pool.allocs;
+  Alcotest.(check int) "frees" 1 s.Pool.frees;
+  Alcotest.(check int) "no live chunks" 0 s.Pool.live_chunks
+
+let test_pool_reuses_chunks () =
+  let p = Pool.create () in
+  let c1 = Pool.alloc p 64 in
+  let addr = c1.Pool.addr in
+  Pool.free p c1;
+  let c2 = Pool.alloc p 64 in
+  Alcotest.(check int) "free list reuse" addr c2.Pool.addr;
+  let s = Pool.stats p in
+  Alcotest.(check int) "one segment" 1 s.Pool.segments_in_use
+
+let test_pool_bucket_segregation () =
+  let p = Pool.create () in
+  let small = Pool.alloc p 64 in
+  let big = Pool.alloc p 4096 in
+  Alcotest.(check bool)
+    "separate buckets" true
+    (small.Pool.bucket <> big.Pool.bucket);
+  let s = Pool.stats p in
+  Alcotest.(check int) "two segments" 2 s.Pool.segments_in_use
+
+let test_pool_double_free_rejected () =
+  let p = Pool.create () in
+  let c = Pool.alloc p 64 in
+  Pool.free p c;
+  match Pool.free p c with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected double-free rejection"
+
+let test_pool_exhaustion () =
+  let p = Pool.create ~pool_bytes:65536 ~segment_bytes:65536 () in
+  (* One segment of 64 KiB split into 1 KiB chunks: 64 allocs succeed. *)
+  for _ = 1 to 64 do
+    ignore (Pool.alloc p 1024)
+  done;
+  match Pool.alloc p 1024 with
+  | exception Pool.Out_of_memory -> ()
+  | _ -> Alcotest.fail "expected Out_of_memory"
+
+let test_pool_oversized_alloc () =
+  let p = Pool.create () in
+  match Pool.alloc p (1 lsl 30) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* --- ring ------------------------------------------------------------- *)
+
+let test_ring_publish_consume () =
+  let eng = E.create () in
+  let r = Ring.create ~size:8 "test" in
+  let got = ref [] in
+  let cid = Ring.add_consumer r in
+  ignore
+    (E.spawn eng ~name:"producer" (fun () ->
+         for i = 1 to 20 do
+           E.consume 10;
+           Ring.publish r i
+         done));
+  ignore
+    (E.spawn eng ~name:"consumer" (fun () ->
+         for _ = 1 to 20 do
+           got := Ring.consume r cid :: !got
+         done));
+  E.run eng;
+  Alcotest.(check (list int))
+    "in order, none lost"
+    (List.init 20 (fun i -> i + 1))
+    (List.rev !got)
+
+let test_ring_backpressure () =
+  (* A slow consumer must stall the producer once the ring fills. *)
+  let eng = E.create () in
+  let r = Ring.create ~size:4 "bp" in
+  let cid = Ring.add_consumer r in
+  ignore
+    (E.spawn eng ~name:"producer" (fun () ->
+         for i = 1 to 12 do
+           Ring.publish r i
+         done));
+  ignore
+    (E.spawn eng ~name:"slow-consumer" (fun () ->
+         for _ = 1 to 12 do
+           E.consume 1_000;
+           ignore (Ring.consume r cid)
+         done));
+  E.run eng;
+  let s = Ring.stats r in
+  Alcotest.(check bool) "producer stalled" true (s.Ring.producer_stalls > 0);
+  Alcotest.(check int) "all consumed" 12 s.Ring.consumes
+
+let test_ring_multiple_consumers_each_get_all () =
+  let eng = E.create () in
+  let r = Ring.create ~size:16 "multi" in
+  let sums = Array.make 3 0 in
+  let cids = Array.init 3 (fun _ -> Ring.add_consumer r) in
+  Array.iteri
+    (fun i cid ->
+      ignore
+        (E.spawn eng ~name:(Printf.sprintf "consumer%d" i) (fun () ->
+             for _ = 1 to 10 do
+               sums.(i) <- sums.(i) + Ring.consume r cid
+             done)))
+    cids;
+  ignore
+    (E.spawn eng ~name:"producer" (fun () ->
+         for v = 1 to 10 do
+           E.consume 5;
+           Ring.publish r v
+         done));
+  E.run eng;
+  Array.iteri
+    (fun i sum -> Alcotest.(check int) (Printf.sprintf "consumer %d" i) 55 sum)
+    sums
+
+let test_ring_remove_consumer_unblocks_producer () =
+  let eng = E.create () in
+  let r = Ring.create ~size:2 "crash" in
+  let dead = Ring.add_consumer r in
+  let live = Ring.add_consumer r in
+  let produced = ref 0 in
+  ignore
+    (E.spawn eng ~name:"producer" (fun () ->
+         for i = 1 to 6 do
+           Ring.publish r i;
+           produced := i
+         done));
+  ignore
+    (E.spawn eng ~name:"live-consumer" (fun () ->
+         for _ = 1 to 6 do
+           ignore (Ring.consume r live)
+         done));
+  (* The dead consumer never reads; unsubscribe it shortly after start,
+     as the coordinator does when a follower crashes. *)
+  ignore
+    (E.spawn eng ~name:"coordinator" (fun () ->
+         E.consume 100;
+         Ring.remove_consumer r dead));
+  E.run eng;
+  Alcotest.(check int) "producer finished" 6 !produced
+
+let test_ring_lag () =
+  let eng = E.create () in
+  let r = Ring.create ~size:64 "lag" in
+  let cid = Ring.add_consumer r in
+  ignore
+    (E.spawn eng (fun () ->
+         for i = 1 to 10 do
+           Ring.publish r i
+         done;
+         Alcotest.(check int) "lag after 10 publishes" 10 (Ring.lag r cid);
+         ignore (Ring.consume r cid);
+         ignore (Ring.consume r cid);
+         Alcotest.(check int) "lag after 2 consumes" 8 (Ring.lag r cid)));
+  E.run eng
+
+let test_ring_try_variants () =
+  let eng = E.create () in
+  let r = Ring.create ~size:2 "try" in
+  let cid = Ring.add_consumer r in
+  ignore
+    (E.spawn eng (fun () ->
+         Alcotest.(check bool) "consume on empty" true (Ring.try_consume r cid = None);
+         Alcotest.(check bool) "publish ok" true (Ring.try_publish r 1);
+         Alcotest.(check bool) "publish ok" true (Ring.try_publish r 2);
+         Alcotest.(check bool) "publish full" false (Ring.try_publish r 3);
+         Alcotest.(check bool) "peek" true (Ring.peek r cid = Some 1);
+         Alcotest.(check bool) "consume" true (Ring.try_consume r cid = Some 1);
+         Alcotest.(check bool) "now room" true (Ring.try_publish r 3)));
+  E.run eng
+
+(* --- events ----------------------------------------------------------- *)
+
+let test_event_sizing () =
+  Alcotest.(check int) "cache line" 64 Event.event_bytes;
+  let e = Event.make ~clock:1 ~args:[| 1; 2; 3 |] 42 in
+  Alcotest.(check bool) "fits inline" true (Event.fits_inline e);
+  match Event.make ~clock:1 ~args:(Array.make 7 0) 42 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "seven args must be rejected"
+
+(* --- lamport ----------------------------------------------------------- *)
+
+let test_lamport_leader_follower () =
+  let leader = Lamport.create () in
+  let follower = Lamport.create () in
+  let s1 = Lamport.tick leader in
+  let s2 = Lamport.tick leader in
+  Alcotest.(check (list int)) "timestamps" [ 1; 2 ] [ s1; s2 ];
+  (* Follower must take s1 before s2. *)
+  Alcotest.(check bool) "s2 too early" false (Lamport.try_advance follower s2);
+  Alcotest.(check bool) "s1 ok" true (Lamport.try_advance follower s1);
+  Alcotest.(check bool) "s2 now ok" true (Lamport.try_advance follower s2);
+  Alcotest.(check bool) "replay rejected" false (Lamport.try_advance follower s2)
+
+let test_lamport_force_on_promotion () =
+  let c = Lamport.create () in
+  Lamport.force c 41;
+  Alcotest.(check int) "adopted position" 42 (Lamport.tick c)
+
+(* --- bpf --------------------------------------------------------------- *)
+
+let test_verifier_accepts_listing1 () =
+  match Asm.assemble Rules.listing1 with
+  | Ok prog -> (
+    match Verifier.verify prog with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "verifier rejected listing1: %s" m)
+  | Error m -> Alcotest.failf "assembly failed: %s" m
+
+let test_verifier_rejects_empty_and_endless () =
+  (match Verifier.verify [||] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "empty accepted");
+  match Verifier.verify [| Bi.Ld_imm 1 |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "no-ret accepted"
+
+let test_verifier_rejects_out_of_range_jump () =
+  let prog = [| Bi.Jeq (1, 5, 0); Bi.Ret_k 0 |] in
+  match Verifier.verify prog with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range jump accepted"
+
+let test_interp_arithmetic () =
+  let prog =
+    [| Bi.Ld_imm 40; Bi.Ldx_imm 2; Bi.Alu_add Bi.X; Bi.Ret_a |]
+  in
+  let out =
+    Interp.run prog ~data:{ Interp.nr = 0; args = [||] } ~event:Interp.no_event
+  in
+  Alcotest.(check int) "40+2" 42 out.Interp.action;
+  Alcotest.(check int) "steps" 4 out.Interp.steps
+
+let test_interp_listing1_semantics () =
+  let prog = Asm.assemble_exn Rules.listing1 in
+  let run ~leader_nr ~follower_nr =
+    (Interp.run prog
+       ~data:{ Interp.nr = follower_nr; args = [||] }
+       ~event:{ Interp.ev_nr = leader_nr; ev_ret = 0; ev_args = [||] })
+      .Interp.action
+  in
+  (* Leader at getegid (108), follower inserting getuid (102): allowed. *)
+  Alcotest.(check int) "getuid insertion" Bi.ret_allow
+    (run ~leader_nr:108 ~follower_nr:102);
+  (* Leader at open (2), follower inserting getgid (104): allowed. *)
+  Alcotest.(check int) "getgid insertion" Bi.ret_allow
+    (run ~leader_nr:2 ~follower_nr:104);
+  (* Unknown leader event: killed. *)
+  Alcotest.(check int) "unknown divergence" Bi.ret_kill
+    (run ~leader_nr:1 ~follower_nr:102);
+  (* The published filter falls through from the getegid check into the
+     open check, so leader=getegid with follower=getgid is also allowed —
+     the paper notes one could write a tighter filter using more context. *)
+  Alcotest.(check int) "fall-through of the published filter" Bi.ret_allow
+    (run ~leader_nr:108 ~follower_nr:104);
+  Alcotest.(check int) "genuinely wrong follower call" Bi.ret_kill
+    (run ~leader_nr:108 ~follower_nr:7)
+
+let test_asm_errors () =
+  (match Asm.assemble "frobnicate #1\nret #0" with
+  | Error m ->
+    Alcotest.(check bool) "line number" true (String.length m > 0)
+  | Ok _ -> Alcotest.fail "unknown mnemonic accepted");
+  match Asm.assemble "start: jmp start\nret #0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "backward jump accepted"
+
+let test_rules_added () =
+  let prog =
+    Rules.allow_added_syscalls ~expected_leader:[ 108; 2 ] ~added:[ 102; 104 ]
+  in
+  let run leader follower =
+    Rules.verdict_of_action
+      (Interp.run prog
+         ~data:{ Interp.nr = follower; args = [||] }
+         ~event:{ Interp.ev_nr = leader; ev_ret = 0; ev_args = [||] })
+        .Interp.action
+  in
+  Alcotest.(check bool) "insertion ok" true
+    (run 108 102 = Rules.Execute_follower_call);
+  Alcotest.(check bool) "insertion ok 2" true
+    (run 2 104 = Rules.Execute_follower_call);
+  Alcotest.(check bool) "kill otherwise" true (run 3 102 = Rules.Kill)
+
+let test_rules_removed () =
+  let prog = Rules.allow_removed_syscalls ~removed:[ 72 ] in
+  let run leader =
+    Rules.verdict_of_action
+      (Interp.run prog
+         ~data:{ Interp.nr = 0; args = [||] }
+         ~event:{ Interp.ev_nr = leader; ev_ret = 0; ev_args = [||] })
+        .Interp.action
+  in
+  Alcotest.(check bool) "fcntl removable" true (run 72 = Rules.Skip_leader_event);
+  Alcotest.(check bool) "others kill" true (run 1 = Rules.Kill)
+
+let test_rules_combine () =
+  let a = Rules.allow_added_syscalls ~expected_leader:[ 108 ] ~added:[ 102 ] in
+  let b = Rules.allow_removed_syscalls ~removed:[ 72 ] in
+  let prog = Rules.combine a b in
+  let run leader follower =
+    Rules.verdict_of_action
+      (Interp.run prog
+         ~data:{ Interp.nr = follower; args = [||] }
+         ~event:{ Interp.ev_nr = leader; ev_ret = 0; ev_args = [||] })
+        .Interp.action
+  in
+  Alcotest.(check bool) "rule a fires" true
+    (run 108 102 = Rules.Execute_follower_call);
+  Alcotest.(check bool) "rule b fires" true (run 72 999 = Rules.Skip_leader_event);
+  Alcotest.(check bool) "both miss" true (run 5 5 = Rules.Kill)
+
+let test_codec_roundtrip_listing1 () =
+  let prog = Asm.assemble_exn Rules.listing1 in
+  let image = Varan_bpf.Codec.encode_program prog in
+  Alcotest.(check int) "8 bytes per insn" (8 * Array.length prog)
+    (Bytes.length image);
+  match Varan_bpf.Codec.decode_program image with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok prog' ->
+    Alcotest.(check bool) "roundtrip" true (prog = prog')
+
+let test_codec_rejects_garbage () =
+  (match Varan_bpf.Codec.decode_program (Bytes.make 7 '\xff') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "odd size accepted");
+  match Varan_bpf.Codec.decode_program (Bytes.make 8 '\xff') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage opcode accepted"
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"sock_filter codec roundtrip" ~count:200
+    QCheck.(pair (int_bound 200) (int_bound 200))
+    (fun (a, b) ->
+      let prog =
+        Rules.combine
+          (Rules.allow_added_syscalls ~expected_leader:[ a + 1 ] ~added:[ b + 1 ])
+          (Rules.allow_removed_syscalls ~removed:[ a + b + 2 ])
+      in
+      match Varan_bpf.Codec.decode_program (Varan_bpf.Codec.encode_program prog) with
+      | Ok prog' -> prog = prog'
+      | Error _ -> false)
+
+(* Property: generated addition rules never allow an un-listed call. *)
+let prop_added_rules_sound =
+  QCheck.Test.make ~name:"addition rules are sound" ~count:300
+    QCheck.(triple (int_bound 200) (int_bound 200) (int_bound 1000))
+    (fun (leader, follower, salt) ->
+      let expected = [ 10 + (salt mod 5); 50 ] in
+      let added = [ 100; 101 ] in
+      let prog =
+        Rules.allow_added_syscalls ~expected_leader:expected ~added
+      in
+      let out =
+        Interp.run prog
+          ~data:{ Interp.nr = follower; args = [||] }
+          ~event:{ Interp.ev_nr = leader; ev_ret = 0; ev_args = [||] }
+      in
+      let allowed = out.Interp.action = Bi.ret_allow in
+      let should_allow = List.mem leader expected && List.mem follower added in
+      allowed = should_allow)
+
+let () =
+  Alcotest.run "varan_streams"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "alloc/free" `Quick test_pool_alloc_free;
+          Alcotest.test_case "chunk reuse" `Quick test_pool_reuses_chunks;
+          Alcotest.test_case "bucket segregation" `Quick
+            test_pool_bucket_segregation;
+          Alcotest.test_case "double free" `Quick test_pool_double_free_rejected;
+          Alcotest.test_case "exhaustion" `Quick test_pool_exhaustion;
+          Alcotest.test_case "oversized" `Quick test_pool_oversized_alloc;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "publish/consume" `Quick test_ring_publish_consume;
+          Alcotest.test_case "backpressure" `Quick test_ring_backpressure;
+          Alcotest.test_case "multiple consumers" `Quick
+            test_ring_multiple_consumers_each_get_all;
+          Alcotest.test_case "remove consumer" `Quick
+            test_ring_remove_consumer_unblocks_producer;
+          Alcotest.test_case "lag" `Quick test_ring_lag;
+          Alcotest.test_case "try variants" `Quick test_ring_try_variants;
+          Alcotest.test_case "event sizing" `Quick test_event_sizing;
+        ] );
+      ( "lamport",
+        [
+          Alcotest.test_case "leader/follower ordering" `Quick
+            test_lamport_leader_follower;
+          Alcotest.test_case "force on promotion" `Quick
+            test_lamport_force_on_promotion;
+        ] );
+      ( "bpf",
+        [
+          Alcotest.test_case "verifier accepts listing1" `Quick
+            test_verifier_accepts_listing1;
+          Alcotest.test_case "verifier rejects bad" `Quick
+            test_verifier_rejects_empty_and_endless;
+          Alcotest.test_case "verifier rejects wild jump" `Quick
+            test_verifier_rejects_out_of_range_jump;
+          Alcotest.test_case "interp arithmetic" `Quick test_interp_arithmetic;
+          Alcotest.test_case "listing1 semantics" `Quick
+            test_interp_listing1_semantics;
+          Alcotest.test_case "assembler errors" `Quick test_asm_errors;
+          Alcotest.test_case "addition rules" `Quick test_rules_added;
+          Alcotest.test_case "removal rules" `Quick test_rules_removed;
+          Alcotest.test_case "combine rules" `Quick test_rules_combine;
+          QCheck_alcotest.to_alcotest prop_added_rules_sound;
+          Alcotest.test_case "codec roundtrip listing1" `Quick
+            test_codec_roundtrip_listing1;
+          Alcotest.test_case "codec rejects garbage" `Quick
+            test_codec_rejects_garbage;
+          QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,411 @@
+(* Tests for the workload layer: the benchmark servers and clients, the
+   measurement driver, the lockstep baseline, the revision variants, the
+   record-replay clients and the SPEC kernels. *)
+
+module E = Varan_sim.Engine
+module K = Varan_kernel.Kernel
+module Api = Varan_kernel.Api
+module Nvx = Varan_nvx.Session
+module Config = Varan_nvx.Config
+module Variant = Varan_nvx.Variant
+module Lockstep = Varan_nvx.Lockstep
+module RR = Varan_nvx.Record_replay
+module Workload = Varan_workloads.Workload
+module Catalog = Varan_workloads.Catalog
+module Clients = Varan_workloads.Clients
+module Driver = Varan_workloads.Driver
+module Revisions = Varan_workloads.Revisions
+module Spec = Varan_workloads.Spec
+module Kv_server = Varan_workloads.Kv_server
+module Proto = Varan_workloads.Proto
+
+(* Small copies of the catalog loads so tests stay fast. *)
+let shrink ?(conns = 4) ?(reqs = 12) w =
+  {
+    w with
+    Workload.load =
+      {
+        w.Workload.load with
+        Clients.connections = conns;
+        requests_per_conn = reqs;
+        warmup_requests = 0;
+      };
+  }
+
+(* The servers count the catalog's connection totals; shrink those too. *)
+let tiny_redis =
+  let port = 7500 in
+  {
+    Workload.w_name = "tiny-redis";
+    units = 1;
+    unit_kind = Variant.Thread;
+    make_body =
+      (fun () ->
+        Kv_server.make_body
+          {
+            Kv_server.port;
+            units = 1;
+            aof_path = None;
+            work_cycles = 5_000;
+            expected_conns = 4;
+            crash_on_hmget = false;
+          }
+          ());
+    profile = Variant.default_profile;
+    mem_intensity_c1000 = 50;
+    port_base = port;
+    load =
+      {
+        Clients.connections = 4;
+        requests_per_conn = 12;
+        request_of =
+          (fun ~conn ~seq ->
+            if seq mod 2 = 0 then
+              Kv_server.cmd (Printf.sprintf "SET k%d-%d v" conn seq)
+            else Kv_server.cmd (Printf.sprintf "GET k%d-%d" conn (seq - 1)));
+        think_cycles = 200;
+        warmup_requests = 0;
+      };
+    setup_fs = (fun k -> Varan_kernel.Vfs.add_file k "/var/.keep" "");
+    rules = None;
+  }
+
+(* --- servers end-to-end ------------------------------------------------ *)
+
+let test_driver_native_serves_all () =
+  let m = Driver.run tiny_redis Driver.Native in
+  Alcotest.(check int) "all requests served" 48 m.Driver.requests;
+  Alcotest.(check int) "no errors" 0 m.Driver.errors;
+  Alcotest.(check bool) "throughput positive" true (m.Driver.throughput_rps > 0.)
+
+let test_driver_nvx_serves_all () =
+  let m =
+    Driver.run tiny_redis
+      (Driver.Nvx { followers = 2; config = Config.default })
+  in
+  Alcotest.(check int) "all requests served" 48 m.Driver.requests;
+  Alcotest.(check int) "no errors" 0 m.Driver.errors
+
+let test_driver_overhead_ordering () =
+  (* NVX with more followers can't be faster; lockstep is slower than
+     both on an I/O-heavy server. *)
+  let native = Driver.run tiny_redis Driver.Native in
+  let nvx1 =
+    Driver.run tiny_redis (Driver.Nvx { followers = 1; config = Config.default })
+  in
+  let ls = Driver.run tiny_redis (Driver.Lockstep { versions = 2 }) in
+  let ov_nvx = Driver.overhead ~baseline:native nvx1 in
+  let ov_ls = Driver.overhead ~baseline:native ls in
+  Alcotest.(check bool)
+    (Printf.sprintf "nvx >= 1 (%.3f)" ov_nvx)
+    true (ov_nvx >= 0.99);
+  Alcotest.(check bool)
+    (Printf.sprintf "lockstep (%.3f) > nvx (%.3f)" ov_ls ov_nvx)
+    true
+    (ov_ls > ov_nvx)
+
+let test_all_catalog_servers_run_natively () =
+  List.iter
+    (fun w ->
+      let w = shrink w in
+      let m = Driver.run w Driver.Native in
+      Alcotest.(check bool)
+        (w.Workload.w_name ^ " served requests")
+        true
+        (m.Driver.requests > 0 && m.Driver.errors = 0))
+    (Catalog.c10k_servers @ Catalog.prior_work_servers)
+
+let test_all_catalog_servers_run_under_nvx () =
+  List.iter
+    (fun w ->
+      let w = shrink w in
+      let m =
+        Driver.run w (Driver.Nvx { followers = 1; config = Config.default })
+      in
+      Alcotest.(check bool)
+        (w.Workload.w_name ^ " served under NVX")
+        true
+        (m.Driver.requests > 0 && m.Driver.errors = 0))
+    (Catalog.c10k_servers @ Catalog.prior_work_servers)
+
+(* --- lockstep ----------------------------------------------------------- *)
+
+let test_lockstep_correctness () =
+  (* Two variants in lockstep produce exactly one kernel execution per
+     rendezvous: the file written by the workload holds one copy. *)
+  let eng = E.create () in
+  let k = K.create eng in
+  Varan_kernel.Vfs.add_file k "/var/.keep" "";
+  let body _i api =
+    let ok = Result.get_ok in
+    let fd =
+      ok (Api.openf api "/var/out" Varan_kernel.Flags.(o_wronly lor o_creat))
+    in
+    ignore (ok (Api.write_str api fd "once"));
+    ignore (ok (Api.close api fd))
+  in
+  let mk name i = Variant.make name (Variant.single (body i)) in
+  let t = Lockstep.launch k [ mk "a" 0; mk "b" 1 ] in
+  E.run_until_quiescent eng;
+  Alcotest.(check (option string))
+    "single execution" (Some "once")
+    (Varan_kernel.Vfs.read_file k "/var/out");
+  let st = Lockstep.stats t in
+  Alcotest.(check int) "no divergences" 0 st.Lockstep.divergences;
+  Alcotest.(check bool) "rendezvous happened" true (st.Lockstep.rendezvous > 0);
+  Alcotest.(check int) "same syscall counts" st.Lockstep.per_variant_syscalls.(0)
+    st.Lockstep.per_variant_syscalls.(1)
+
+let test_lockstep_divergence_fatal () =
+  let eng = E.create () in
+  let k = K.create eng in
+  let body_a api = ignore (Api.getuid api) in
+  let body_b api = ignore (Api.getgid api) in
+  let t =
+    Lockstep.launch k
+      [
+        Variant.make "a" (Variant.single body_a);
+        Variant.make "b" (Variant.single body_b);
+      ]
+  in
+  E.run_until_quiescent eng;
+  let st = Lockstep.stats t in
+  Alcotest.(check bool) "divergence detected" true (st.Lockstep.divergences > 0)
+
+let test_ptrace_model_analytic_sanity () =
+  (* The closed-form model must predict multiples on a syscall-dense
+     request and near-nothing on a compute-heavy one. *)
+  let c = Varan_cycles.Cost.default in
+  let dense =
+    Varan_nvx.Ptrace_model.estimated_server_overhead c
+      ~syscalls_per_request:6 ~avg_payload_bytes:256 ~request_cycles:12_000
+  in
+  let compute_bound =
+    Varan_nvx.Ptrace_model.estimated_server_overhead c
+      ~syscalls_per_request:6 ~avg_payload_bytes:256
+      ~request_cycles:10_000_000
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "dense request suffers (%.2f)" dense)
+    true (dense > 3.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "compute-bound barely notices (%.4f)" compute_bound)
+    true
+    (compute_bound < 1.02)
+
+(* --- revisions ----------------------------------------------------------- *)
+
+let run_revision_pair leader follower =
+  let eng = E.create () in
+  let k = K.create eng in
+  Revisions.setup_fs k;
+  let port = 7600 in
+  let variants =
+    [
+      Revisions.lighttpd_variant ~rev:leader ~port ~expected_conns:1;
+      Revisions.lighttpd_variant ~rev:follower ~port ~expected_conns:1;
+    ]
+  in
+  let session = Nvx.launch k variants in
+  let served = ref 0 in
+  let cproc = K.new_proc k "c" in
+  let tid =
+    E.spawn eng (fun () ->
+        let api = Api.direct k cproc in
+        let ok = Result.get_ok in
+        let fd = ok (Api.socket api) in
+        let rec conn () =
+          match Api.connect api fd port with
+          | Ok () -> ()
+          | Error _ ->
+            E.sleep 5_000;
+            conn ()
+        in
+        conn ();
+        for _ = 1 to 3 do
+          ok (Proto.send_msg api fd (Bytes.of_string "GET /www/index.html"));
+          match Proto.recv_msg api fd with
+          | Ok (Some _) -> incr served
+          | _ -> ()
+        done;
+        ignore (Api.close api fd))
+  in
+  K.register_task k cproc tid;
+  E.run_until_quiescent eng;
+  (!served, Nvx.crashes session, Nvx.is_alive session 1)
+
+let test_revision_pairs_coexist () =
+  List.iter
+    (fun (l, f, name) ->
+      let served, crashes, follower_alive = run_revision_pair l f in
+      Alcotest.(check int) (name ^ ": all served") 3 served;
+      Alcotest.(check int) (name ^ ": no crash") 0 (List.length crashes);
+      Alcotest.(check bool) (name ^ ": follower alive") true follower_alive)
+    [
+      (Revisions.R2435, Revisions.R2436, "2435/2436");
+      (Revisions.R2523, Revisions.R2524, "2523/2524");
+      (Revisions.R2577, Revisions.R2578, "2577/2578");
+      (Revisions.R2578, Revisions.R2577, "reversed 2578/2577");
+    ]
+
+let test_revision_divergence_without_rules_fatal () =
+  let strip_rules (v : Variant.t) = { v with Variant.rules = None } in
+  let eng = E.create () in
+  let k = K.create eng in
+  Revisions.setup_fs k;
+  let port = 7610 in
+  let variants =
+    [
+      Revisions.lighttpd_variant ~rev:Revisions.R2435 ~port ~expected_conns:1;
+      strip_rules
+        (Revisions.lighttpd_variant ~rev:Revisions.R2436 ~port
+           ~expected_conns:1);
+    ]
+  in
+  let session = Nvx.launch k variants in
+  (* No client needed: the startup prologue already diverges. *)
+  E.run_until_quiescent eng;
+  Alcotest.(check bool) "follower killed" false (Nvx.is_alive session 1)
+
+(* --- record-replay -------------------------------------------------------- *)
+
+let test_record_then_replay_roundtrip () =
+  let eng = E.create () in
+  let k = K.create eng in
+  Varan_kernel.Vfs.add_file k "/var/.keep" "";
+  let observed = Array.make 3 "" in
+  let program slot api =
+    let ok = Result.get_ok in
+    let fd = ok (Api.openf api "/dev/urandom" Varan_kernel.Flags.o_rdonly) in
+    let b = ok (Api.read api fd 12) in
+    ignore (ok (Api.close api fd));
+    observed.(slot) <- Bytes.to_string b
+  in
+  let session =
+    Nvx.launch k [ Variant.make "orig" (Variant.single (program 0)) ]
+  in
+  let recorder = RR.record session k ~tuple:0 ~path:"/var/log.bin" in
+  E.run_until_quiescent eng;
+  ignore (E.spawn eng (fun () -> RR.stop recorder));
+  E.run_until_quiescent eng;
+  Alcotest.(check bool) "events recorded" true (RR.recorded_events recorder > 0);
+  (* Replay on a different machine with different entropy. *)
+  let eng2 = E.create () in
+  let k2 = K.create ~seed:777 eng2 in
+  (match Varan_kernel.Vfs.read_file k "/var/log.bin" with
+  | Some log -> Varan_kernel.Vfs.add_file k2 "/var/log.bin" log
+  | None -> Alcotest.fail "log missing");
+  let rp =
+    RR.replay k2 ~path:"/var/log.bin"
+      [
+        Variant.make "ra" (Variant.single (program 1));
+        Variant.make "rb" (Variant.single (program 2));
+      ]
+  in
+  E.run_until_quiescent eng2;
+  Alcotest.(check int) "no replay crashes" 0 (List.length (RR.replay_crashes rp));
+  Alcotest.(check string) "replay a faithful" observed.(0) observed.(1);
+  Alcotest.(check string) "replay b faithful" observed.(0) observed.(2)
+
+let test_replay_divergent_version_detected () =
+  let eng = E.create () in
+  let k = K.create eng in
+  Varan_kernel.Vfs.add_file k "/var/.keep" "";
+  let recorded api =
+    let ok = Result.get_ok in
+    let fd = ok (Api.openf api "/dev/null" 0) in
+    ignore (ok (Api.close api fd))
+  in
+  let divergent api = ignore (Api.getuid api) in
+  let session =
+    Nvx.launch k [ Variant.make "orig" (Variant.single recorded) ]
+  in
+  let recorder = RR.record session k ~tuple:0 ~path:"/var/log2.bin" in
+  E.run_until_quiescent eng;
+  ignore (E.spawn eng (fun () -> RR.stop recorder));
+  E.run_until_quiescent eng;
+  let rp =
+    RR.replay k ~path:"/var/log2.bin"
+      [ Variant.make "bad" (Variant.single divergent) ]
+  in
+  E.run_until_quiescent eng;
+  Alcotest.(check int) "divergence reported" 1
+    (List.length (RR.replay_crashes rp))
+
+let test_scribe_slower_than_native () =
+  let native = Driver.run tiny_redis Driver.Native in
+  let scribe = Driver.run tiny_redis Driver.Scribe in
+  Alcotest.(check bool) "scribe adds overhead" true
+    (Driver.overhead ~baseline:native scribe > 1.05)
+
+(* --- spec ------------------------------------------------------------------ *)
+
+let test_spec_kernels_run () =
+  let p = List.hd Spec.cpu2000 in
+  let small = { p with Spec.compute_mcycles = 2 } in
+  let ov0 = Driver.run_spec small ~followers:0 in
+  let ov2 = Driver.run_spec small ~followers:2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "interception cheap (%.3f)" ov0)
+    true
+    (ov0 < 1.1);
+  Alcotest.(check bool)
+    (Printf.sprintf "contention grows (%.3f >= %.3f)" ov2 ov0)
+    true (ov2 >= ov0)
+
+let test_spec_memory_intensity_ordering () =
+  (* mcf (memory-bound) must degrade more than crafty (cache-resident). *)
+  let find name l = List.find (fun p -> p.Spec.sp_name = name) l in
+  let small p = { p with Spec.compute_mcycles = 2 } in
+  let mcf = Driver.run_spec (small (find "181.mcf" Spec.cpu2000)) ~followers:4 in
+  let crafty =
+    Driver.run_spec (small (find "186.crafty" Spec.cpu2000)) ~followers:4
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mcf (%.2f) > crafty (%.2f)" mcf crafty)
+    true (mcf > crafty)
+
+let () =
+  Alcotest.run "varan_workloads"
+    [
+      ( "driver",
+        [
+          Alcotest.test_case "native serves all" `Quick
+            test_driver_native_serves_all;
+          Alcotest.test_case "nvx serves all" `Quick test_driver_nvx_serves_all;
+          Alcotest.test_case "overhead ordering" `Quick
+            test_driver_overhead_ordering;
+          Alcotest.test_case "catalog servers native" `Slow
+            test_all_catalog_servers_run_natively;
+          Alcotest.test_case "catalog servers nvx" `Slow
+            test_all_catalog_servers_run_under_nvx;
+        ] );
+      ( "lockstep",
+        [
+          Alcotest.test_case "correctness" `Quick test_lockstep_correctness;
+          Alcotest.test_case "divergence fatal" `Quick
+            test_lockstep_divergence_fatal;
+          Alcotest.test_case "ptrace model analytic sanity" `Quick
+            test_ptrace_model_analytic_sanity;
+        ] );
+      ( "revisions",
+        [
+          Alcotest.test_case "pairs coexist" `Quick test_revision_pairs_coexist;
+          Alcotest.test_case "no rules fatal" `Quick
+            test_revision_divergence_without_rules_fatal;
+        ] );
+      ( "record-replay",
+        [
+          Alcotest.test_case "record then replay" `Quick
+            test_record_then_replay_roundtrip;
+          Alcotest.test_case "divergent version detected" `Quick
+            test_replay_divergent_version_detected;
+          Alcotest.test_case "scribe slower" `Quick test_scribe_slower_than_native;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "kernels run" `Quick test_spec_kernels_run;
+          Alcotest.test_case "memory intensity ordering" `Quick
+            test_spec_memory_intensity_ordering;
+        ] );
+    ]

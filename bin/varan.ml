@@ -305,6 +305,101 @@ let strace_cmd =
        ~doc:"Trace a workload's system calls, strace-style (unit 0 only).")
     Term.(const run $ workload_arg $ count_arg)
 
+let torture_cmd =
+  let module H = Varan_torture.Harness in
+  let module Fault = Varan_fault.Plan in
+  let module Oracle = Varan_trace.Oracle in
+  let seed_arg =
+    Arg.(
+      value & opt int 0xBEEF
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Case seed. The whole case — workload, follower count and \
+             fault plan — derives from it, so any failing case reproduces \
+             from the seed alone.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "count" ] ~docv:"N" ~doc:"Run this many consecutive seeds.")
+  in
+  let plan_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "plan" ] ~docv:"SPEC"
+          ~doc:
+            "Override the case's fault plan, e.g. \
+             crash:0@8,stall:1@3+20000,ring:2,burst:2x3@4,fork@5.")
+  in
+  let followers_torture_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "followers" ] ~docv:"N" ~doc:"Override the follower count.")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Print the plan, digests and the oracle report per case.")
+  in
+  let run seed count plan_spec followers verbose =
+    let failures = ref 0 in
+    for s = seed to seed + count - 1 do
+      let case = H.gen_case s in
+      let case =
+        match followers with
+        | Some f -> { case with H.followers = max 1 (min 4 f) }
+        | None -> case
+      in
+      let case =
+        match plan_spec with
+        | None -> case
+        | Some spec -> (
+          match Fault.of_string spec with
+          | Ok plan -> { case with H.plan = plan }
+          | Error e ->
+            prerr_endline ("varan torture: " ^ e);
+            exit 2)
+      in
+      let out = H.run_case case in
+      let fails = H.check case out in
+      if fails = [] then Printf.printf "PASS %s\n" (H.describe_case case)
+      else begin
+        incr failures;
+        Printf.printf "FAIL %s\n" (H.describe_case case);
+        List.iter (fun f -> Printf.printf "  %s\n" f) fails
+      end;
+      if verbose then begin
+        List.iter
+          (fun inj -> Printf.printf "  plan: %s\n" (Fault.describe inj))
+          case.H.plan;
+        List.iter
+          (fun (idx, msg) -> Printf.printf "  crash: variant %d: %s\n" idx msg)
+          out.H.crashes;
+        Printf.printf "  native digest: %s\n" out.H.native;
+        Array.iteri
+          (fun i d ->
+            Printf.printf "  v%d%s: %s\n" i
+              (if out.H.alive.(i) then "" else " (dead)")
+              (if d = out.H.native then "= native" else d))
+          out.H.digests;
+        Format.printf "  %a@." Oracle.pp_report out.H.report
+      end
+    done;
+    if count > 1 then
+      Printf.printf "%d/%d cases passed\n" (count - !failures) count;
+    exit (if !failures > 0 then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:
+         "Run seed-reproducible fault-injection torture cases: a random \
+          syscall program under a random fault plan, checked against the \
+          native run and the trace-invariant oracle.")
+    Term.(
+      const run $ seed_arg $ count_arg $ plan_arg $ followers_torture_arg
+      $ verbose_arg)
+
 let list_cmd =
   let run () =
     print_endline "Available workloads:";
@@ -321,6 +416,9 @@ let main =
   Cmd.group
     (Cmd.info "varan" ~version:"1.0.0"
        ~doc:"An efficient N-version execution framework (simulated reproduction).")
-    [ run_cmd; lockstep_cmd; rewrite_cmd; bpf_cmd; strace_cmd; list_cmd ]
+    [
+      run_cmd; lockstep_cmd; rewrite_cmd; bpf_cmd; strace_cmd; torture_cmd;
+      list_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,89 @@
+(** Deterministic fault-plan DSL.
+
+    A plan is a list of injections, each armed at a precise stream
+    sequence number of a variant. The NVX session queries the plan from
+    hooks on the leader-publish and follower-consume paths and applies
+    the returned actions; an empty plan changes nothing. Plans are plain
+    data: they serialize to a compact spec string ([to_string] /
+    [of_string]) so any failing torture case reproduces from the command
+    line, and [random] derives a plan deterministically from a seed. *)
+
+type injection =
+  | Crash_variant of { idx : int; at_seq : int }
+      (** Variant [idx] raises {!Injected} when its stream position
+          reaches [at_seq] — before executing or consuming that event, so
+          a crashed leader never half-applies a call (§5.1). *)
+  | Stall_follower of { idx : int; at_seq : int; delay : int }
+      (** Follower [idx] sleeps [delay] cycles before consuming event
+          [at_seq] — the lagging-follower scenario that exercises ring
+          backpressure (§3.3.1). *)
+  | Ring_pressure of { shrink_to : int }
+      (** Cap the session's ring size at [shrink_to] slots, forcing the
+          leader to stall on slow followers. Applied at launch. *)
+  | Signal_burst of { at_seq : int; signo : int; count : int }
+      (** Post [count] caught signals to the leader process when it
+          reaches [at_seq]; they stream as [Ev_signal] events at the next
+          interception boundary (§2.2). *)
+  | Fork_at of { at_op : int }
+      (** Splice a [fork] into the generated workload at op index
+          [at_op]. Consumed by the torture harness, not the session. *)
+  | Drop_payload_grant of { idx : int; at_seq : int }
+      (** Follower [idx] skips releasing the shared-memory payload of the
+          event at [at_seq] — a deliberate refcount leak used as the
+          negative control proving the oracle's pool-balance check is not
+          vacuous. Never part of random plans. *)
+
+type t = injection list
+
+exception Injected of string
+(** Raised inside a victim task by a [Crash_variant] injection. *)
+
+val empty : t
+
+val random : Varan_util.Prng.t -> variants:int -> max_seq:int -> max_op:int -> t
+(** A randomized plan drawn from the generator: possible ring pressure,
+    crashes of at most [variants - 1] distinct variants (at least one
+    survivor always remains), follower stalls, signal bursts and fork
+    splices. Deterministic in the generator state. *)
+
+val ring_shrink : t -> int option
+(** Smallest [Ring_pressure] cap in the plan, if any. *)
+
+val fork_ops : t -> int list
+(** The [Fork_at] op indices, in plan order. *)
+
+val describe : injection -> string
+val to_string : t -> string
+(** Compact spec, e.g. ["crash:0@8,stall:1@3+20000,ring:2"]. *)
+
+val of_string : string -> (t, string) result
+(** Parse the [to_string] format. *)
+
+(** {1 Armed plans}
+
+    The session arms a plan at launch: injections become one-shot and
+    fire the first time the watched variant's stream position reaches
+    their sequence number. *)
+
+type armed
+
+type action =
+  | Crash
+  | Stall of int  (** cycles to sleep *)
+  | Signals of { signo : int; count : int }
+  | Drop_payload
+
+val arm : t -> armed
+
+val at_leader_publish : armed -> idx:int -> seq:int -> action list
+(** Actions due on the leader path of variant [idx] about to publish
+    stream event [seq]: crashes targeting [idx] and signal bursts. *)
+
+val at_follower_consume : armed -> idx:int -> seq:int -> action list
+(** Actions due on the follower path of variant [idx] about to consume
+    stream event [seq]: stalls, payload drops and crashes, in that
+    order. *)
+
+val unfired : armed -> injection list
+(** Injections that never fired (stream ended before their sequence
+    number, or their variant changed role). *)

@@ -1071,6 +1071,16 @@ let encode_time_ns ns =
 let set_signal_handler proc signo f =
   Hashtbl.replace proc.sighandlers signo (Sig_handler f)
 
+(* Queue a caught signal directly on a process — the fault injector's
+   signal source. Unlike [do_kill] there is no default-disposition kill:
+   a signal without a handler is simply dropped, so an injection can
+   never terminate a process out of band. *)
+let post_signal proc signo =
+  match Hashtbl.find_opt proc.sighandlers signo with
+  | Some (Sig_handler _) ->
+    proc.pending_signals <- proc.pending_signals @ [ signo ]
+  | _ -> ()
+
 let take_pending_signal proc =
   match proc.pending_signals with
   | [] -> None

@@ -90,4 +90,9 @@ val take_pending_signal : proc -> int option
 (** Pop the next pending caught signal, if any — used by the NVX monitor
     to stream signal events before the interrupted call. *)
 
+val post_signal : proc -> int -> unit
+(** Queue a caught signal on the process (delivered at its next syscall
+    boundary) if a handler is installed; dropped otherwise. The fault
+    injector's signal source — never terminates the process. *)
+
 val handler_for : proc -> int -> (int -> unit) option

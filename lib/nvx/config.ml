@@ -11,6 +11,8 @@ type t = {
   pool_bytes : int;
   cost : Varan_cycles.Cost.t;
   trace_first_variant : bool;
+  fault_plan : Varan_fault.Plan.t;
+  oracle : Varan_trace.Oracle.t option;
 }
 
 let default =
@@ -23,6 +25,8 @@ let default =
     pool_bytes = 16 * 1024 * 1024;
     cost = Varan_cycles.Cost.default;
     trace_first_variant = false;
+    fault_plan = Varan_fault.Plan.empty;
+    oracle = None;
   }
 
 let with_ring_size t n = { t with ring_size = n }

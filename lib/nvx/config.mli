@@ -36,6 +36,13 @@ type t = {
       (** attach an strace-style tracer to variant 0's main unit — the
           paper's point that ptrace-based tooling still works on VARAN'd
           programs (§3.1), available here even under the monitor *)
+  fault_plan : Varan_fault.Plan.t;
+      (** deterministic injections (crashes, stalls, ring pressure,
+          signal bursts) applied at precise stream sequence numbers; the
+          default empty plan changes nothing *)
+  oracle : Varan_trace.Oracle.t option;
+      (** when set, the session taps every tuple ring and reports stream
+          bookkeeping to the trace-invariant oracle *)
 }
 
 val default : t

@@ -273,9 +273,22 @@ let replay ?(config = Config.default) k ~path variants =
         | Syscall_table.Local -> K.exec k proc sysno args
         | Syscall_table.Unsupported -> Args.err Errno.ENOSYS
         | Syscall_table.Stream | Syscall_table.Virtual -> (
-          E.consume cost.Cost.consume_event;
-          let e = Ring.consume ring cids.(i) in
-          rst.r_consumed <- rst.r_consumed + 1;
+          (* Recorded signal deliveries interrupt the pending call just
+             as they did live: run this client's own handler and keep
+             waiting for the call's result event. *)
+          let rec next_event () =
+            E.consume cost.Cost.consume_event;
+            let e = Ring.consume ring cids.(i) in
+            rst.r_consumed <- rst.r_consumed + 1;
+            if e.Event.kind = Event.Ev_signal then begin
+              (match K.handler_for proc e.Event.sysno with
+              | Some f -> f e.Event.sysno
+              | None -> ());
+              next_event ()
+            end
+            else e
+          in
+          let e = next_event () in
           if e.Event.sysno <> Sysno.to_int sysno then
             raise
               (Replay_divergence
@@ -300,6 +313,8 @@ let replay ?(config = Config.default) k ~path variants =
 
 let replayed_events rp =
   Array.fold_left (fun acc r -> acc + r.r_consumed) 0 rp.rstates
+
+let replay_ring rp = rp.rp_ring
 
 let replay_crashes rp = List.rev rp.rp_crashes
 

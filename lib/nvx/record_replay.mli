@@ -45,6 +45,12 @@ val replay :
     the outside world. Several variants replay the same log at once. *)
 
 val replayed_events : replayer -> int
+
+val replay_ring : replayer -> Varan_ringbuf.Event.t Varan_ringbuf.Ring.t
+(** The ring the replay leader republishes the log into — exposed so a
+    {!Varan_trace.Oracle} can be attached to a replayed execution and its
+    report compared against the live run's. *)
+
 val replay_crashes : replayer -> (int * string) list
 (** Replay clients that diverged from the log or crashed — the
     "which versions are susceptible to this crash" use case. *)

@@ -17,6 +17,8 @@ module Codegen = Varan_binary.Codegen
 module Image = Varan_binary.Image
 module Vdso = Varan_binary.Vdso
 module Prng = Varan_util.Prng
+module Fault = Varan_fault.Plan
+module Oracle = Varan_trace.Oracle
 
 type role = Leader | Follower
 
@@ -78,6 +80,9 @@ type vstate = {
      by tuple (§2.3's coalescing pattern: a buffered leader write serves
      several smaller follower writes). *)
   partial_consumed : (int, int) Hashtbl.t;
+  (* One-shot flag set by a Drop_payload_grant injection: the next pool
+     payload this follower decodes is read but not released. *)
+  mutable drop_release : bool;
   mutable alive : bool;
   mutable table : Syscall_table.t;
   mutable trap_share_c1000 : int;
@@ -113,6 +118,8 @@ type t = {
   mutable divergence_log : divergence_record list; (* reversed, bounded *)
   mutable divergence_log_len : int;
   mutable tracer : Varan_kernel.Strace.t option;
+  fault : Fault.armed option;
+  oracle : Oracle.t option;
 }
 
 and divergence_record = {
@@ -131,7 +138,13 @@ let register_payload t (e : Event.t) readers =
   | None -> ()
   | Some chunk ->
     if readers <= 0 then Pool.free t.pool chunk
-    else Hashtbl.replace t.payload_refs chunk.Pool.addr (ref readers)
+    else begin
+      Hashtbl.replace t.payload_refs chunk.Pool.addr (ref readers);
+      match t.oracle with
+      | Some o ->
+        Oracle.note_payload_register o ~addr:chunk.Pool.addr ~readers
+      | None -> ()
+    end
 
 let release_payload t (e : Event.t) =
   match e.Event.payload with
@@ -140,6 +153,9 @@ let release_payload t (e : Event.t) =
     match Hashtbl.find_opt t.payload_refs chunk.Pool.addr with
     | None -> ()
     | Some r ->
+      (match t.oracle with
+      | Some o -> Oracle.note_payload_release o ~addr:chunk.Pool.addr
+      | None -> ());
       decr r;
       if !r <= 0 then begin
         Hashtbl.remove t.payload_refs chunk.Pool.addr;
@@ -179,18 +195,30 @@ let stream_lag t vst tuple =
   | None -> Ring.lag t.rings.(tuple) vst.consumer_ids.(tuple)
   | Some pq -> Ring.lag pq.(tuple).(vst.idx) 0
 
+(* A crashed follower dies with events still unread; its payload
+   references go away with its cursor, or the chunks leak (caught by the
+   oracle's pool-balance invariant). *)
+let unread_safe ring cid =
+  try Ring.unread ring cid with Invalid_argument _ -> []
+
 let stream_remove t vst =
   match t.pump_queues with
   | None ->
     Array.iteri
       (fun tuple cid ->
-        if cid >= 0 then Ring.remove_consumer t.rings.(tuple) cid)
+        if cid >= 0 then begin
+          List.iter (release_payload t) (unread_safe t.rings.(tuple) cid);
+          Ring.remove_consumer t.rings.(tuple) cid;
+          vst.consumer_ids.(tuple) <- -1
+        end)
       vst.consumer_ids
   | Some pq ->
     Array.iter
       (fun per_tuple ->
-        Ring.remove_consumer per_tuple.(vst.idx) 0;
-        Ring.poke per_tuple.(vst.idx))
+        let q = per_tuple.(vst.idx) in
+        List.iter (release_payload t) (unread_safe q 0);
+        Ring.remove_consumer q 0;
+        Ring.poke q)
       pq
 
 (* ------------------------------------------------------------------ *)
@@ -205,6 +233,12 @@ let grow_array a len fill =
     bigger
   end
 
+(* Ring capacity after any Ring_pressure injection in the fault plan. *)
+let effective_ring_size (cfg : Config.t) =
+  match Fault.ring_shrink cfg.Config.fault_plan with
+  | Some n -> max 1 (min n cfg.Config.ring_size)
+  | None -> cfg.Config.ring_size
+
 (* Allocate a fresh tuple: its own ring buffer and bookkeeping slots.
    Only meaningful in shared-ring mode; the event-pump ablation predates
    multi-process support, as did the prototype's first design. *)
@@ -214,7 +248,12 @@ let new_tuple t =
   | None -> ());
   let idx = t.ntuples in
   t.ntuples <- idx + 1;
-  let fresh = Ring.create ~size:t.cfg.Config.ring_size (Printf.sprintf "ring%d" idx) in
+  let fresh =
+    Ring.create ~size:(effective_ring_size t.cfg) (Printf.sprintf "ring%d" idx)
+  in
+  (match t.oracle with
+  | Some o -> Oracle.attach_ring o ~tuple:idx fresh
+  | None -> ());
   t.rings <- grow_array t.rings t.ntuples fresh;
   t.rings.(idx) <- fresh;
   t.waitlock_sleepers <- grow_array t.waitlock_sleepers t.ntuples 0;
@@ -258,7 +297,10 @@ let handle_crash t vst exn =
   if vst.alive then begin
     vst.alive <- false;
     t.crash_list <- (vst.idx, Printexc.to_string exn) :: t.crash_list;
-    let was_leader = t.leader_idx = vst.idx in
+    (match t.oracle with
+    | Some o ->
+      Oracle.note_crash o ~idx:vst.idx ~was_leader:(t.leader_idx = vst.idx)
+    | None -> ());
     (* The SIGSEGV handler notifies the coordinator over the control
        socket; the coordinator reacts after the notification delay. *)
     ignore
@@ -268,7 +310,13 @@ let handle_crash t vst exn =
            | Some proc -> K.kill_proc t.k proc Varan_kernel.Flags.sigsegv
            | None -> ());
            stream_remove t vst;
-           if was_leader then begin
+           (* Leadership is re-examined when the notification arrives,
+              not frozen at crash time: crashes race the notification
+              delay, and a decision based on stale state could hand the
+              leader role to a variant that died in the meantime (e.g.
+              the last follower crashing while an earlier leader
+              crash's election is still in flight). *)
+           if not t.vstates.(t.leader_idx).alive then begin
              (* Elect the alive follower with the smallest internal id. *)
              let candidate =
                Array.fold_left
@@ -330,11 +378,65 @@ let publish_cost t disp nfollowers =
   base + (c.Cost.publish_per_follower * nfollowers)
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection hooks                                               *)
+(* ------------------------------------------------------------------ *)
+
+let injected_crash vst seq =
+  Fault.Injected
+    (Printf.sprintf "fault: variant %d crashed at stream seq %d" vst.idx seq)
+
+(* Leader-path hook, at entry to execute-and-record — before the call
+   runs, so a crashed leader never half-applies a syscall: the promoted
+   follower re-executes it exactly once, and the kernel-side entropy and
+   VFS state stay identical to a native run. *)
+let fault_leader_hook t vst proc tuple =
+  match t.fault with
+  | None -> ()
+  | Some armed ->
+    let seq = Ring.published t.rings.(tuple) in
+    List.iter
+      (fun (action : Fault.action) ->
+        match action with
+        | Fault.Signals { signo; count } ->
+          for _ = 1 to count do
+            K.post_signal proc signo
+          done
+        | Fault.Crash -> raise (injected_crash vst seq)
+        | Fault.Stall _ | Fault.Drop_payload -> ())
+      (Fault.at_leader_publish armed ~idx:vst.idx ~seq)
+
+(* Follower-path hook, at entry to the replay step and the fork
+   rendezvous, keyed on the follower's own stream cursor. *)
+let fault_follower_hook t vst tuple =
+  match t.fault with
+  | None -> ()
+  | Some armed ->
+    let seq =
+      match t.pump_queues with
+      | None ->
+        let cid = vst.consumer_ids.(tuple) in
+        if cid < 0 then None else Some (Ring.cursor t.rings.(tuple) cid)
+      | Some pq -> Some (Ring.cursor pq.(tuple).(vst.idx) 0)
+    in
+    match seq with
+    | None -> ()
+    | Some seq ->
+      List.iter
+        (fun (action : Fault.action) ->
+          match action with
+          | Fault.Stall delay -> E.sleep delay
+          | Fault.Drop_payload -> vst.drop_release <- true
+          | Fault.Crash -> raise (injected_crash vst seq)
+          | Fault.Signals _ -> ())
+        (Fault.at_follower_consume armed ~idx:vst.idx ~seq)
+
+(* ------------------------------------------------------------------ *)
 (* Leader path                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let leader_execute_and_record t vst ~unit_idx ~tuple proc
     (disp : Syscall_table.disposition) sysno args =
+  fault_leader_hook t vst proc tuple;
   let c = t.cost in
   let is_exit = sysno = Sysno.Exit || sysno = Sysno.Exit_group in
   let nfoll = alive_followers t in
@@ -403,7 +505,16 @@ let leader_execute_and_record t vst ~unit_idx ~tuple proc
             ~payload_len ?inline_out ?grant ~clock:clockv
             (Sysno.to_int sysno)
         in
-        register_payload t event nfoll;
+        (* Every active stream consumer releases the payload after
+           reading it — followers, and in shared-ring mode any recorder
+           client too. Counting only followers would free a chunk under
+           the recorder's feet (readers = 0 with a lone recorder). *)
+        let readers =
+          match t.pump_queues with
+          | None -> Ring.active_consumers t.rings.(tuple)
+          | Some _ -> nfoll
+        in
+        register_payload t event readers;
         event);
     vst.st.events_published <- vst.st.events_published + 1
   in
@@ -491,7 +602,8 @@ let decode_event_result t vst (disp : Syscall_table.disposition) proc
         (Cost.copy_cycles ~rate_c100:c.Cost.shmem_copy_follower_c100
            e.Event.payload_len);
       let bytes = Pool.read chunk e.Event.payload_len in
-      release_payload t e;
+      if vst.drop_release then vst.drop_release <- false
+      else release_payload t e;
       Some bytes
   in
   (match e.Event.grant with
@@ -563,6 +675,7 @@ let run_signal_handler proc signo =
 
 let rec follower_replay t vst ~unit_idx ~tuple proc
     (disp : Syscall_table.disposition) sysno args =
+  fault_follower_hook t vst tuple;
   let e = await_event t vst ~unit_idx ~tuple sysno in
   if e.Event.kind = Event.Ev_signal then begin
     (* A signal the leader received at this point in the stream: consume
@@ -629,7 +742,16 @@ let rec follower_replay t vst ~unit_idx ~tuple proc
       vst.st.events_consumed <- vst.st.events_consumed + 1;
       K.exec t.k proc sysno args
     end
-    else remainder_adjust (decode_event_result t vst disp proc e)
+    else begin
+      (* Descriptor-freeing calls execute in every variant: a grant
+         installed the fd into this follower's table, so the follower
+         must release its own slot too, or a later promotion would
+         allocate descriptors out of step with native numbering. The
+         observable result still comes from the leader's event. *)
+      if sysno = Sysno.Close && e.Event.ret >= 0 then
+        ignore (K.exec t.k proc sysno args);
+      remainder_adjust (decode_event_result t vst disp proc e)
+    end
   end
   else begin
     match run_rewrite_rule t vst e sysno args with
@@ -678,7 +800,10 @@ let do_promote t vst ~unit_idx ~tuple =
   if vst.vrole = Follower then begin
     vst.vrole <- Leader;
     vst.table <- Syscall_table.leader;
-    Lamport.force vst.clocks.(tuple) (Lamport.current vst.clocks.(tuple))
+    Lamport.force vst.clocks.(tuple) (Lamport.current vst.clocks.(tuple));
+    match t.oracle with
+    | Some o -> Oracle.note_promotion o ~idx:vst.idx
+    | None -> ()
   end;
   E.consume t.cost.Cost.failover_promote
 
@@ -834,6 +959,7 @@ and nvx_fork t vst ~unit_idx parent_proc body =
   in
   let leading = t.leader_idx = vst.idx && vst.promoted.(unit_idx) in
   if leading then begin
+    fault_leader_hook t vst parent_proc tuple;
     let new_tu = new_tuple t in
     let child_proc = K.fork_proc t.k parent_proc child_name in
     E.consume (t.cost.Cost.native_base Sysno.Fork);
@@ -862,6 +988,7 @@ and nvx_fork t vst ~unit_idx parent_proc body =
     child_proc.Types.pid
   end
   else begin
+    fault_follower_hook t vst tuple;
     match await_event t vst ~unit_idx ~tuple Sysno.Fork with
     | exception Promote ->
       do_promote t vst ~unit_idx ~tuple;
@@ -934,9 +1061,10 @@ let launch ?(config = Config.default) k variants =
     | Variant.Process -> shape.Variant.units
   in
   let nvariants = Array.length variants in
+  let ring_size = effective_ring_size config in
   let rings =
     Array.init ntuples (fun i ->
-        Ring.create ~size:config.Config.ring_size (Printf.sprintf "ring%d" i))
+        Ring.create ~size:ring_size (Printf.sprintf "ring%d" i))
   in
   let pump_queues =
     match config.Config.streaming with
@@ -945,7 +1073,7 @@ let launch ?(config = Config.default) k variants =
       Some
         (Array.init ntuples (fun tu ->
              Array.init nvariants (fun v ->
-                 Ring.create ~size:config.Config.ring_size
+                 Ring.create ~size:ring_size
                    (Printf.sprintf "pump%d.%d" tu v))))
   in
   let vstates =
@@ -972,6 +1100,7 @@ let launch ?(config = Config.default) k variants =
             | Variant.Process -> Array.init shape.Variant.units Fun.id);
           unit_tid = Array.init shape.Variant.units Fun.id;
           partial_consumed = Hashtbl.create 4;
+          drop_release = false;
           alive = true;
           table =
             (if idx = 0 then Syscall_table.leader else Syscall_table.follower);
@@ -1004,8 +1133,16 @@ let launch ?(config = Config.default) k variants =
       divergence_log = [];
       divergence_log_len = 0;
       tracer = None;
+      fault =
+        (match config.Config.fault_plan with
+        | [] -> None
+        | plan -> Some (Fault.arm plan));
+      oracle = config.Config.oracle;
     }
   in
+  (match t.oracle with
+  | Some o -> Array.iteri (fun i ring -> Oracle.attach_ring o ~tuple:i ring) rings
+  | None -> ());
   (* Register ring consumers for followers (and pump consumers). *)
   (match pump_queues with
   | None ->

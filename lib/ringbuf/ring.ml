@@ -3,6 +3,11 @@ module Cond = E.Cond
 
 type consumer = { cid : int; mutable cursor : int; mutable active : bool }
 
+type 'a tap = {
+  tap_publish : seq:int -> 'a -> unit;
+  tap_consume : cid:int -> seq:int -> 'a -> unit;
+}
+
 type stats = {
   publishes : int;
   consumes : int;
@@ -23,6 +28,7 @@ type 'a t = {
   mutable n_consumes : int;
   mutable n_producer_stalls : int;
   mutable n_consumer_stalls : int;
+  mutable tap : 'a tap option;
 }
 
 let create ?(size = 256) rname =
@@ -40,10 +46,12 @@ let create ?(size = 256) rname =
     n_consumes = 0;
     n_producer_stalls = 0;
     n_consumer_stalls = 0;
+    tap = None;
   }
 
 let size t = Array.length t.slots
 let name t = t.rname
+let set_tap t tap = t.tap <- tap
 
 let add_consumer t =
   let c = { cid = t.next_cid; cursor = t.head; active = true } in
@@ -75,9 +83,11 @@ let is_full t = t.head - min_cursor t >= Array.length t.slots
 let publish_now t v =
   (* Slots behind every consumer are dead; overwriting implements the
      paper's immediate deallocation of consumed events. *)
-  t.slots.(t.head mod Array.length t.slots) <- Some v;
-  t.head <- t.head + 1;
+  let seq = t.head in
+  t.slots.(seq mod Array.length t.slots) <- Some v;
+  t.head <- seq + 1;
   t.n_publishes <- t.n_publishes + 1;
+  (match t.tap with Some tp -> tp.tap_publish ~seq v | None -> ());
   Cond.broadcast t.not_empty;
   Cond.broadcast t.activity
 
@@ -108,11 +118,15 @@ let try_publish t v =
   end
 
 let consume_now t c =
-  match t.slots.(c.cursor mod Array.length t.slots) with
+  let seq = c.cursor in
+  match t.slots.(seq mod Array.length t.slots) with
   | None -> assert false
   | Some v ->
-    c.cursor <- c.cursor + 1;
+    c.cursor <- seq + 1;
     t.n_consumes <- t.n_consumes + 1;
+    (match t.tap with
+    | Some tp -> tp.tap_consume ~cid:c.cid ~seq v
+    | None -> ());
     Cond.broadcast t.not_full;
     Cond.broadcast t.activity;
     v
@@ -141,6 +155,21 @@ let peek t cid =
 let lag t cid =
   let c = find_consumer t cid in
   t.head - c.cursor
+
+let cursor t cid = (find_consumer t cid).cursor
+
+let unread t cid =
+  let c = find_consumer t cid in
+  let len = Array.length t.slots in
+  let rec go seq acc =
+    if seq >= t.head then List.rev acc
+    else
+      go (seq + 1)
+        (match t.slots.(seq mod len) with
+        | Some v -> v :: acc
+        | None -> acc)
+  in
+  go c.cursor []
 
 let published t = t.head
 

@@ -54,6 +54,14 @@ val peek : 'a t -> int -> 'a option
 val lag : 'a t -> int -> int
 (** Events published but not yet read by this consumer. *)
 
+val cursor : 'a t -> int -> int
+(** The next sequence number consumer [cid] will read. *)
+
+val unread : 'a t -> int -> 'a list
+(** Events published but not yet read by this consumer, oldest first —
+    what the failover path must account for (e.g. releasing payload
+    references) when a crashed consumer is removed. *)
+
 val published : 'a t -> int
 (** Total events ever published. *)
 
@@ -80,3 +88,17 @@ type stats = {
 }
 
 val stats : 'a t -> stats
+
+(** {1 Taps}
+
+    A tap observes every publish and every consume with the event's
+    sequence number — the trace oracle's view of the stream. Callbacks
+    run synchronously inside the ring operation and must not block or
+    perform engine effects. *)
+
+type 'a tap = {
+  tap_publish : seq:int -> 'a -> unit;
+  tap_consume : cid:int -> seq:int -> 'a -> unit;
+}
+
+val set_tap : 'a t -> 'a tap option -> unit

@@ -2,6 +2,7 @@ type task_id = int
 
 exception Deadlock of string list
 exception Killed
+exception Budget_exceeded of int64
 
 type task_state = Runnable | Blocked | Finished | Dead
 
@@ -370,12 +371,19 @@ let blocked_task_names t =
       | Finished | Dead -> acc)
     t.tasks []
 
-let drain t =
+let drain ?cycle_budget t =
   let rec loop () =
     match Heap.pop t.heap with
     | None -> ()
     | Some e ->
       if not e.cancelled then begin
+        (* Liveness watchdog: a simulation that schedules work past the
+           budget is considered hung (livelock, missed wakeup, runaway
+           retry loop) and aborted rather than left spinning. *)
+        (match cycle_budget with
+        | Some budget when e.etime > budget ->
+          raise (Budget_exceeded t.global_time)
+        | _ -> ());
         if e.etime > t.global_time then t.global_time <- e.etime;
         e.run ()
       end;
@@ -383,12 +391,12 @@ let drain t =
   in
   loop ()
 
-let run t =
-  drain t;
+let run ?cycle_budget t =
+  drain ?cycle_budget t;
   let leftover = blocked_task_names t in
   if leftover <> [] then raise (Deadlock (List.sort compare leftover))
 
-let run_until_quiescent t = drain t
+let run_until_quiescent ?cycle_budget t = drain ?cycle_budget t
 
 (* Task-context wrappers. *)
 let consume n = if n > 0 then Effect.perform (E_consume n)

@@ -24,6 +24,13 @@ exception Deadlock of string list
 exception Killed
 (** Raised inside a task that is being killed, so that it can unwind. *)
 
+exception Budget_exceeded of int64
+(** Raised by {!run} / {!run_until_quiescent} when the simulation
+    schedules work beyond the given cycle budget; carries the virtual
+    time reached. The fault-injection harness uses it as a liveness
+    oracle: a hung failover or a livelocked follower trips the budget
+    instead of spinning forever. *)
+
 val create : unit -> t
 
 val spawn : t -> ?name:string -> (unit -> unit) -> task_id
@@ -31,12 +38,13 @@ val spawn : t -> ?name:string -> (unit -> unit) -> task_id
     global virtual time. May be called from inside or outside a running
     simulation. *)
 
-val run : t -> unit
+val run : ?cycle_budget:int64 -> t -> unit
 (** Run until every task has finished. @raise Deadlock if tasks remain
-    blocked with nothing runnable. Uncaught task exceptions propagate out
-    of [run] after being recorded. *)
+    blocked with nothing runnable. @raise Budget_exceeded if
+    [cycle_budget] is given and virtual time passes it. Uncaught task
+    exceptions propagate out of [run] after being recorded. *)
 
-val run_until_quiescent : t -> unit
+val run_until_quiescent : ?cycle_budget:int64 -> t -> unit
 (** Like {!run} but treats remaining blocked tasks as acceptable (they are
     simply abandoned); used by benchmarks whose servers block in [accept]
     forever once the clients are done. *)

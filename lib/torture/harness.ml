@@ -1,0 +1,143 @@
+module E = Varan_sim.Engine
+module K = Varan_kernel.Kernel
+module Nvx = Varan_nvx.Session
+module Config = Varan_nvx.Config
+module Variant = Varan_nvx.Variant
+module Fault = Varan_fault.Plan
+module Oracle = Varan_trace.Oracle
+module Prng = Varan_util.Prng
+module P = Programs
+
+type case = {
+  seed : int;
+  followers : int;
+  prog_len : int;
+  ring_size : int;
+  plan : Fault.t;
+}
+
+let gen_case seed =
+  let rng = Prng.create seed in
+  let followers = 1 + Prng.int rng 4 in
+  let prog_len = 8 + Prng.int rng 53 in
+  let plan =
+    Fault.random rng ~variants:(followers + 1) ~max_seq:(prog_len * 3 / 2)
+      ~max_op:prog_len
+  in
+  { seed; followers; prog_len; ring_size = 8; plan }
+
+let describe_case c =
+  Printf.sprintf "seed=%d followers=%d len=%d ring=%d plan=[%s]" c.seed
+    c.followers c.prog_len c.ring_size
+    (Fault.to_string c.plan)
+
+let build_program case =
+  (* A stream independent of [gen_case]'s: extending the plan generator
+     must not reshuffle every workload. *)
+  let rng = Prng.create (case.seed lxor 0x7A57E5) in
+  let ops = P.gen_ops rng case.prog_len in
+  let ops =
+    if
+      List.exists
+        (function Fault.Signal_burst _ -> true | _ -> false)
+        case.plan
+    then P.Install_handler :: ops
+    else ops
+  in
+  P.splice_forks rng ops ~at:(Fault.fork_ops case.plan)
+
+type outcome = {
+  native : string;
+  digests : string array;
+  alive : bool array;
+  leader_idx : int;
+  crashes : (int * string) list;
+  report : Oracle.report;
+  stats : Nvx.stats;
+  budget_blown : bool;
+}
+
+(* Generous: a healthy case finishes in well under a billion cycles, so
+   only a genuine livelock (e.g. a spin that never observes progress)
+   trips it. Deadlocks park tasks instead and surface as incomplete
+   digests. *)
+let cycle_budget = 50_000_000_000L
+
+let run_ops case ops =
+  let native = P.run_native ~kernel_seed:case.seed ops in
+  let eng = E.create () in
+  let k = K.create ~seed:case.seed eng in
+  let n = case.followers + 1 in
+  let obs = Array.init n (fun _ -> P.observations ()) in
+  let variants =
+    List.init n (fun i ->
+        Variant.make
+          (Printf.sprintf "v%d" i)
+          (Variant.single (fun api -> P.interpret ~obs:obs.(i) ~path:"0" ops api)))
+  in
+  let oracle = Oracle.create () in
+  let config =
+    {
+      Config.default with
+      Config.ring_size = case.ring_size;
+      fault_plan = case.plan;
+      oracle = Some oracle;
+    }
+  in
+  let session = Nvx.launch ~config k variants in
+  let budget_blown =
+    try
+      E.run_until_quiescent ~cycle_budget eng;
+      false
+    with E.Budget_exceeded _ -> true
+  in
+  {
+    native;
+    digests = Array.map P.digest obs;
+    alive = Array.init n (Nvx.is_alive session);
+    leader_idx = Nvx.leader_index session;
+    crashes = Nvx.crashes session;
+    report = Oracle.report oracle;
+    stats = Nvx.stats session;
+    budget_blown;
+  }
+
+let run_case case = run_ops case (build_program case)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let check case out =
+  let fails = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> fails := s :: !fails) fmt in
+  if out.budget_blown then fail "liveness: cycle budget exceeded";
+  let planned_crash idx =
+    List.exists
+      (function Fault.Crash_variant c -> c.idx = idx | _ -> false)
+      case.plan
+  in
+  List.iter
+    (fun (idx, msg) ->
+      if not (planned_crash idx) then
+        fail "unplanned crash of variant %d: %s" idx msg
+      else if not (contains ~sub:"fault:" msg) then
+        fail "variant %d died of %s, not its injection" idx msg)
+    out.crashes;
+  Array.iteri
+    (fun i alive ->
+      if alive && out.digests.(i) <> out.native then
+        fail "variant %d survived but diverged: %S <> native %S" i
+          out.digests.(i) out.native)
+    out.alive;
+  if Array.exists Fun.id out.alive && not out.alive.(out.leader_idx) then
+    fail "leader role held by dead variant %d" out.leader_idx;
+  if not (Oracle.ok out.report) then
+    List.iter (fail "oracle: %s") out.report.Oracle.violations;
+  List.rev !fails
+
+let run_seed seed =
+  let case = gen_case seed in
+  let out = run_case case in
+  (case, out, check case out)

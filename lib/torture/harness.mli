@@ -1,0 +1,59 @@
+(** The torture harness: one seed → one fully determined case.
+
+    A case is a random syscall program, a random fault plan and a variant
+    count, all derived from a single integer seed. Running it executes
+    the program natively and under NVX with the plan injected and the
+    trace oracle attached, then checks every invariant the paper claims
+    failover preserves:
+
+    - each surviving variant's observable digest equals the native run's;
+    - every crash was planned (an {!Varan_fault.Plan.Injected} raise on a
+      victim the plan names);
+    - the oracle's report is clean (clocks, prefix delivery, payload
+      balance, promotion accounting, fork rendezvous);
+    - when survivors remain, exactly one of them holds the leader role;
+    - the run stays inside the cycle budget (liveness under faults).
+
+    Any failure reproduces from the seed alone — the [varan torture]
+    subcommand re-runs it from the command line. *)
+
+type case = {
+  seed : int;
+  followers : int;  (** 1–4 *)
+  prog_len : int;
+  ring_size : int;  (** before any [Ring_pressure] shrink *)
+  plan : Varan_fault.Plan.t;
+}
+
+val gen_case : int -> case
+(** Derive the whole case deterministically from the seed. *)
+
+val describe_case : case -> string
+
+val build_program : case -> Programs.op list
+(** The case's workload: the generated ops plus a handler install when
+    the plan posts signals, with forks spliced at the plan's positions. *)
+
+type outcome = {
+  native : string;  (** native-run digest *)
+  digests : string array;  (** per-variant digest, index = variant idx *)
+  alive : bool array;
+  leader_idx : int;
+  crashes : (int * string) list;
+  report : Varan_trace.Oracle.report;
+  stats : Varan_nvx.Session.stats;
+  budget_blown : bool;
+}
+
+val run_case : case -> outcome
+(** Execute native + NVX runs. Deterministic in the case. *)
+
+val run_ops : case -> Programs.op list -> outcome
+(** Like {!run_case} but with an explicit workload instead of the
+    case-derived one — the directed scenarios use this. *)
+
+val check : case -> outcome -> string list
+(** The invariant checks; empty means the case passed. *)
+
+val run_seed : int -> case * outcome * string list
+(** [gen_case], [run_case], [check] in one step. *)

@@ -1,0 +1,64 @@
+(** Trace-invariant oracle for the NVX event stream.
+
+    The oracle taps each tuple's ring buffer and folds the paper's
+    invariants over every published and consumed event:
+
+    - Lamport clocks are monotone per tuple and consistent with stream
+      order — event at sequence [s] carries stamp [s + 1], which also
+      proves no event is lost or duplicated across a leader promotion
+      (§3.3.2, §5.1);
+    - every consumer (follower, pump, recorder) observes exactly the
+      prefix the leader published — physically the same events, in
+      order, with no gap in its consumed sequence numbers;
+    - shared-memory payload register/release refcounts balance: when the
+      run finishes no payload chunk is still held;
+    - failover promotes each variant at most once, only after a leader
+      crash (§5.1);
+    - fork rendezvous creates exactly one fresh ring per process tuple,
+      and no two [Ev_fork] events claim the same tuple (§3.3.3).
+
+    Violations accumulate into the {!report}; a clean report has none.
+    The oracle also folds a structural digest per tuple stream, used to
+    compare a recorded run against its replay. *)
+
+type t
+
+val create : unit -> t
+
+val attach_ring :
+  t -> tuple:int -> Varan_ringbuf.Event.t Varan_ringbuf.Ring.t -> unit
+(** Install the oracle's tap on a tuple's ring and register the tuple.
+    Call before any event is published on it. The session does this for
+    every ring it creates; call it directly to check a standalone ring
+    (e.g. the replay ring of {!Varan_nvx.Record_replay}). *)
+
+(** {1 Session notes} — bookkeeping the ring cannot see. *)
+
+val note_crash : t -> idx:int -> was_leader:bool -> unit
+val note_promotion : t -> idx:int -> unit
+val note_payload_register : t -> addr:int -> readers:int -> unit
+val note_payload_release : t -> addr:int -> unit
+
+(** {1 Report} *)
+
+type report = {
+  tuples : int;
+  events : int;  (** events published across all tuples *)
+  consumed : int;  (** consumption acts across all consumers *)
+  crashes : int;
+  leader_crashes : int;
+  promotions : int;
+  outstanding_payloads : int;  (** payload chunks never fully released *)
+  digests : (int * int * int) list;
+      (** per tuple: (tuple, events published, structural stream digest
+          over kind/sysno/tid/args/ret/clock/result bytes — stable across
+          record and replay) *)
+  violations : string list;  (** oldest first; empty means clean *)
+}
+
+val report : t -> report
+(** Fold the end-of-run checks and return the verdict. Pure: callable
+    repeatedly (e.g. mid-run for a partial view). *)
+
+val ok : report -> bool
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,4 @@
+(* The shared random-program generator and interpreter, re-exported so
+   every test speaks the same op language (the torture suite reuses it
+   through Varan_torture directly). *)
+include Varan_torture.Programs

@@ -1,0 +1,314 @@
+(* Torture tests over NVX failover and replay: deterministic fault plans
+   (crashes, stalls, ring pressure, signal bursts, fork splices) injected
+   into random syscall programs, with the trace-invariant oracle attached
+   to every ring. Each case asserts the full harness check: surviving
+   variants observably equal the native run, every crash was planned,
+   the oracle report is clean, and a live leader holds the role. *)
+
+module E = Varan_sim.Engine
+module K = Varan_kernel.Kernel
+module Ring = Varan_ringbuf.Ring
+module Nvx = Varan_nvx.Session
+module Config = Varan_nvx.Config
+module Variant = Varan_nvx.Variant
+module RR = Varan_nvx.Record_replay
+module Fault = Varan_fault.Plan
+module Oracle = Varan_trace.Oracle
+module Prng = Varan_util.Prng
+module H = Varan_torture.Harness
+module P = Gen_programs
+
+let check_case_exn label case out =
+  match H.check case out with
+  | [] -> ()
+  | fails ->
+    Alcotest.failf "%s: %s\n  %s" label
+      (H.describe_case case)
+      (String.concat "\n  " fails)
+
+(* ------------------------------------------------------------------ *)
+(* Directed scenarios                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let directed_case ~seed ~followers ~plan =
+  { H.seed; followers; prog_len = 0; ring_size = 8; plan }
+
+(* A workload whose every phase publishes events, including >48-byte
+   payloads that travel through the shared-memory pool. *)
+let payload_ops n =
+  P.Open "/dev/zero"
+  :: List.concat
+       (List.init n (fun i ->
+            [
+              P.Read_newest 600;
+              P.Write_newest 300;
+              P.Stat "/dev/null";
+              P.Create_tmp (i mod 4);
+              P.Getuid;
+            ]))
+
+let test_leader_crash_during_publish () =
+  let case =
+    directed_case ~seed:101 ~followers:2
+      ~plan:[ Fault.Crash_variant { idx = 0; at_seq = 7 } ]
+  in
+  let out = H.run_ops case (payload_ops 8) in
+  check_case_exn "leader crash" case out;
+  Alcotest.(check (list int)) "leader crashed" [ 0 ] (List.map fst out.H.crashes);
+  Alcotest.(check bool) "a follower was promoted" true
+    (out.H.report.Oracle.promotions >= 1);
+  Alcotest.(check bool) "new leader is alive" true
+    (out.H.leader_idx <> 0 && out.H.alive.(out.H.leader_idx))
+
+let test_follower_stall_at_full_ring () =
+  let case =
+    directed_case ~seed:102 ~followers:1
+      ~plan:
+        [
+          Fault.Ring_pressure { shrink_to = 1 };
+          Fault.Stall_follower { idx = 1; at_seq = 3; delay = 30_000 };
+        ]
+  in
+  let out = H.run_ops case (payload_ops 6) in
+  check_case_exn "stall at full ring" case out;
+  let producer_stalls =
+    Array.fold_left
+      (fun acc (r : Ring.stats) -> acc + r.Ring.producer_stalls)
+      0 out.H.stats.Nvx.rings
+  in
+  Alcotest.(check bool) "single-slot ring stalled the leader" true
+    (producer_stalls > 0)
+
+let test_fork_then_crash () =
+  let ops =
+    P.splice_forks (Prng.create 7) (List.map P.sanitize_for_fork (payload_ops 6))
+      ~at:[ 4 ]
+  in
+  let case =
+    directed_case ~seed:103 ~followers:2
+      ~plan:[ Fault.Crash_variant { idx = 0; at_seq = 15 } ]
+  in
+  let out = H.run_ops case ops in
+  check_case_exn "fork then crash" case out;
+  Alcotest.(check bool) "fork created a second tuple" true
+    (out.H.report.Oracle.tuples >= 2);
+  Alcotest.(check (list int)) "leader crashed" [ 0 ]
+    (List.map fst out.H.crashes)
+
+(* Regression: with the leader and then every follower crashing in index
+   order, each election must skip variants that died while a previous
+   failover was still in flight — a stale decision would hand the leader
+   role to a dead variant and strand the survivor. *)
+let test_cascading_crashes_in_index_order () =
+  let case =
+    directed_case ~seed:104 ~followers:3
+      ~plan:
+        [
+          Fault.Crash_variant { idx = 0; at_seq = 4 };
+          Fault.Crash_variant { idx = 1; at_seq = 6 };
+          Fault.Crash_variant { idx = 2; at_seq = 8 };
+        ]
+  in
+  let out = H.run_ops case (payload_ops 8) in
+  check_case_exn "cascading crashes" case out;
+  Alcotest.(check int) "last variant leads" 3 out.H.leader_idx;
+  Alcotest.(check bool) "and is alive" true out.H.alive.(3);
+  Alcotest.(check int) "three crashes" 3 (List.length out.H.crashes)
+
+(* Every follower crashes, in index order, while the leader survives:
+   failover must never fire, and the leader must keep running to the end
+   with its consumers torn down cleanly. *)
+let test_all_followers_crash () =
+  let case =
+    directed_case ~seed:105 ~followers:3
+      ~plan:
+        [
+          Fault.Crash_variant { idx = 1; at_seq = 3 };
+          Fault.Crash_variant { idx = 2; at_seq = 5 };
+          Fault.Crash_variant { idx = 3; at_seq = 7 };
+        ]
+  in
+  let out = H.run_ops case (payload_ops 8) in
+  check_case_exn "all followers crash" case out;
+  Alcotest.(check int) "leader unchanged" 0 out.H.leader_idx;
+  Alcotest.(check int) "no promotions" 0 out.H.report.Oracle.promotions
+
+(* Negative control: a deliberate payload-reference leak must be caught,
+   proving the oracle's pool-balance invariant is not vacuous. *)
+let test_drop_payload_negative_control () =
+  let case =
+    directed_case ~seed:106 ~followers:1
+      ~plan:[ Fault.Drop_payload_grant { idx = 1; at_seq = 2 } ]
+  in
+  let out = H.run_ops case (payload_ops 4) in
+  Alcotest.(check bool) "oracle flags the leak" false (Oracle.ok out.H.report);
+  Alcotest.(check bool) "as an outstanding payload" true
+    (out.H.report.Oracle.outstanding_payloads > 0)
+
+(* ------------------------------------------------------------------ *)
+(* The randomized torture sweep                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* 200 cases, every one derived from [base_seed + i] alone — any failure
+   reproduces with `varan torture --seed N`. *)
+let base_seed = 0xBEEF
+let sweep_cases = 200
+
+let test_torture_sweep () =
+  let scenario_coverage = Hashtbl.create 4 in
+  for i = 0 to sweep_cases - 1 do
+    let seed = base_seed + i in
+    let case, out, fails = H.run_seed seed in
+    (match fails with
+    | [] -> ()
+    | fs ->
+      Alcotest.failf
+        "torture seed %d failed (reproduce: varan torture --seed %d)\n\
+        \  %s\n\
+        \  %s" seed seed (H.describe_case case)
+        (String.concat "\n  " fs));
+    List.iter
+      (fun inj ->
+        let key =
+          match inj with
+          | Fault.Crash_variant { idx = 0; _ } -> "leader-crash"
+          | Fault.Crash_variant _ -> "follower-crash"
+          | Fault.Stall_follower _ -> "stall"
+          | Fault.Ring_pressure _ -> "ring-pressure"
+          | Fault.Signal_burst _ -> "signal-burst"
+          | Fault.Fork_at _ -> "fork"
+          | Fault.Drop_payload_grant _ -> "drop"
+        in
+        Hashtbl.replace scenario_coverage key ())
+      case.H.plan;
+    ignore out
+  done;
+  (* The sweep must actually exercise the interesting machinery. *)
+  List.iter
+    (fun key ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sweep covered %s" key)
+        true
+        (Hashtbl.mem scenario_coverage key))
+    [
+      "leader-crash"; "follower-crash"; "stall"; "ring-pressure";
+      "signal-burst"; "fork";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Record/replay round trips under fault plans                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Record tuple 0 of a faulted live run, replay the log into fresh
+   clients, and require the replay stream's oracle digest to equal the
+   live one — record/replay loses nothing, even across a failover. *)
+let roundtrip seed =
+  let case = H.gen_case seed in
+  if Fault.fork_ops case.H.plan <> [] then None
+  else begin
+    let ops = H.build_program case in
+    let n = case.H.followers + 1 in
+    (* Live run, recorded. *)
+    let eng = E.create () in
+    let k = K.create ~seed eng in
+    let obs = Array.init n (fun _ -> P.observations ()) in
+    let variants =
+      List.init n (fun i ->
+          Variant.make
+            (Printf.sprintf "v%d" i)
+            (Variant.single (fun api ->
+                 P.interpret ~obs:obs.(i) ~path:"0" ops api)))
+    in
+    let live_oracle = Oracle.create () in
+    let config =
+      {
+        Config.default with
+        Config.ring_size = case.H.ring_size;
+        fault_plan = case.H.plan;
+        oracle = Some live_oracle;
+      }
+    in
+    Varan_kernel.Vfs.add_file k "/var/.keep" "";
+    let session = Nvx.launch ~config k variants in
+    let recorder = RR.record session k ~tuple:0 ~path:"/var/run.log" in
+    E.run_until_quiescent eng;
+    ignore (E.spawn eng (fun () -> RR.stop recorder));
+    E.run_until_quiescent eng;
+    let live_report = Oracle.report live_oracle in
+    let log =
+      match Varan_kernel.Vfs.read_file k "/var/run.log" with
+      | Some l -> l
+      | None -> Alcotest.failf "seed %d: no log recorded" seed
+    in
+    (* Replay into two fresh clients on a fresh kernel. *)
+    let eng2 = E.create () in
+    let k2 = K.create ~seed eng2 in
+    Varan_kernel.Vfs.add_file k2 "/var/.keep" "";
+    Varan_kernel.Vfs.add_file k2 "/var/run.log" log;
+    let robs = Array.init 2 (fun _ -> P.observations ()) in
+    let rvariants =
+      List.init 2 (fun i ->
+          Variant.make
+            (Printf.sprintf "r%d" i)
+            (Variant.single (fun api ->
+                 P.interpret ~obs:robs.(i) ~path:"0" ops api)))
+    in
+    let rp = RR.replay k2 ~path:"/var/run.log" rvariants in
+    let replay_oracle = Oracle.create () in
+    Oracle.attach_ring replay_oracle ~tuple:0 (RR.replay_ring rp);
+    E.run_until_quiescent eng2;
+    let replay_report = Oracle.report replay_oracle in
+    Some (case, live_report, replay_report, RR.replay_crashes rp)
+  end
+
+let test_record_replay_roundtrip () =
+  let ran = ref 0 in
+  let seed = ref 0x5EED in
+  while !ran < 20 do
+    (match roundtrip !seed with
+    | None -> ()
+    | Some (case, live, replay, replay_crashes) ->
+      incr ran;
+      if replay_crashes <> [] then
+        Alcotest.failf "seed %d (%s): replay clients crashed: %s" !seed
+          (H.describe_case case)
+          (String.concat "; " (List.map snd replay_crashes));
+      if not (Oracle.ok replay) then
+        Alcotest.failf "seed %d (%s): replay oracle: %s" !seed
+          (H.describe_case case)
+          (String.concat "; " replay.Oracle.violations);
+      let live_digest = List.assoc_opt 0 (List.map (fun (t, n, d) -> (t, (n, d))) live.Oracle.digests) in
+      let replay_digest = List.assoc_opt 0 (List.map (fun (t, n, d) -> (t, (n, d))) replay.Oracle.digests) in
+      if live_digest <> replay_digest then
+        Alcotest.failf
+          "seed %d (%s): tuple-0 stream digest changed across record/replay"
+          !seed (H.describe_case case));
+    incr seed
+  done
+
+let () =
+  Alcotest.run "varan_fault"
+    [
+      ( "directed",
+        [
+          Alcotest.test_case "leader crash during publish" `Quick
+            test_leader_crash_during_publish;
+          Alcotest.test_case "follower stall at full ring" `Quick
+            test_follower_stall_at_full_ring;
+          Alcotest.test_case "fork then crash" `Quick test_fork_then_crash;
+          Alcotest.test_case "cascading crashes in index order" `Quick
+            test_cascading_crashes_in_index_order;
+          Alcotest.test_case "all followers crash" `Quick
+            test_all_followers_crash;
+          Alcotest.test_case "drop-payload negative control" `Quick
+            test_drop_payload_negative_control;
+        ] );
+      ( "sweep",
+        [ Alcotest.test_case "200 random fault plans" `Slow test_torture_sweep ]
+      );
+      ( "record-replay",
+        [
+          Alcotest.test_case "round trip under fault plans" `Slow
+            test_record_replay_roundtrip;
+        ] );
+    ]

@@ -3,165 +3,33 @@
    observable result (return values, bytes read, clock values — everything
    except pids) must be identical in the native run, the leader and every
    follower. This is the semantic heart of N-version execution: the
-   monitor makes N processes behave as one. *)
+   monitor makes N processes behave as one.
+
+   The program language and interpreter live in Gen_programs, shared with
+   the fault-injection torture suite (test_fault). *)
 
 module E = Varan_sim.Engine
 module K = Varan_kernel.Kernel
-module Api = Varan_kernel.Api
-module Flags = Varan_kernel.Flags
 module Nvx = Varan_nvx.Session
 module Config = Varan_nvx.Config
 module Variant = Varan_nvx.Variant
 module Prng = Varan_util.Prng
-
-(* A little program language over the syscall API. Programs are
-   deterministic given the kernel (urandom draws come from the kernel's
-   seeded PRNG), always terminate, and only use resources they created. *)
-type op =
-  | Open of string
-  | Close_newest
-  | Read_newest of int
-  | Write_newest of int
-  | Lseek_newest
-  | Stat of string
-  | Time
-  | Getuid
-  | Compute of int
-  | Mkdir_tmp of int
-  | Create_tmp of int
-  | Unlink_tmp of int
-  | Getrandom of int
-  | Fcntl_newest
-
-let gen_ops rng n =
-  let paths = [| "/dev/zero"; "/dev/urandom"; "/dev/null" |] in
-  List.init n (fun _ ->
-      match Prng.int rng 14 with
-      | 0 -> Open paths.(Prng.int rng 3)
-      | 1 -> Close_newest
-      | 2 -> Read_newest (1 + Prng.int rng 600)
-      | 3 -> Write_newest (1 + Prng.int rng 600)
-      | 4 -> Lseek_newest
-      | 5 -> Stat paths.(Prng.int rng 3)
-      | 6 -> Time
-      | 7 -> Getuid
-      | 8 -> Compute (Prng.int rng 20_000)
-      | 9 -> Mkdir_tmp (Prng.int rng 4)
-      | 10 -> Create_tmp (Prng.int rng 4)
-      | 11 -> Unlink_tmp (Prng.int rng 4)
-      | 12 -> Getrandom (1 + Prng.int rng 64)
-      | _ -> Fcntl_newest)
-
-(* Run the op list, folding every observable into a digest string. *)
-let interpret ops api =
-  let buf = Buffer.create 256 in
-  let obs fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  let fds = ref [] in
-  let newest () = match !fds with [] -> None | fd :: _ -> Some fd in
-  let payload = Bytes.make 600 'w' in
-  List.iter
-    (fun op ->
-      match op with
-      | Open path -> (
-        match Api.openf api path Flags.o_rdwr with
-        | Ok fd ->
-          fds := fd :: !fds;
-          obs "open=%d;" fd
-        | Error e -> obs "open!%s;" (Varan_syscall.Errno.name e))
-      | Close_newest -> (
-        match newest () with
-        | None -> ()
-        | Some fd ->
-          fds := List.tl !fds;
-          obs "close=%d;"
-            (match Api.close api fd with Ok v -> v | Error _ -> -1))
-      | Read_newest n -> (
-        match newest () with
-        | None -> ()
-        | Some fd -> (
-          match Api.read api fd n with
-          | Ok b -> obs "read=%d:%d;" (Bytes.length b) (Hashtbl.hash b)
-          | Error e -> obs "read!%s;" (Varan_syscall.Errno.name e)))
-      | Write_newest n -> (
-        match newest () with
-        | None -> ()
-        | Some fd -> (
-          match Api.write api fd (Bytes.sub payload 0 n) with
-          | Ok w -> obs "write=%d;" w
-          | Error e -> obs "write!%s;" (Varan_syscall.Errno.name e)))
-      | Lseek_newest -> (
-        match newest () with
-        | None -> ()
-        | Some fd ->
-          obs "lseek=%d;"
-            (match Api.lseek api fd 0 Flags.seek_set with
-            | Ok v -> v
-            | Error _ -> -1))
-      | Stat path -> (
-        match Api.stat_size api path with
-        | Ok size -> obs "stat=%d;" size
-        | Error e -> obs "stat!%s;" (Varan_syscall.Errno.name e))
-      | Time -> obs "time=%d;" (Api.time api)
-      | Getuid -> obs "uid=%d;" (Api.getuid api)
-      | Compute n -> Api.compute api n
-      | Mkdir_tmp i -> (
-        match Api.mkdir api (Printf.sprintf "/tmp/d%d" i) with
-        | Ok () -> obs "mkdir=0;"
-        | Error e -> obs "mkdir!%s;" (Varan_syscall.Errno.name e))
-      | Create_tmp i -> (
-        match
-          Api.openf api
-            (Printf.sprintf "/tmp/f%d" i)
-            (Flags.o_rdwr lor Flags.o_creat)
-        with
-        | Ok fd ->
-          fds := fd :: !fds;
-          obs "creat=%d;" fd
-        | Error e -> obs "creat!%s;" (Varan_syscall.Errno.name e))
-      | Unlink_tmp i -> (
-        match Api.unlink api (Printf.sprintf "/tmp/f%d" i) with
-        | Ok () -> obs "unlink=0;"
-        | Error e -> obs "unlink!%s;" (Varan_syscall.Errno.name e))
-      | Getrandom n -> (
-        match Api.getrandom api n with
-        | Ok b -> obs "rand=%d:%d;" (Bytes.length b) (Hashtbl.hash b)
-        | Error e -> obs "rand!%s;" (Varan_syscall.Errno.name e))
-      | Fcntl_newest -> (
-        match newest () with
-        | None -> ()
-        | Some fd ->
-          obs "fcntl=%d;"
-            (match Api.fcntl api fd Flags.f_getfl 0 with
-            | Ok v -> v
-            | Error _ -> -1)))
-    ops;
-  Buffer.contents buf
-
-let run_native ~kernel_seed ops =
-  let eng = E.create () in
-  let k = K.create ~seed:kernel_seed eng in
-  let out = ref "" in
-  let proc = K.new_proc k "native" in
-  let tid =
-    E.spawn eng (fun () -> out := interpret ops (Api.direct k proc))
-  in
-  K.register_task k proc tid;
-  E.run eng;
-  !out
+module P = Gen_programs
 
 let run_nvx ~kernel_seed ~followers ~config ops =
   let eng = E.create () in
   let k = K.create ~seed:kernel_seed eng in
   let n = followers + 1 in
-  let outs = Array.make n "" in
-  let body i api = outs.(i) <- interpret ops api in
+  let obs = Array.init n (fun _ -> P.observations ()) in
   let variants =
     List.init n (fun i ->
-        Variant.make (Printf.sprintf "v%d" i) (Variant.single (body i)))
+        Variant.make
+          (Printf.sprintf "v%d" i)
+          (Variant.single (fun api -> P.interpret ~obs:obs.(i) ~path:"0" ops api)))
   in
   let session = Nvx.launch ~config k variants in
   E.run_until_quiescent eng;
-  (outs, Nvx.crashes session)
+  (Array.map P.digest obs, Nvx.crashes session)
 
 let arb_program =
   QCheck.make
@@ -169,8 +37,8 @@ let arb_program =
     QCheck.Gen.(pair (int_bound 1_000_000) (int_range 5 60))
 
 let equivalence_prop ~config ~followers (seed, len) =
-  let ops = gen_ops (Prng.create seed) len in
-  let native = run_native ~kernel_seed:seed ops in
+  let ops = P.gen_ops (Prng.create seed) len in
+  let native = P.run_native ~kernel_seed:seed ops in
   let outs, crashes = run_nvx ~kernel_seed:seed ~followers ~config ops in
   crashes = []
   && Array.for_all (fun o -> o = native) outs

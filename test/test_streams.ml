@@ -200,6 +200,56 @@ let test_ring_try_variants () =
          Alcotest.(check bool) "now room" true (Ring.try_publish r 3)));
   E.run eng
 
+let test_ring_try_publish_stalled_consumer () =
+  let eng = E.create () in
+  let r = Ring.create ~size:4 "stalled" in
+  let stalled = Ring.add_consumer r in
+  let live = Ring.add_consumer r in
+  ignore
+    (E.spawn eng (fun () ->
+         for i = 1 to 4 do
+           Alcotest.(check bool) "room" true (Ring.try_publish r i)
+         done;
+         Alcotest.(check bool) "full" false (Ring.try_publish r 5);
+         (* The live consumer drains, but the stalled cursor still pins
+            every slot: the publisher must keep failing. *)
+         for i = 1 to 4 do
+           Alcotest.(check bool) "live reads" true
+             (Ring.try_consume r live = Some i)
+         done;
+         Alcotest.(check bool) "still full" false (Ring.try_publish r 5);
+         Alcotest.(check int) "stalled lag" 4 (Ring.lag r stalled);
+         Alcotest.(check (list int))
+           "unread preserved" [ 1; 2; 3; 4 ] (Ring.unread r stalled);
+         (* Removing the stalled consumer frees all its slots at once —
+            the publisher wraps the ring twice more without blocking. *)
+         Ring.remove_consumer r stalled;
+         for i = 5 to 12 do
+           Alcotest.(check bool) "room again" true (Ring.try_publish r i);
+           Alcotest.(check bool) "live reads on" true
+             (Ring.try_consume r live = Some i)
+         done;
+         Alcotest.(check int) "published" 12 (Ring.published r)));
+  E.run eng
+
+let test_ring_wraparound_cursor_accounting () =
+  let eng = E.create () in
+  let r = Ring.create ~size:4 "wrap" in
+  let cid = Ring.add_consumer r in
+  ignore
+    (E.spawn eng (fun () ->
+         (* Two full revolutions with interleaved reads: cursors are
+            absolute sequence numbers, not slot indices. *)
+         for i = 0 to 7 do
+           Alcotest.(check bool) "publish" true (Ring.try_publish r i);
+           Alcotest.(check int) "cursor trails head" i (Ring.cursor r cid);
+           Alcotest.(check bool) "read back" true
+             (Ring.try_consume r cid = Some i)
+         done;
+         Alcotest.(check int) "cursor caught up" 8 (Ring.cursor r cid);
+         Alcotest.(check bool) "empty" true (Ring.try_consume r cid = None)));
+  E.run eng
+
 (* --- events ----------------------------------------------------------- *)
 
 let test_event_sizing () =
@@ -415,6 +465,10 @@ let () =
             test_ring_remove_consumer_unblocks_producer;
           Alcotest.test_case "lag" `Quick test_ring_lag;
           Alcotest.test_case "try variants" `Quick test_ring_try_variants;
+          Alcotest.test_case "try_publish vs stalled consumer" `Quick
+            test_ring_try_publish_stalled_consumer;
+          Alcotest.test_case "wraparound cursor accounting" `Quick
+            test_ring_wraparound_cursor_accounting;
           Alcotest.test_case "event sizing" `Quick test_event_sizing;
         ] );
       ( "lamport",

@@ -1,10 +1,15 @@
 (* Real (wall-clock) performance of the implementation's hot components,
-   measured with Bechamel: the BPF interpreter, the binary rewriter, the
-   shared-memory pool, the Disruptor ring (driven inside a simulation
-   engine, since its blocking paths are engine condition variables) and
-   the discrete-event engine itself. These complement the virtual-time
-   results: they show the library itself is fast enough to be used as a
-   research vehicle. *)
+   measured with Bechamel: the BPF interpreter and compiler, the binary
+   rewriter, the shared-memory pool, the Disruptor ring (driven inside a
+   simulation engine, since its blocking paths are engine condition
+   variables) and the discrete-event engine itself. These complement the
+   virtual-time results: they show the library itself is fast enough to
+   be used as a research vehicle.
+
+   Every estimate is also written to BENCH_hotpath.json at the repo root
+   (see Report.save_hotpath_json) so the perf trajectory is
+   machine-trackable across PRs. Set VARAN_BENCH_SMOKE=1 for a fast CI
+   smoke run with a reduced measurement quota. *)
 
 open Bechamel
 open Toolkit
@@ -20,13 +25,21 @@ module Prng = Varan_util.Prng
 
 let listing1 = Asm.assemble_exn Rules.listing1
 
+let bpf_data = { Interp.nr = 102; args = [||] }
+let bpf_event = { Interp.ev_nr = 108; ev_ret = 0; ev_args = [||] }
+
 let bpf_test =
   Test.make ~name:"bpf-interp-listing1"
     (Staged.stage (fun () ->
-         ignore
-           (Interp.run listing1
-              ~data:{ Interp.nr = 102; args = [||] }
-              ~event:{ Interp.ev_nr = 108; ev_ret = 0; ev_args = [||] })))
+         ignore (Interp.run listing1 ~data:bpf_data ~event:bpf_event)))
+
+(* The same filter compiled once to closures: this pair is the
+   compiled-vs-interpreted headline number. *)
+let bpf_compiled_test =
+  let compiled = Interp.compile listing1 in
+  Test.make ~name:"bpf-compiled-listing1"
+    (Staged.stage (fun () ->
+         ignore (Interp.run_compiled compiled ~data:bpf_data ~event:bpf_event)))
 
 let rewrite_code =
   let rng = Prng.create 99 in
@@ -43,21 +56,55 @@ let pool_test =
          let c = Pool.alloc pool 512 in
          Pool.free pool c))
 
-let ring_test =
-  Test.make ~name:"ring-256-publish-consume"
-    (Staged.stage (fun () ->
-         let eng = E.create () in
-         let ring = Ring.create ~size:256 "bench" in
-         let cid = Ring.add_consumer ring in
-         ignore
-           (E.spawn eng (fun () ->
-                for i = 1 to 256 do
-                  Ring.publish ring i
-                done;
-                for _ = 1 to 256 do
-                  ignore (Ring.consume ring cid)
-                done));
-         E.run eng))
+(* One ring revolution cycle: publish 256 events and have [nconsumers]
+   drain them all, in runs of [batch] (batch 1 is the one-at-a-time
+   path). The whole simulation — task switches included — is the
+   measured unit, as in the paper's streaming hot path. *)
+let ring_cycle ~nconsumers ~batch () =
+  let eng = E.create () in
+  let ring = Ring.create ~size:256 "bench" in
+  let handles = Array.init nconsumers (fun _ -> Ring.subscribe ring) in
+  Array.iteri
+    (fun i h ->
+      ignore
+        (E.spawn eng ~name:(Printf.sprintf "c%d" i) (fun () ->
+             let left = ref 256 in
+             if batch = 1 then
+               while !left > 0 do
+                 ignore (Ring.consume_h h);
+                 decr left
+               done
+             else
+               while !left > 0 do
+                 let got = Ring.consume_batch_h h ~max:batch in
+                 left := !left - List.length got
+               done)))
+    handles;
+  ignore
+    (E.spawn eng ~name:"producer" (fun () ->
+         if batch = 1 then
+           for i = 1 to 256 do
+             Ring.publish ring i
+           done
+         else begin
+           let i = ref 0 in
+           while !i < 256 do
+             Ring.publish_batch ring (Array.init batch (fun j -> !i + j));
+             i := !i + batch
+           done
+         end));
+  E.run eng
+
+let ring_tests =
+  List.concat_map
+    (fun nconsumers ->
+      List.map
+        (fun batch ->
+          Test.make
+            ~name:(Printf.sprintf "ring-256-c%d-b%d" nconsumers batch)
+            (Staged.stage (ring_cycle ~nconsumers ~batch)))
+        [ 1; 8; 64 ])
+    [ 1; 2; 3; 4 ]
 
 let engine_test =
   Test.make ~name:"engine-1k-task-switches"
@@ -71,27 +118,46 @@ let engine_test =
          E.run eng))
 
 let tests =
-  [ bpf_test; rewriter_test; pool_test; ring_test; engine_test ]
+  [ bpf_test; bpf_compiled_test; rewriter_test; pool_test ]
+  @ ring_tests
+  @ [ engine_test ]
+
+let smoke = Sys.getenv_opt "VARAN_BENCH_SMOKE" <> None
 
 let run () =
   print_endline
     "=== Real wall-clock microbenchmarks of the implementation (Bechamel) \
      ===\n";
+  if smoke then print_endline "  (smoke mode: reduced measurement quota)\n";
   let instance = Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.02) ()
+    else Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ()
+  in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
-      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" [ test ]) in
+      let results =
+        Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" [ test ])
+      in
       Hashtbl.iter
         (fun name raw ->
+          let name =
+            if String.length name > 0 && name.[0] = '/' then
+              String.sub name 1 (String.length name - 1)
+            else name
+          in
           let est = Analyze.one ols instance raw in
-          match Analyze.OLS.estimates est with
-          | Some [ ns ] -> Printf.printf "  %-28s %12.0f ns/run\n" name ns
-          | _ -> Printf.printf "  %-28s (no estimate)\n" name;
+          (match Analyze.OLS.estimates est with
+          | Some [ ns ] ->
+            Printf.printf "  %-28s %12.0f ns/run\n" name ns;
+            estimates := (name, ns) :: !estimates
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name);
           ignore raw)
         results)
     tests;
+  Report.save_hotpath_json (List.rev !estimates);
   print_newline ()

@@ -14,3 +14,37 @@ let save_csv ~name table =
   output_string oc (Varan_util.Tablefmt.to_csv table);
   close_out oc;
   Printf.printf "[saved %s]\n" path
+
+(* Machine-trackable hot-path regression record, written at the repo root
+   so CI can diff the perf trajectory across PRs. *)
+let hotpath_json_path = "BENCH_hotpath.json"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let save_hotpath_json results =
+  let oc = open_out hotpath_json_path in
+  output_string oc "{\n";
+  output_string oc "  \"schema\": \"varan-hotpath-micro/1\",\n";
+  output_string oc "  \"unit\": \"ns/run\",\n";
+  output_string oc "  \"results\": {\n";
+  let n = List.length results in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    \"%s\": %.1f%s\n" (json_escape name) ns
+        (if i = n - 1 then "" else ","))
+    results;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "[saved %s]\n" hotpath_json_path

@@ -81,3 +81,103 @@ let run prog ~data ~event =
   in
   let action = exec 0 in
   { action; steps = !steps }
+
+(* ------------------------------------------------------------------ *)
+(* One-shot compilation to closures                                    *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = { ctx_data : data; ctx_event : event }
+
+(* Translate a verified program into a graph of direct closure calls:
+   verification happens once at load time instead of per event, jump
+   offsets are folded into direct references to the successor closures,
+   and field decoding (nr vs. arg index vs. out-of-range) is resolved at
+   compile time. The verifier guarantees jumps are forward and in range
+   and that the last instruction is a Ret, so building the node array
+   backward always finds its successors already built. Step counts match
+   {!run} exactly (every executed instruction, including Ret, costs 1). *)
+
+let alu_node nodes pc op sv =
+  let next = nodes.(pc + 1) in
+  match sv with
+  | Insn.K k -> fun c a x s -> next c (op a k) x (s + 1)
+  | Insn.X -> fun c a x s -> next c (op a x) x (s + 1)
+
+let jump_node nodes pc test t f =
+  let nt = nodes.(pc + 1 + t) and nf = nodes.(pc + 1 + f) in
+  fun c a x s -> (if test a then nt else nf) c a x (s + 1)
+
+let compile prog =
+  (match Verifier.verify prog with
+  | Ok () -> ()
+  | Error msg -> raise (Not_verified msg));
+  let n = Array.length prog in
+  let nodes : (ctx -> int -> int -> int -> outcome) array =
+    Array.make n (fun _ _ _ _ -> assert false)
+  in
+  for pc = n - 1 downto 0 do
+    let node =
+      match prog.(pc) with
+      | Insn.Ret_k k -> fun _ _ _ s -> { action = k; steps = s + 1 }
+      | Insn.Ret_a -> fun _ a _ s -> { action = a; steps = s + 1 }
+      | Insn.Ld_imm k ->
+        let next = nodes.(pc + 1) in
+        fun c _ x s -> next c k x (s + 1)
+      | Insn.Ld_abs k ->
+        let next = nodes.(pc + 1) in
+        let get =
+          if k = Insn.data_nr then fun c -> c.ctx_data.nr
+          else if k >= 16 && (k - 16) mod 8 = 0 then begin
+            let i = (k - 16) / 8 in
+            fun c ->
+              if i < Array.length c.ctx_data.args then c.ctx_data.args.(i)
+              else 0
+          end
+          else fun _ -> 0
+        in
+        fun c _ x s -> next c (get c) x (s + 1)
+      | Insn.Ld_event k ->
+        let next = nodes.(pc + 1) in
+        let get =
+          if k = Insn.event_nr then fun c -> c.ctx_event.ev_nr
+          else if k = Insn.event_ret then fun c -> c.ctx_event.ev_ret
+          else begin
+            let i = k - 2 in
+            fun c ->
+              if i >= 0 && i < Array.length c.ctx_event.ev_args then
+                c.ctx_event.ev_args.(i)
+              else 0
+          end
+        in
+        fun c _ x s -> next c (get c) x (s + 1)
+      | Insn.Ldx_imm k ->
+        let next = nodes.(pc + 1) in
+        fun c a _ s -> next c a k (s + 1)
+      | Insn.Tax ->
+        let next = nodes.(pc + 1) in
+        fun c a _ s -> next c a a (s + 1)
+      | Insn.Txa ->
+        let next = nodes.(pc + 1) in
+        fun c _ x s -> next c x x (s + 1)
+      | Insn.Alu_add sv -> alu_node nodes pc ( + ) sv
+      | Insn.Alu_sub sv -> alu_node nodes pc ( - ) sv
+      | Insn.Alu_mul sv -> alu_node nodes pc ( * ) sv
+      | Insn.Alu_and sv -> alu_node nodes pc ( land ) sv
+      | Insn.Alu_or sv -> alu_node nodes pc ( lor ) sv
+      | Insn.Alu_lsh sv -> alu_node nodes pc ( lsl ) sv
+      | Insn.Alu_rsh sv -> alu_node nodes pc ( lsr ) sv
+      | Insn.Ja o ->
+        let target = nodes.(pc + 1 + o) in
+        fun c a x s -> target c a x (s + 1)
+      | Insn.Jeq (k, t, f) -> jump_node nodes pc (fun a -> a = k) t f
+      | Insn.Jgt (k, t, f) -> jump_node nodes pc (fun a -> a > k) t f
+      | Insn.Jge (k, t, f) -> jump_node nodes pc (fun a -> a >= k) t f
+      | Insn.Jset (k, t, f) -> jump_node nodes pc (fun a -> a land k <> 0) t f
+    in
+    nodes.(pc) <- node
+  done;
+  let entry = nodes.(0) in
+  fun ctx -> entry ctx 0 0 0
+
+let run_compiled compiled ~data ~event =
+  compiled { ctx_data = data; ctx_event = event }

@@ -28,5 +28,20 @@ exception Not_verified of string
 
 val run : Insn.t array -> data:data -> event:event -> outcome
 
+type ctx = { ctx_data : data; ctx_event : event }
+(** The two inputs a filter addresses, bundled for compiled programs. *)
+
+val compile : Insn.t array -> ctx -> outcome
+(** [compile prog] verifies [prog] once and translates it into a graph of
+    OCaml closures — jump offsets become direct calls, field decoding is
+    resolved at compile time — so per-event evaluation skips both the
+    verifier and instruction dispatch. The returned closure is the
+    reference {!run} semantics exactly: same action, same step count.
+    @raise Not_verified if the program fails {!Verifier.verify}. *)
+
+val run_compiled :
+  (ctx -> outcome) -> data:data -> event:event -> outcome
+(** Convenience wrapper pairing the arguments of {!run}. *)
+
 val no_event : event
 (** Placeholder when no leader event is available (fields read 0). *)

@@ -8,9 +8,30 @@ type t = {
   limit : int;
 }
 
+(* Escaped prefix of an out-buffer payload, mirroring strace's string
+   rendering, so traces show what came back and not just how many bytes. *)
+let preview_bytes b =
+  let buf = Buffer.create 24 in
+  let n = Bytes.length b in
+  let shown = min n 16 in
+  Buffer.add_char buf '"';
+  for i = 0 to shown - 1 do
+    let c = Bytes.get b i in
+    if c >= ' ' && c <= '~' && c <> '"' && c <> '\\' then Buffer.add_char buf c
+    else Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+  done;
+  if n > shown then Buffer.add_string buf "..";
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
 let format_call sysno args result =
-  Format.asprintf "%s%a = %a" (Sysno.name sysno) Args.pp args Args.pp_result
-    result
+  let base =
+    Format.asprintf "%s%a = %a" (Sysno.name sysno) Args.pp args Args.pp_result
+      result
+  in
+  match result.Args.out with
+  | Some b when Bytes.length b > 0 -> base ^ " " ^ preview_bytes b
+  | _ -> base
 
 let attach ?(limit = 10_000) (api : Api.t) =
   let t = { entries = []; kept = 0; total = 0; limit } in

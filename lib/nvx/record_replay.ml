@@ -90,7 +90,7 @@ let deserialize cur : (Event.kind * int * int * int * int * int array * Bytes.t)
 type recorder = {
   session : Session.t;
   ring : Event.t Ring.t;
-  cid : int;
+  consumer : Event.t Ring.consumer;
   api : Api.t;
   buf : Buffer.t;
   mutable events : int;
@@ -111,14 +111,14 @@ let flush r fd =
 
 let record session k ~tuple ~path =
   let ring = Session.tuple_ring session tuple in
-  let cid = Ring.add_consumer ring in
+  let consumer = Ring.subscribe ring in
   let proc = K.new_proc k "recorder" in
   let api = Api.direct k proc in
   let r =
     {
       session;
       ring;
-      cid;
+      consumer;
       api;
       buf = Buffer.create flush_threshold;
       events = 0;
@@ -136,26 +136,32 @@ let record session k ~tuple ~path =
       | Ok fd -> fd
       | Error e -> failwith ("recorder: open failed: " ^ Errno.name e)
     in
+    let record_one e =
+      let out =
+        match e.Event.payload with
+        | Some chunk ->
+          let bytes = Pool.read chunk e.Event.payload_len in
+          Session.release_payload session e;
+          Some bytes
+        | None -> e.Event.inline_out
+      in
+      serialize r.buf e ~out;
+      r.events <- r.events + 1;
+      if Buffer.length r.buf >= flush_threshold then flush r fd
+    in
+    (* Drain in runs: when the recorder lags (it writes to disk between
+       reads) it catches up with one gate check and one producer wakeup
+       per batch instead of per event. *)
     let rec loop () =
-      match Ring.try_consume ring cid with
-      | Some e ->
-        let out =
-          match e.Event.payload with
-          | Some chunk ->
-            let bytes = Pool.read chunk e.Event.payload_len in
-            Session.release_payload session e;
-            Some bytes
-          | None -> e.Event.inline_out
-        in
-        serialize r.buf e ~out;
-        r.events <- r.events + 1;
-        if Buffer.length r.buf >= flush_threshold then flush r fd;
+      match Ring.try_consume_batch_h consumer ~max:64 with
+      | _ :: _ as batch ->
+        List.iter record_one batch;
         loop ()
-      | None ->
+      | [] ->
         if r.stopping then begin
           flush r fd;
           ignore (Api.close api fd);
-          Ring.remove_consumer ring cid;
+          Ring.unsubscribe consumer;
           r.stopped <- true
         end
         else begin
@@ -208,8 +214,9 @@ let replay ?(config = Config.default) k ~path variants =
          variants)
   in
   let rp = { rp_ring = ring; rstates; rp_crashes = []; rp_published = 0 } in
-  (* Consumers must register before the publisher starts. *)
-  let cids = Array.map (fun _ -> Ring.add_consumer ring) rstates in
+  (* Consumers must register before the publisher starts; handles are
+     resolved once, not per consume. *)
+  let consumers = Array.map (fun _ -> Ring.subscribe ring) rstates in
   (* The replay leader: reads the log from persistent storage and
      publishes events into the ring for consumption by replay clients. *)
   ignore
@@ -233,17 +240,16 @@ let replay ?(config = Config.default) k ~path variants =
          read_all ();
          ignore (Api.close api fd);
          let cur = { data = Buffer.to_bytes contents; pos = 0 } in
-         let rec publish_all () =
+         let decode_one () =
            match deserialize cur with
-           | None -> ()
+           | None -> None
            | Some (kind, tid, sysno, clock, ret, args, out) ->
-             E.consume cost.Cost.publish_event;
              let inline_out =
                if Bytes.length out > 0 then Some out else None
              in
              (* Replay events carry results inline regardless of size:
                 the shared-memory pool is not reconstructed on replay. *)
-             let e =
+             Some
                {
                  Event.kind;
                  sysno;
@@ -256,10 +262,30 @@ let replay ?(config = Config.default) k ~path variants =
                  inline_out;
                  grant = None;
                }
-             in
-             Ring.publish ring e;
-             rp.rp_published <- rp.rp_published + 1;
+         in
+         (* Publish in runs of up to 64: one gate check and one consumer
+            wakeup per batch; per-event publish cost is still charged. *)
+         let batch_max = 64 in
+         let scratch = Queue.create () in
+         let rec publish_all () =
+           Queue.clear scratch;
+           let rec fill () =
+             if Queue.length scratch < batch_max then
+               match decode_one () with
+               | Some e ->
+                 Queue.add e scratch;
+                 fill ()
+               | None -> ()
+           in
+           fill ();
+           let n = Queue.length scratch in
+           if n > 0 then begin
+             E.consume (cost.Cost.publish_event * n);
+             Ring.publish_batch ring
+               (Array.init n (fun _ -> Queue.pop scratch));
+             rp.rp_published <- rp.rp_published + n;
              publish_all ()
+           end
          in
          publish_all ()));
   (* Replay clients: every streamed call returns the recorded result. *)
@@ -278,7 +304,7 @@ let replay ?(config = Config.default) k ~path variants =
              waiting for the call's result event. *)
           let rec next_event () =
             E.consume cost.Cost.consume_event;
-            let e = Ring.consume ring cids.(i) in
+            let e = Ring.consume_h consumers.(i) in
             rst.r_consumed <- rst.r_consumed + 1;
             if e.Event.kind = Event.Ev_signal then begin
               (match K.handler_for proc e.Event.sysno with
@@ -305,7 +331,7 @@ let replay ?(config = Config.default) k ~path variants =
             | exn ->
               rp.rp_crashes <- (i, Printexc.to_string exn) :: rp.rp_crashes;
               rst.r_alive <- false;
-              Ring.remove_consumer ring cids.(i))
+              Ring.unsubscribe consumers.(i))
       in
       K.register_task k proc tid)
     rstates;

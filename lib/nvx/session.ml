@@ -70,8 +70,13 @@ type vstate = {
   mutable vrole : role;
   mutable main_proc : Types.proc option;
   mutable unit_procs : Types.proc array;
-  (* Consumer ids per tuple ring; -1 when not a consumer there. *)
-  mutable consumer_ids : int array;
+  (* Resolved consumer handles per tuple stream (the follower's own pump
+     queue in event-pump mode); [None] when not a consumer there. The
+     handle is looked up once at subscription, not per stream access. *)
+  mutable consumers : Event.t Ring.consumer option array;
+  (* Rewrite rules compiled to a closure on first divergence; the
+     interpreter stays the reference semantics (identical outcome). *)
+  mutable compiled_rules : (Interp.ctx -> Interp.outcome) option;
   mutable clocks : Lamport.t array; (* per tuple *)
   mutable promoted : bool array; (* per unit: takes the leader path *)
   mutable unit_tuple : int array; (* per unit: the tuple it belongs to *)
@@ -175,51 +180,44 @@ let follower_queue t vst tuple =
 
 let stream_publish_k t tuple make = Ring.publish_k t.rings.(tuple) make
 
-let stream_peek t vst tuple =
-  match t.pump_queues with
-  | None -> Ring.peek t.rings.(tuple) vst.consumer_ids.(tuple)
-  | Some pq -> Ring.peek pq.(tuple).(vst.idx) 0
+(* Both streaming modes store the follower's resolved handle (shared ring
+   or private pump queue) in [vst.consumers], so the per-event accessors
+   are a single array read — no registry lookup, no mode dispatch. *)
+let stream_consumer vst tuple =
+  match vst.consumers.(tuple) with
+  | Some c -> c
+  | None -> invalid_arg "Session: not a stream consumer on this tuple"
 
-let stream_advance t vst tuple =
-  match t.pump_queues with
-  | None -> ignore (Ring.try_consume t.rings.(tuple) vst.consumer_ids.(tuple))
-  | Some pq -> ignore (Ring.try_consume pq.(tuple).(vst.idx) 0)
+let stream_peek _t vst tuple = Ring.peek_h (stream_consumer vst tuple)
+
+let stream_advance _t vst tuple =
+  ignore (Ring.try_consume_h (stream_consumer vst tuple))
 
 let stream_wait t vst tuple = Ring.wait_activity (follower_queue t vst tuple)
 
 let wait_activity_timeout t vst tuple budget =
   Ring.wait_activity_timeout (follower_queue t vst tuple) budget
 
-let stream_lag t vst tuple =
-  match t.pump_queues with
-  | None -> Ring.lag t.rings.(tuple) vst.consumer_ids.(tuple)
-  | Some pq -> Ring.lag pq.(tuple).(vst.idx) 0
+let stream_lag _t vst tuple = Ring.lag_h (stream_consumer vst tuple)
 
 (* A crashed follower dies with events still unread; its payload
    references go away with its cursor, or the chunks leak (caught by the
    oracle's pool-balance invariant). *)
-let unread_safe ring cid =
-  try Ring.unread ring cid with Invalid_argument _ -> []
-
 let stream_remove t vst =
+  Array.iteri
+    (fun tuple c ->
+      match c with
+      | None -> ()
+      | Some c ->
+        List.iter (release_payload t) (Ring.unread_h c);
+        Ring.unsubscribe c;
+        vst.consumers.(tuple) <- None)
+    vst.consumers;
   match t.pump_queues with
-  | None ->
-    Array.iteri
-      (fun tuple cid ->
-        if cid >= 0 then begin
-          List.iter (release_payload t) (unread_safe t.rings.(tuple) cid);
-          Ring.remove_consumer t.rings.(tuple) cid;
-          vst.consumer_ids.(tuple) <- -1
-        end)
-      vst.consumer_ids
+  | None -> ()
   | Some pq ->
-    Array.iter
-      (fun per_tuple ->
-        let q = per_tuple.(vst.idx) in
-        List.iter (release_payload t) (unread_safe q 0);
-        Ring.remove_consumer q 0;
-        Ring.poke q)
-      pq
+    (* Waking the private queues lets the pump notice the departure. *)
+    Array.iter (fun per_tuple -> Ring.poke per_tuple.(vst.idx)) pq
 
 (* ------------------------------------------------------------------ *)
 (* Dynamic tuples and units (process forks)                            *)
@@ -260,8 +258,8 @@ let new_tuple t =
   t.tuple_ready <- grow_array t.tuple_ready t.ntuples 0;
   Array.iter
     (fun vst ->
-      vst.consumer_ids <- grow_array vst.consumer_ids t.ntuples (-1);
-      vst.consumer_ids.(idx) <- -1;
+      vst.consumers <- grow_array vst.consumers t.ntuples None;
+      vst.consumers.(idx) <- None;
       vst.clocks <- grow_array vst.clocks t.ntuples (Lamport.create ());
       vst.clocks.(idx) <- Lamport.create ())
     t.vstates;
@@ -411,13 +409,7 @@ let fault_follower_hook t vst tuple =
   match t.fault with
   | None -> ()
   | Some armed ->
-    let seq =
-      match t.pump_queues with
-      | None ->
-        let cid = vst.consumer_ids.(tuple) in
-        if cid < 0 then None else Some (Ring.cursor t.rings.(tuple) cid)
-      | Some pq -> Some (Ring.cursor pq.(tuple).(vst.idx) 0)
-    in
+    let seq = Option.map Ring.cursor_h vst.consumers.(tuple) in
     match seq with
     | None -> ()
     | Some seq ->
@@ -654,15 +646,27 @@ let run_rewrite_rule t vst (e : Event.t) sysno args =
           | Args.Buf_out n -> n)
         args
     in
+    (* Rules are compiled once per variant on first divergence; each
+       subsequent event pays neither verification nor dispatch. *)
+    let compiled =
+      match vst.compiled_rules with
+      | Some f -> f
+      | None ->
+        let f = Interp.compile prog in
+        vst.compiled_rules <- Some f;
+        f
+    in
     let out =
-      Interp.run prog
-        ~data:{ Interp.nr = Sysno.to_int sysno; args = int_args }
-        ~event:
-          {
-            Interp.ev_nr = e.Event.sysno;
-            ev_ret = e.Event.ret;
-            ev_args = e.Event.args;
-          }
+      compiled
+        {
+          Interp.ctx_data = { Interp.nr = Sysno.to_int sysno; args = int_args };
+          ctx_event =
+            {
+              Interp.ev_nr = e.Event.sysno;
+              ev_ret = e.Event.ret;
+              ev_args = e.Event.args;
+            };
+        }
     in
     vst.st.bpf_steps <- vst.st.bpf_steps + out.Interp.steps;
     E.consume (t.cost.Cost.bpf_per_insn * out.Interp.steps);
@@ -791,11 +795,12 @@ let do_promote t vst ~unit_idx ~tuple =
     Array.fill vst.promoted 0 (Array.length vst.promoted) true
   | Variant.Process -> vst.promoted.(unit_idx) <- true);
   (match t.pump_queues with
-  | None ->
-    if vst.consumer_ids.(tuple) >= 0 then begin
-      Ring.remove_consumer t.rings.(tuple) vst.consumer_ids.(tuple);
-      vst.consumer_ids.(tuple) <- -1
-    end
+  | None -> (
+    match vst.consumers.(tuple) with
+    | Some c ->
+      Ring.unsubscribe c;
+      vst.consumers.(tuple) <- None
+    | None -> ())
   | Some _ -> ());
   if vst.vrole = Follower then begin
     vst.vrole <- Leader;
@@ -1006,7 +1011,7 @@ and nvx_fork t vst ~unit_idx parent_proc body =
       let new_tu = e.Event.args.(0) in
       let child_proc = K.fork_proc t.k parent_proc child_name in
       E.consume (t.cost.Cost.native_base Sysno.Fork);
-      vst.consumer_ids.(new_tu) <- Ring.add_consumer t.rings.(new_tu);
+      vst.consumers.(new_tu) <- Some (Ring.subscribe t.rings.(new_tu));
       t.tuple_ready.(new_tu) <- t.tuple_ready.(new_tu) + 1;
       E.Cond.broadcast t.ready_cond;
       spawn_child_unit ~promoted:false ~new_tu child_proc
@@ -1085,7 +1090,8 @@ let launch ?(config = Config.default) k variants =
           vrole = (if idx = 0 then Leader else Follower);
           main_proc = None;
           unit_procs = [||];
-          consumer_ids = Array.make ntuples (-1);
+          consumers = Array.make ntuples None;
+          compiled_rules = None;
           clocks =
             (match shape.Variant.unit_kind with
             | Variant.Thread ->
@@ -1150,34 +1156,41 @@ let launch ?(config = Config.default) k variants =
       (fun vst ->
         if vst.idx <> 0 then
           for tu = 0 to ntuples - 1 do
-            vst.consumer_ids.(tu) <- Ring.add_consumer rings.(tu)
+            vst.consumers.(tu) <- Some (Ring.subscribe rings.(tu))
           done)
       vstates
   | Some pq ->
     (* The pump is the only consumer of the leader's queues; followers
        each consume their own queue (consumer id 0 by construction). *)
     for tu = 0 to ntuples - 1 do
-      let pump_cid = Ring.add_consumer rings.(tu) in
+      let pump_consumer = Ring.subscribe rings.(tu) in
       Array.iter
         (fun vst ->
           if vst.idx <> 0 then begin
-            let cid = Ring.add_consumer pq.(tu).(vst.idx) in
-            assert (cid = 0);
-            vst.consumer_ids.(tu) <- cid
+            let c = Ring.subscribe pq.(tu).(vst.idx) in
+            assert (Ring.consumer_cid c = 0);
+            vst.consumers.(tu) <- Some c
           end)
         vstates;
       ignore
         (E.spawn k.Types.eng ~name:(Printf.sprintf "event-pump%d" tu)
            (fun () ->
              let c = t.cost in
+             (* Drain the leader's queue in runs: a lagging pump catches
+                up with one gate check and one wakeup per batch instead
+                of per event. Per-event costs are still charged. *)
              let rec loop () =
-               let e = Ring.consume rings.(tu) pump_cid in
-               E.consume c.Cost.consume_event;
+               let batch =
+                 Array.of_list
+                   (Ring.consume_batch_h pump_consumer ~max:64)
+               in
+               let n = Array.length batch in
+               E.consume (c.Cost.consume_event * n);
                Array.iter
                  (fun vst ->
                    if vst.idx <> t.leader_idx && vst.alive then begin
-                     E.consume c.Cost.publish_event;
-                     Ring.publish pq.(tu).(vst.idx) e
+                     E.consume (c.Cost.publish_event * n);
+                     Ring.publish_batch pq.(tu).(vst.idx) batch
                    end)
                  vstates;
                loop ()
@@ -1309,14 +1322,14 @@ let trace_lines t =
 
 let sample_lag t idx =
   let vst = t.vstates.(idx) in
-  if vst.alive && idx <> t.leader_idx && vst.consumer_ids.(0) >= 0 then
+  if vst.alive && idx <> t.leader_idx && vst.consumers.(0) <> None then
     stream_lag t vst 0
   else 0
 
 let observe_lags t =
   Array.iter
     (fun vst ->
-      if vst.alive && vst.idx <> t.leader_idx && vst.consumer_ids.(0) >= 0
+      if vst.alive && vst.idx <> t.leader_idx && vst.consumers.(0) <> None
       then t.max_lag <- max t.max_lag (stream_lag t vst 0))
     t.vstates
 

@@ -35,9 +35,39 @@ let kind_name = function
   | Ev_fork -> "fork"
   | Ev_exit -> "exit"
 
+(* Escaped prefix of a payload, so failure dumps show what the bytes
+   were without flooding the terminal. *)
+let pp_bytes_preview ppf b =
+  let n = Bytes.length b in
+  let shown = min n 16 in
+  Format.pp_print_char ppf '"';
+  for i = 0 to shown - 1 do
+    let c = Bytes.get b i in
+    if c >= ' ' && c <= '~' && c <> '"' && c <> '\\' then
+      Format.pp_print_char ppf c
+    else Format.fprintf ppf "\\x%02x" (Char.code c)
+  done;
+  if n > shown then Format.pp_print_string ppf "..";
+  Format.fprintf ppf "\"(%dB)" n
+
 let pp ppf e =
-  Format.fprintf ppf "[%s nr=%d ret=%d clk=%d%s]" (kind_name e.kind) e.sysno
-    e.ret e.clock
-    (match e.payload with
-    | None -> ""
-    | Some _ -> Printf.sprintf " shm:%dB" e.payload_len)
+  Format.fprintf ppf "[%s nr=%d tid=%d clk=%d" (kind_name e.kind) e.sysno
+    e.tid e.clock;
+  if Array.length e.args > 0 then begin
+    Format.pp_print_string ppf " args=(";
+    Array.iteri
+      (fun i a ->
+        if i > 0 then Format.pp_print_char ppf ',';
+        Format.pp_print_int ppf a)
+      e.args;
+    Format.pp_print_char ppf ')'
+  end;
+  Format.fprintf ppf " ret=%d" e.ret;
+  (match e.inline_out with
+  | Some b -> Format.fprintf ppf " out=%a" pp_bytes_preview b
+  | None -> ());
+  (match e.payload with
+  | Some _ -> Format.fprintf ppf " shm:%dB" e.payload_len
+  | None -> ());
+  if e.grant <> None then Format.pp_print_string ppf " grant";
+  Format.pp_print_char ppf ']'

@@ -51,3 +51,6 @@ val fits_inline : t -> bool
 (** Whether the event needed no shared-memory payload. *)
 
 val pp : Format.formatter -> t -> unit
+(** Full single-line rendering for failure dumps: kind, sysno, tid,
+    clock, register args, ret, an escaped preview of any inline payload,
+    the shared-memory payload length and a grant marker. *)

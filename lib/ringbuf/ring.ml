@@ -1,8 +1,6 @@
 module E = Varan_sim.Engine
 module Cond = E.Cond
 
-type consumer = { cid : int; mutable cursor : int; mutable active : bool }
-
 type 'a tap = {
   tap_publish : seq:int -> 'a -> unit;
   tap_consume : cid:int -> seq:int -> 'a -> unit;
@@ -13,14 +11,26 @@ type stats = {
   consumes : int;
   producer_stalls : int;
   consumer_stalls : int;
+  publish_wakeups : int;
+  consume_wakeups : int;
+  gate_recomputes : int;
 }
 
 type 'a t = {
   rname : string;
   slots : 'a option array;
   mutable head : int; (* next sequence number to publish *)
-  mutable consumers : consumer list;
+  (* O(1) consumer registry, keyed by cid. Slots of departed consumers are
+     [None]; the array only ever grows (cids are never reused). *)
+  mutable registry : 'a consumer option array;
   mutable next_cid : int;
+  mutable nactive : int;
+  (* Gating sequence (Disruptor-style): a conservative lower bound on the
+     minimum consumer cursor. The producer checks fullness against this
+     cache and folds over the registry only when the cached gate is
+     actually reached, so consumer progress costs the producer nothing
+     until the ring really wraps onto the slowest cursor. *)
+  mutable gate : int;
   not_empty : Cond.cond;
   not_full : Cond.cond;
   activity : Cond.cond;
@@ -28,7 +38,17 @@ type 'a t = {
   mutable n_consumes : int;
   mutable n_producer_stalls : int;
   mutable n_consumer_stalls : int;
+  mutable n_publish_wakeups : int;
+  mutable n_consume_wakeups : int;
+  mutable n_gate_recomputes : int;
   mutable tap : 'a tap option;
+}
+
+and 'a consumer = {
+  c_ring : 'a t;
+  cid : int;
+  mutable cursor : int;
+  mutable active : bool;
 }
 
 let create ?(size = 256) rname =
@@ -37,8 +57,10 @@ let create ?(size = 256) rname =
     rname;
     slots = Array.make size None;
     head = 0;
-    consumers = [];
+    registry = Array.make 4 None;
     next_cid = 0;
+    nactive = 0;
+    gate = 0;
     not_empty = Cond.create (rname ^ "-not-empty");
     not_full = Cond.create (rname ^ "-not-full");
     activity = Cond.create (rname ^ "-activity");
@@ -46,6 +68,9 @@ let create ?(size = 256) rname =
     n_consumes = 0;
     n_producer_stalls = 0;
     n_consumer_stalls = 0;
+    n_publish_wakeups = 0;
+    n_consume_wakeups = 0;
+    n_gate_recomputes = 0;
     tap = None;
   }
 
@@ -53,43 +78,102 @@ let size t = Array.length t.slots
 let name t = t.rname
 let set_tap t tap = t.tap <- tap
 
-let add_consumer t =
-  let c = { cid = t.next_cid; cursor = t.head; active = true } in
-  t.next_cid <- t.next_cid + 1;
-  t.consumers <- c :: t.consumers;
-  c.cid
+(* ------------------------------------------------------------------ *)
+(* Consumer registry                                                   *)
+(* ------------------------------------------------------------------ *)
 
-let find_consumer t cid =
-  match List.find_opt (fun c -> c.cid = cid && c.active) t.consumers with
-  | Some c -> c
-  | None -> invalid_arg (Printf.sprintf "Ring %s: no consumer %d" t.rname cid)
+let subscribe t =
+  let cid = t.next_cid in
+  t.next_cid <- cid + 1;
+  if cid >= Array.length t.registry then begin
+    let bigger = Array.make (2 * Array.length t.registry) None in
+    Array.blit t.registry 0 bigger 0 (Array.length t.registry);
+    t.registry <- bigger
+  end;
+  let c = { c_ring = t; cid; cursor = t.head; active = true } in
+  t.registry.(cid) <- Some c;
+  t.nactive <- t.nactive + 1;
+  (* A new cursor starts at [head >= gate], so the cached gate stays a
+     valid lower bound. *)
+  c
+
+let add_consumer t = (subscribe t).cid
+
+let handle t cid =
+  if cid < 0 || cid >= Array.length t.registry then
+    invalid_arg (Printf.sprintf "Ring %s: no consumer %d" t.rname cid)
+  else
+    match t.registry.(cid) with
+    | Some c when c.active -> c
+    | _ -> invalid_arg (Printf.sprintf "Ring %s: no consumer %d" t.rname cid)
+
+let consumer_cid c = c.cid
+
+let unsubscribe c =
+  let t = c.c_ring in
+  if c.active then begin
+    c.active <- false;
+    t.registry.(c.cid) <- None;
+    t.nactive <- t.nactive - 1;
+    (* The departed consumer may have been the one holding the ring full. *)
+    Cond.broadcast_if_waiting t.not_full
+  end
 
 let remove_consumer t cid =
-  match List.find_opt (fun c -> c.cid = cid) t.consumers with
-  | None -> ()
-  | Some c ->
-    c.active <- false;
-    t.consumers <- List.filter (fun c -> c.cid <> cid) t.consumers;
-    (* The departed consumer may have been the one holding the ring full. *)
-    Cond.broadcast t.not_full
+  if cid >= 0 && cid < Array.length t.registry then
+    match t.registry.(cid) with Some c -> unsubscribe c | None -> ()
 
-let active_consumers t = List.length t.consumers
+let active_consumers t = t.nactive
 
-let min_cursor t =
-  List.fold_left (fun acc c -> min acc c.cursor) t.head t.consumers
+(* ------------------------------------------------------------------ *)
+(* Gating                                                              *)
+(* ------------------------------------------------------------------ *)
 
-let is_full t = t.head - min_cursor t >= Array.length t.slots
+let recompute_gate t =
+  t.n_gate_recomputes <- t.n_gate_recomputes + 1;
+  let m = ref t.head in
+  Array.iter
+    (function
+      | Some c -> if c.active && c.cursor < !m then m := c.cursor
+      | None -> ())
+    t.registry;
+  t.gate <- !m
 
-let publish_now t v =
+let is_full t =
+  t.head - t.gate >= Array.length t.slots
+  && begin
+       recompute_gate t;
+       t.head - t.gate >= Array.length t.slots
+     end
+
+(* Sequence slots available for publishing with no further gate check. At
+   least 1 whenever [is_full t] just returned false. *)
+let available t = Array.length t.slots - (t.head - t.gate)
+
+(* ------------------------------------------------------------------ *)
+(* Publish                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let wake_consumers t =
+  if Cond.has_waiters t.not_empty || Cond.has_waiters t.activity then begin
+    t.n_publish_wakeups <- t.n_publish_wakeups + 1;
+    Cond.broadcast_if_waiting t.not_empty;
+    Cond.broadcast_if_waiting t.activity
+  end
+
+(* Write one slot without waking anyone: batch paths wake once per run. *)
+let publish_slot t v =
   (* Slots behind every consumer are dead; overwriting implements the
      paper's immediate deallocation of consumed events. *)
   let seq = t.head in
   t.slots.(seq mod Array.length t.slots) <- Some v;
   t.head <- seq + 1;
   t.n_publishes <- t.n_publishes + 1;
-  (match t.tap with Some tp -> tp.tap_publish ~seq v | None -> ());
-  Cond.broadcast t.not_empty;
-  Cond.broadcast t.activity
+  match t.tap with Some tp -> tp.tap_publish ~seq v | None -> ()
+
+let publish_now t v =
+  publish_slot t v;
+  wake_consumers t
 
 let publish t v =
   while is_full t do
@@ -117,7 +201,41 @@ let try_publish t v =
     true
   end
 
-let consume_now t c =
+let publish_batch t vs =
+  let n = Array.length vs in
+  let i = ref 0 in
+  while !i < n do
+    while is_full t do
+      t.n_producer_stalls <- t.n_producer_stalls + 1;
+      Cond.wait t.not_full
+    done;
+    (* Claim the longest run the gate allows with this one check, write
+       every slot, then wake consumers once for the whole run. *)
+    let take = min (available t) (n - !i) in
+    for j = !i to !i + take - 1 do
+      publish_slot t vs.(j)
+    done;
+    i := !i + take;
+    wake_consumers t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Consume                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A consume opens producer space only if this cursor sat on the gate
+   itself; anyone stalled behind [wait_activity] still needs the head
+   advance (sibling-thread ordering in the NVX layer relies on it). *)
+let wake_after_consume t ~was_gating =
+  if
+    (was_gating && Cond.has_waiters t.not_full) || Cond.has_waiters t.activity
+  then begin
+    t.n_consume_wakeups <- t.n_consume_wakeups + 1;
+    if was_gating then Cond.broadcast_if_waiting t.not_full;
+    Cond.broadcast_if_waiting t.activity
+  end
+
+let consume_slot t c =
   let seq = c.cursor in
   match t.slots.(seq mod Array.length t.slots) with
   | None -> assert false
@@ -127,39 +245,65 @@ let consume_now t c =
     (match t.tap with
     | Some tp -> tp.tap_consume ~cid:c.cid ~seq v
     | None -> ());
-    Cond.broadcast t.not_full;
-    Cond.broadcast t.activity;
     v
 
-let consume t cid =
-  let c = find_consumer t cid in
+let consume_now t c =
+  let was_gating = c.cursor = t.gate in
+  let v = consume_slot t c in
+  wake_after_consume t ~was_gating;
+  v
+
+let consume_h c =
+  let t = c.c_ring in
   while c.cursor >= t.head do
     t.n_consumer_stalls <- t.n_consumer_stalls + 1;
     Cond.wait t.not_empty
   done;
   consume_now t c
 
-let try_consume t cid =
-  let c = find_consumer t cid in
+let try_consume_h c =
+  let t = c.c_ring in
   if c.cursor >= t.head then begin
     t.n_consumer_stalls <- t.n_consumer_stalls + 1;
     None
   end
   else Some (consume_now t c)
 
-let peek t cid =
-  let c = find_consumer t cid in
+let consume_batch_h c ~max =
+  if max < 1 then invalid_arg "Ring.consume_batch: max must be positive";
+  let t = c.c_ring in
+  while c.cursor >= t.head do
+    t.n_consumer_stalls <- t.n_consumer_stalls + 1;
+    Cond.wait t.not_empty
+  done;
+  (* Drain the run with one gate check and one wakeup at the end. *)
+  let was_gating = c.cursor = t.gate in
+  let run = min max (t.head - c.cursor) in
+  let out = List.init run (fun _ -> consume_slot t c) in
+  wake_after_consume t ~was_gating;
+  out
+
+let try_consume_batch_h c ~max =
+  let t = c.c_ring in
+  if c.cursor >= t.head then []
+  else begin
+    let was_gating = c.cursor = t.gate in
+    let run = min max (t.head - c.cursor) in
+    let out = List.init run (fun _ -> consume_slot t c) in
+    wake_after_consume t ~was_gating;
+    out
+  end
+
+let peek_h c =
+  let t = c.c_ring in
   if c.cursor >= t.head then None
   else t.slots.(c.cursor mod Array.length t.slots)
 
-let lag t cid =
-  let c = find_consumer t cid in
-  t.head - c.cursor
+let lag_h c = c.c_ring.head - c.cursor
+let cursor_h c = c.cursor
 
-let cursor t cid = (find_consumer t cid).cursor
-
-let unread t cid =
-  let c = find_consumer t cid in
+let unread_h c =
+  let t = c.c_ring in
   let len = Array.length t.slots in
   let rec go seq acc =
     if seq >= t.head then List.rev acc
@@ -171,6 +315,16 @@ let unread t cid =
   in
   go c.cursor []
 
+(* cid-keyed compatibility layer: one O(1) registry lookup per call. Hot
+   loops should resolve a handle once instead. *)
+let consume t cid = consume_h (handle t cid)
+let try_consume t cid = try_consume_h (handle t cid)
+let consume_batch t cid ~max = consume_batch_h (handle t cid) ~max
+let peek t cid = peek_h (handle t cid)
+let lag t cid = lag_h (handle t cid)
+let cursor t cid = cursor_h (handle t cid)
+let unread t cid = unread_h (handle t cid)
+
 let published t = t.head
 
 let stats t =
@@ -179,6 +333,9 @@ let stats t =
     consumes = t.n_consumes;
     producer_stalls = t.n_producer_stalls;
     consumer_stalls = t.n_consumer_stalls;
+    publish_wakeups = t.n_publish_wakeups;
+    consume_wakeups = t.n_consume_wakeups;
+    gate_recomputes = t.n_gate_recomputes;
   }
 
 let wait_activity t = Cond.wait t.activity

@@ -10,9 +10,23 @@
 
     Events are deallocated as soon as every consumer has passed them
     (the paper's in-memory log is fixed size), so the ring also reports
-    each consumer's {e lag}, used by the live-sanitization experiment. *)
+    each consumer's {e lag}, used by the live-sanitization experiment.
+
+    {b Hot path.} Consumers live in an array keyed by cid (O(1) lookup,
+    or zero lookups via {!type:consumer} handles). The producer gates on a
+    cached minimum-cursor sequence that is refreshed only when the cache
+    says the ring is full; wakeups are taken only when someone is parked
+    ({!Varan_sim.Engine.Cond.broadcast_if_waiting}); and the batch APIs
+    claim or drain runs of slots with one gate check and one wakeup per
+    run. See DESIGN.md §Hot path. *)
 
 type 'a t
+
+type 'a consumer
+(** A resolved consumer handle: the cid lookup done once. All [_h]
+    operations below are the cid-keyed ones minus the registry lookup.
+    Using a handle after {!unsubscribe}/{!remove_consumer} is a
+    programming error (consumes would assert on reclaimed slots). *)
 
 val create : ?size:int -> string -> 'a t
 (** [size] defaults to 256 events, the prototype's default. *)
@@ -24,9 +38,21 @@ val add_consumer : 'a t -> int
 (** Register a consumer starting at the current head (it will only see
     events published after this call). Returns its consumer id. *)
 
+val subscribe : 'a t -> 'a consumer
+(** Like {!add_consumer} but returns the handle directly. *)
+
+val handle : 'a t -> int -> 'a consumer
+(** Resolve a cid to its handle. @raise Invalid_argument if no active
+    consumer has this cid. *)
+
+val consumer_cid : 'a consumer -> int
+
 val remove_consumer : 'a t -> int -> unit
 (** Unsubscribe (e.g. a crashed follower, §5.1): its cursor no longer
-    holds back the producer. *)
+    holds back the producer. Unknown/already-removed cids are ignored. *)
+
+val unsubscribe : 'a consumer -> unit
+(** Handle-keyed {!remove_consumer}; idempotent. *)
 
 val active_consumers : 'a t -> int
 
@@ -42,11 +68,23 @@ val publish_k : 'a t -> (unit -> 'a) -> unit
 val try_publish : 'a t -> 'a -> bool
 (** Non-blocking variant; [false] when full. *)
 
+val publish_batch : 'a t -> 'a array -> unit
+(** Append a run of events, blocking as needed. Each wait-free run of
+    slots is claimed with a single gate check and consumers are woken
+    once per run (not per event); taps still fire per event, in order.
+    Equivalent to [Array.iter (publish t) vs] for every observer. *)
+
 val consume : 'a t -> int -> 'a
 (** [consume ring cid] returns the next unread event for consumer [cid],
     blocking while none is available. *)
 
 val try_consume : 'a t -> int -> 'a option
+
+val consume_batch : 'a t -> int -> max:int -> 'a list
+(** [consume_batch ring cid ~max] blocks until at least one event is
+    available, then drains up to [max] already-published events with one
+    gate check and one producer wakeup for the whole run, oldest first.
+    Equivalent to repeated {!consume} for every observer. *)
 
 val peek : 'a t -> int -> 'a option
 (** Next unread event without advancing. *)
@@ -61,6 +99,23 @@ val unread : 'a t -> int -> 'a list
 (** Events published but not yet read by this consumer, oldest first —
     what the failover path must account for (e.g. releasing payload
     references) when a crashed consumer is removed. *)
+
+(** {1 Handle-keyed operations}
+
+    Identical semantics to the cid-keyed versions above, minus the
+    per-call registry lookup — for tight replay/pump loops. *)
+
+val consume_h : 'a consumer -> 'a
+val try_consume_h : 'a consumer -> 'a option
+val consume_batch_h : 'a consumer -> max:int -> 'a list
+
+val try_consume_batch_h : 'a consumer -> max:int -> 'a list
+(** Non-blocking batch drain; [[]] when nothing is available. *)
+
+val peek_h : 'a consumer -> 'a option
+val lag_h : 'a consumer -> int
+val cursor_h : 'a consumer -> int
+val unread_h : 'a consumer -> 'a list
 
 val published : 'a t -> int
 (** Total events ever published. *)
@@ -85,6 +140,14 @@ type stats = {
   consumes : int;
   producer_stalls : int;  (** publisher found the ring full *)
   consumer_stalls : int;  (** a consumer found the ring empty *)
+  publish_wakeups : int;
+      (** publish-side wakeups actually taken (some consumer was parked) *)
+  consume_wakeups : int;
+      (** consume-side wakeups actually taken (producer or activity
+          waiter was parked) *)
+  gate_recomputes : int;
+      (** times the producer had to re-fold the registry because the
+          cached gating sequence was reached *)
 }
 
 val stats : 'a t -> stats

@@ -83,7 +83,23 @@ type cond_waiter = {
   w_wake : int64 -> unit; (* schedule resumption at the given wake time *)
 }
 
-type cond = { c_name : string; c_waiters : cond_waiter Queue.t }
+type cond = {
+  c_name : string;
+  c_waiters : cond_waiter Queue.t;
+  (* Unclaimed waiters currently parked: kept exact at every claim site so
+     signallers can test "anyone there?" in O(1). The ring buffer's
+     targeted-wakeup policy reads this on every publish/consume, so it
+     must not degrade into a queue walk. *)
+  mutable c_nwaiters : int;
+}
+
+(* Every transition of [w_claimed] from false to true goes through here so
+   the waiter count stays exact. *)
+let claim_waiter c w =
+  if not w.w_claimed then begin
+    w.w_claimed <- true;
+    c.c_nwaiters <- c.c_nwaiters - 1
+  end
 
 type t = {
   heap : Heap.t;
@@ -142,9 +158,13 @@ let signal_at c at =
   let rec pop () =
     if not (Queue.is_empty c.c_waiters) then begin
       let w = Queue.pop c.c_waiters in
-      if w.w_claimed || w.w_task.state = Dead then pop ()
+      if w.w_claimed then pop ()
+      else if w.w_task.state = Dead then begin
+        claim_waiter c w;
+        pop ()
+      end
       else begin
-        w.w_claimed <- true;
+        claim_waiter c w;
         w.w_wake (max64 at w.w_task.time)
       end
     end
@@ -156,9 +176,10 @@ let broadcast_at c at =
   Queue.clear c.c_waiters;
   Queue.iter
     (fun w ->
-      if (not w.w_claimed) && w.w_task.state <> Dead then begin
-        w.w_claimed <- true;
-        w.w_wake (max64 at w.w_task.time)
+      if not w.w_claimed then begin
+        let dead = w.w_task.state = Dead in
+        claim_waiter c w;
+        if not dead then w.w_wake (max64 at w.w_task.time)
       end)
     pending
 
@@ -256,10 +277,11 @@ let rec make_fiber : t -> task -> (unit -> unit) -> unit =
                     }
                   in
                   Queue.push waiter c.c_waiters;
+                  c.c_nwaiters <- c.c_nwaiters + 1;
                   task.on_kill <-
                     Some
                       (fun at ->
-                        waiter.w_claimed <- true;
+                        claim_waiter c waiter;
                         ignore
                           (schedule t at (fun () -> discontinue k Killed)))
                 end)
@@ -290,12 +312,13 @@ let rec make_fiber : t -> task -> (unit -> unit) -> unit =
                     }
                   in
                   Queue.push waiter c.c_waiters;
+                  c.c_nwaiters <- c.c_nwaiters + 1;
                   let deadline = Int64.add task.time (Int64.of_int cycles) in
                   ignore
                     (schedule t deadline (fun () ->
                          if (not !settled) && not waiter.w_claimed then begin
                            settled := true;
-                           waiter.w_claimed <- true;
+                           claim_waiter c waiter;
                            task.on_kill <- None;
                            resume false deadline
                          end));
@@ -303,7 +326,7 @@ let rec make_fiber : t -> task -> (unit -> unit) -> unit =
                     Some
                       (fun at ->
                         settled := true;
-                        waiter.w_claimed <- true;
+                        claim_waiter c waiter;
                         ignore
                           (schedule t at (fun () -> discontinue k Killed)))
                 end)
@@ -411,14 +434,20 @@ let yield () = Effect.perform E_yield
 module Cond = struct
   type nonrec cond = cond
 
-  let create name = { c_name = name; c_waiters = Queue.create () }
+  let create name = { c_name = name; c_waiters = Queue.create (); c_nwaiters = 0 }
   let wait c = Effect.perform (E_wait c)
   let wait_timeout c cycles = Effect.perform (E_wait_timeout (c, cycles))
   let signal c = Effect.perform (E_signal c)
   let broadcast c = Effect.perform (E_broadcast c)
+  let waiters c = c.c_nwaiters
+  let has_waiters c = c.c_nwaiters > 0
 
-  let waiters c =
-    Queue.fold (fun n w -> if w.w_claimed then n else n + 1) 0 c.c_waiters
+  (* The targeted-wakeup primitive: a no-op (no engine effect at all) when
+     nobody is parked, so uncontended publishes and consumes pay nothing.
+     Checking [c_nwaiters] outside an effect is sound because tasks are
+     cooperative: no waiter can register between this test and the
+     broadcast. *)
+  let broadcast_if_waiting c = if c.c_nwaiters > 0 then broadcast c
 
   let _name c = c.c_name
 end

@@ -112,5 +112,15 @@ module Cond : sig
   val broadcast : cond -> unit
   (** Wake every current waiter. *)
 
+  val broadcast_if_waiting : cond -> unit
+  (** {!broadcast}, but a complete no-op (not even an engine effect) when
+      no waiter is parked. This is the targeted-wakeup primitive of the
+      ring buffer's hot path: an uncontended publish or consume skips the
+      wakeup entirely instead of broadcasting into the void. Safe to call
+      from outside a task when there are no waiters. *)
+
   val waiters : cond -> int
+  (** Number of currently parked (unclaimed) waiters. O(1). *)
+
+  val has_waiters : cond -> bool
 end

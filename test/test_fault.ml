@@ -133,6 +133,21 @@ let test_all_followers_crash () =
   Alcotest.(check int) "leader unchanged" 0 out.H.leader_idx;
   Alcotest.(check int) "no promotions" 0 out.H.report.Oracle.promotions
 
+(* Figure 5's "pure interception" configuration: with zero followers the
+   leader records nothing, so the stream machinery must cost nothing —
+   no producer stalls, and no publish-side wakeups (nobody is ever
+   parked on the ring). *)
+let test_zero_followers_pay_no_streaming_costs () =
+  let case = directed_case ~seed:107 ~followers:0 ~plan:[] in
+  let out = H.run_ops case (payload_ops 8) in
+  check_case_exn "zero followers" case out;
+  Array.iter
+    (fun (r : Ring.stats) ->
+      Alcotest.(check int) "no producer stalls" 0 r.Ring.producer_stalls;
+      Alcotest.(check int) "no consumer wakeups" 0 r.Ring.publish_wakeups;
+      Alcotest.(check int) "nothing streamed" 0 r.Ring.publishes)
+    out.H.stats.Nvx.rings
+
 (* Negative control: a deliberate payload-reference leak must be caught,
    proving the oracle's pool-balance invariant is not vacuous. *)
 let test_drop_payload_negative_control () =
@@ -300,6 +315,8 @@ let () =
             test_cascading_crashes_in_index_order;
           Alcotest.test_case "all followers crash" `Quick
             test_all_followers_crash;
+          Alcotest.test_case "zero followers pay no streaming costs" `Quick
+            test_zero_followers_pay_no_streaming_costs;
           Alcotest.test_case "drop-payload negative control" `Quick
             test_drop_payload_negative_control;
         ] );

@@ -250,6 +250,204 @@ let test_ring_wraparound_cursor_accounting () =
          Alcotest.(check bool) "empty" true (Ring.try_consume r cid = None)));
   E.run eng
 
+(* --- batched publish/consume ------------------------------------------ *)
+
+module Prng = Varan_util.Prng
+module Programs = Varan_torture.Programs
+module Oracle = Varan_trace.Oracle
+
+(* Seeded event-stream generator built on the torture suite's op
+   generator: each op becomes one stream event whose registers, result
+   and inline payload are drawn from the same PRNG, with the oracle's
+   clock = seq + 1 convention. *)
+let gen_events prng n =
+  let ops = Array.of_list (Programs.gen_ops prng n) in
+  Array.mapi
+    (fun i op ->
+      let sysno = Hashtbl.hash op land 0xff in
+      let nargs = Prng.int prng 4 in
+      let args = Array.init nargs (fun _ -> Prng.int prng 1000) in
+      let inline_out =
+        if Prng.bool prng then
+          Some
+            (Bytes.init (1 + Prng.int prng 16) (fun _ ->
+                 Char.chr (Prng.int prng 256)))
+        else None
+      in
+      Event.make ~tid:0 ~args ~ret:(Prng.int prng 4096) ?inline_out
+        ~clock:(i + 1) sysno)
+    ops
+
+(* Run [events] through a fresh ring with [nconsumers] consumers, using
+   the given publish and consume strategies; returns what each consumer
+   saw plus the oracle's report. *)
+let run_stream ~events ~nconsumers ~publisher ~consumer =
+  let eng = E.create () in
+  let ring = Ring.create ~size:32 "prop" in
+  let oracle = Oracle.create () in
+  Oracle.attach_ring oracle ~tuple:0 ring;
+  let seen = Array.make nconsumers [] in
+  let handles = Array.init nconsumers (fun _ -> Ring.subscribe ring) in
+  Array.iteri
+    (fun i h ->
+      ignore
+        (E.spawn eng ~name:(Printf.sprintf "consumer%d" i) (fun () ->
+             consumer h (Array.length events) (fun e ->
+                 seen.(i) <- e :: seen.(i)))))
+    handles;
+  ignore (E.spawn eng ~name:"producer" (fun () -> publisher ring events));
+  E.run eng;
+  (Array.map List.rev seen, Oracle.report oracle)
+
+let one_at_a_time_publisher ring events =
+  Array.iter
+    (fun e ->
+      E.consume 3;
+      Ring.publish ring e)
+    events
+
+let one_at_a_time_consumer h total push =
+  for _ = 1 to total do
+    push (Ring.consume_h h)
+  done
+
+let batched_publisher ~chunk ring events =
+  let n = Array.length events in
+  let i = ref 0 in
+  while !i < n do
+    let take = min chunk (n - !i) in
+    E.consume 3;
+    Ring.publish_batch ring (Array.sub events !i take);
+    i := !i + take
+  done
+
+let batched_consumer ~max h total push =
+  let left = ref total in
+  while !left > 0 do
+    let batch = Ring.consume_batch_h h ~max in
+    List.iter push batch;
+    left := !left - List.length batch
+  done
+
+(* The tentpole equivalence: batched publish/consume must be
+   indistinguishable from the one-at-a-time path — same events in the
+   same order at every consumer, and an identical oracle report
+   (per-tuple structural digests included) — across 200 seeds. *)
+let test_batched_equals_unbatched () =
+  for seed = 0 to 199 do
+    let prng = Prng.create seed in
+    let n = 1 + Prng.int prng 60 in
+    let events = gen_events prng n in
+    let nconsumers = 1 + Prng.int prng 3 in
+    let chunk = 1 + Prng.int prng 8 in
+    let max = 1 + Prng.int prng 64 in
+    let ref_seen, ref_report =
+      run_stream ~events ~nconsumers ~publisher:one_at_a_time_publisher
+        ~consumer:one_at_a_time_consumer
+    in
+    let got_seen, got_report =
+      run_stream ~events ~nconsumers
+        ~publisher:(batched_publisher ~chunk)
+        ~consumer:(batched_consumer ~max)
+    in
+    if not (Oracle.ok ref_report) then
+      Alcotest.failf "seed %d: reference oracle unclean" seed;
+    if not (Oracle.ok got_report) then
+      Alcotest.failf "seed %d: batched oracle unclean" seed;
+    for i = 0 to nconsumers - 1 do
+      if ref_seen.(i) <> got_seen.(i) then
+        Alcotest.failf "seed %d: consumer %d saw a different sequence" seed i
+    done;
+    if ref_report.Oracle.digests <> got_report.Oracle.digests then
+      Alcotest.failf "seed %d: oracle stream digests differ" seed
+  done
+
+let test_batch_wraparound () =
+  let eng = E.create () in
+  let r = Ring.create ~size:4 "batch-wrap" in
+  let c = Ring.subscribe r in
+  let got = ref [] in
+  (* 3 batches of 10 over a 4-slot ring: every batch spans at least one
+     wraparound and is split into gate-limited runs internally. *)
+  ignore
+    (E.spawn eng ~name:"producer" (fun () ->
+         for b = 0 to 2 do
+           Ring.publish_batch r (Array.init 10 (fun i -> (b * 10) + i))
+         done));
+  ignore
+    (E.spawn eng ~name:"consumer" (fun () ->
+         let left = ref 30 in
+         while !left > 0 do
+           E.consume 7;
+           let batch = Ring.consume_batch_h c ~max:3 in
+           List.iter (fun v -> got := v :: !got) batch;
+           left := !left - List.length batch
+         done));
+  E.run eng;
+  Alcotest.(check (list int))
+    "in order across wraps"
+    (List.init 30 Fun.id)
+    (List.rev !got);
+  let s = Ring.stats r in
+  Alcotest.(check int) "all published" 30 s.Ring.publishes;
+  Alcotest.(check int) "all consumed" 30 s.Ring.consumes
+
+let test_batch_consumer_removed_mid_stream () =
+  let eng = E.create () in
+  let r = Ring.create ~size:4 "batch-crash" in
+  let dead = Ring.subscribe r in
+  let live = Ring.subscribe r in
+  let got = ref [] in
+  (* The dead consumer reads one batch and stops; its cursor pins the
+     ring until the coordinator removes it, after which the batched
+     publisher must finish all 12 events for the live consumer. *)
+  ignore
+    (E.spawn eng ~name:"dead" (fun () ->
+         ignore (Ring.consume_batch_h dead ~max:2)));
+  ignore
+    (E.spawn eng ~name:"live" (fun () ->
+         let left = ref 12 in
+         while !left > 0 do
+           E.consume 5;
+           let batch = Ring.consume_batch_h live ~max:4 in
+           List.iter (fun v -> got := v :: !got) batch;
+           left := !left - List.length batch
+         done));
+  ignore
+    (E.spawn eng ~name:"producer" (fun () ->
+         Ring.publish_batch r (Array.init 12 Fun.id)));
+  ignore
+    (E.spawn eng ~name:"coordinator" (fun () ->
+         E.consume 1_000;
+         Ring.unsubscribe dead));
+  E.run eng;
+  Alcotest.(check (list int))
+    "live consumer got everything"
+    (List.init 12 Fun.id)
+    (List.rev !got);
+  Alcotest.(check int) "only the live consumer remains" 1
+    (Ring.active_consumers r)
+
+let test_uncontended_ring_takes_no_wakeups () =
+  let eng = E.create () in
+  let r = Ring.create ~size:16 "quiet" in
+  let c = Ring.subscribe r in
+  (* A strictly alternating publish/consume in one task never parks, so
+     the targeted-wakeup policy must never pay a broadcast. *)
+  ignore
+    (E.spawn eng (fun () ->
+         for i = 1 to 50 do
+           Ring.publish r i;
+           Alcotest.(check (option int)) "read back" (Some i)
+             (Ring.try_consume_h c)
+         done));
+  E.run eng;
+  let s = Ring.stats r in
+  Alcotest.(check int) "no publish wakeups" 0 s.Ring.publish_wakeups;
+  Alcotest.(check int) "no consume wakeups" 0 s.Ring.consume_wakeups;
+  Alcotest.(check int) "no stalls" 0
+    (s.Ring.producer_stalls + s.Ring.consumer_stalls)
+
 (* --- events ----------------------------------------------------------- *)
 
 let test_event_sizing () =
@@ -259,6 +457,33 @@ let test_event_sizing () =
   match Event.make ~clock:1 ~args:(Array.make 7 0) 42 with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "seven args must be rejected"
+
+(* Expect test for the failure-dump rendering: tid, register args, the
+   escaped inline payload and the grant marker must all be visible. *)
+let test_event_pp_full_dump () =
+  let e =
+    Event.make ~tid:3 ~args:[| 1; 2 |] ~ret:7
+      ~inline_out:(Bytes.of_string "hi\001") ~clock:5 42
+  in
+  Alcotest.(check string)
+    "syscall with inline payload"
+    "[syscall nr=42 tid=3 clk=5 args=(1,2) ret=7 out=\"hi\\x01\"(3B)]"
+    (Format.asprintf "%a" Event.pp e);
+  let long =
+    Event.make ~tid:1 ~ret:20
+      ~inline_out:(Bytes.of_string "aaaaaaaaaaaaaaaaaaaa") ~clock:9 0
+  in
+  Alcotest.(check string)
+    "long payloads are previewed"
+    "[syscall nr=0 tid=1 clk=9 ret=20 out=\"aaaaaaaaaaaaaaaa..\"(20B)]"
+    (Format.asprintf "%a" Event.pp long);
+  let g = Event.make ~kind:Event.Ev_fork ~tid:2 ~args:[| 4 |] ~ret:99
+      ~grant:(Obj.repr 17) ~clock:3 57
+  in
+  Alcotest.(check string)
+    "fork with grant marker"
+    "[fork nr=57 tid=2 clk=3 args=(4) ret=99 grant]"
+    (Format.asprintf "%a" Event.pp g)
 
 (* --- lamport ----------------------------------------------------------- *)
 
@@ -423,6 +648,108 @@ let prop_codec_roundtrip =
       | Ok prog' -> prog = prog'
       | Error _ -> false)
 
+(* --- bpf compiler ------------------------------------------------------ *)
+
+(* Random programs that pass the verifier by construction: straight-line
+   loads/ALU ops with forward-only in-range jumps, ending in Ret. *)
+let gen_verified_program prng =
+  let n = 2 + Prng.int prng 30 in
+  Array.init n (fun i ->
+      let room = n - i - 2 in
+      (* insns after pc+1 a jump may skip *)
+      if i = n - 1 then
+        if Prng.bool prng then Bi.Ret_a else Bi.Ret_k (Prng.int prng 4096)
+      else begin
+        let src () = if Prng.bool prng then Bi.K (Prng.int prng 64) else Bi.X in
+        let jump mk =
+          let t = if room > 0 then Prng.int prng (room + 1) else 0 in
+          let f = if room > 0 then Prng.int prng (room + 1) else 0 in
+          mk (Prng.int prng 256, t, f)
+        in
+        match Prng.int prng 15 with
+        | 0 -> Bi.Ld_imm (Prng.int prng 4096)
+        | 1 ->
+          (* nr, a valid arg offset, or garbage the decoder zero-fills *)
+          Bi.Ld_abs (Prng.choose prng [| 0; 16; 24; 32; 21; 7 |])
+        | 2 -> Bi.Ld_event (Prng.int prng 10)
+        | 3 -> Bi.Ldx_imm (Prng.int prng 4096)
+        | 4 -> Bi.Tax
+        | 5 -> Bi.Txa
+        | 6 -> Bi.Alu_add (src ())
+        | 7 -> Bi.Alu_sub (src ())
+        | 8 -> Bi.Alu_mul (src ())
+        | 9 -> Bi.Alu_and (src ())
+        | 10 -> Bi.Alu_or (src ())
+        | 11 -> Bi.Alu_lsh (Bi.K (Prng.int prng 8))
+        | 12 -> Bi.Alu_rsh (Bi.K (Prng.int prng 8))
+        | 13 -> jump (fun (k, t, f) -> Bi.Jeq (k, t, f))
+        | _ -> (
+          match Prng.int prng 4 with
+          | 0 -> jump (fun (k, t, f) -> Bi.Jgt (k, t, f))
+          | 1 -> jump (fun (k, t, f) -> Bi.Jge (k, t, f))
+          | 2 -> jump (fun (k, t, f) -> Bi.Jset (k, t, f))
+          | _ -> Bi.Ja (if room > 0 then Prng.int prng (room + 1) else 0))
+      end)
+
+let gen_interp_inputs prng =
+  let data =
+    {
+      Interp.nr = Prng.int prng 256;
+      args = Array.init (Prng.int prng 7) (fun _ -> Prng.int prng 10_000);
+    }
+  in
+  let event =
+    {
+      Interp.ev_nr = Prng.int prng 256;
+      ev_ret = Prng.int prng 10_000 - 5000;
+      ev_args = Array.init (Prng.int prng 7) (fun _ -> Prng.int prng 10_000);
+    }
+  in
+  (data, event)
+
+(* The compiled closure is the reference interpreter exactly: same
+   action, same step count, over random verified programs (plus the
+   generated rewrite rules) and random inputs — 200 seeds. *)
+let test_compile_matches_interp () =
+  for seed = 0 to 199 do
+    let prng = Prng.create (0x5eed + seed) in
+    let progs =
+      [
+        gen_verified_program prng;
+        gen_verified_program prng;
+        Rules.combine
+          (Rules.allow_added_syscalls
+             ~expected_leader:[ 1 + Prng.int prng 200 ]
+             ~added:[ 1 + Prng.int prng 200 ])
+          (Rules.allow_removed_syscalls ~removed:[ 1 + Prng.int prng 200 ]);
+      ]
+    in
+    List.iter
+      (fun prog ->
+        (match Verifier.verify prog with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "seed %d: generator broke: %s" seed m);
+        let compiled = Interp.compile prog in
+        for _ = 1 to 5 do
+          let data, event = gen_interp_inputs prng in
+          let reference = Interp.run prog ~data ~event in
+          let got = Interp.run_compiled compiled ~data ~event in
+          if got.Interp.action <> reference.Interp.action then
+            Alcotest.failf "seed %d: action %d <> %d" seed got.Interp.action
+              reference.Interp.action;
+          if got.Interp.steps <> reference.Interp.steps then
+            Alcotest.failf "seed %d: steps %d <> %d" seed got.Interp.steps
+              reference.Interp.steps
+        done)
+      progs
+  done
+
+let test_compile_rejects_unverified () =
+  match Sys.opaque_identity (Interp.compile [| Bi.Ld_imm 1 |]) with
+  | exception Interp.Not_verified _ -> ()
+  | (_ : Interp.ctx -> Interp.outcome) ->
+    Alcotest.fail "expected Not_verified"
+
 (* Property: generated addition rules never allow an un-listed call. *)
 let prop_added_rules_sound =
   QCheck.Test.make ~name:"addition rules are sound" ~count:300
@@ -470,6 +797,18 @@ let () =
           Alcotest.test_case "wraparound cursor accounting" `Quick
             test_ring_wraparound_cursor_accounting;
           Alcotest.test_case "event sizing" `Quick test_event_sizing;
+          Alcotest.test_case "event pp full dump" `Quick
+            test_event_pp_full_dump;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "batched == unbatched (200 seeds)" `Quick
+            test_batched_equals_unbatched;
+          Alcotest.test_case "batch wraparound" `Quick test_batch_wraparound;
+          Alcotest.test_case "consumer removed mid-stream" `Quick
+            test_batch_consumer_removed_mid_stream;
+          Alcotest.test_case "uncontended ring takes no wakeups" `Quick
+            test_uncontended_ring_takes_no_wakeups;
         ] );
       ( "lamport",
         [
@@ -494,6 +833,10 @@ let () =
           Alcotest.test_case "removal rules" `Quick test_rules_removed;
           Alcotest.test_case "combine rules" `Quick test_rules_combine;
           QCheck_alcotest.to_alcotest prop_added_rules_sound;
+          Alcotest.test_case "compile == interp (200 seeds)" `Quick
+            test_compile_matches_interp;
+          Alcotest.test_case "compile rejects unverified" `Quick
+            test_compile_rejects_unverified;
           Alcotest.test_case "codec roundtrip listing1" `Quick
             test_codec_roundtrip_listing1;
           Alcotest.test_case "codec rejects garbage" `Quick

@@ -342,10 +342,80 @@ let torture_cmd =
       & info [ "v"; "verbose" ]
           ~doc:"Print the plan, digests and the oracle report per case.")
   in
-  let run seed count plan_spec followers verbose =
+  let lifecycle_arg =
+    Arg.(
+      value & flag
+      & info [ "lifecycle" ]
+          ~doc:
+            "Run lifecycle cases: the follower lifecycle manager enabled, \
+             with follower-only stalls past the watchdog timeout and \
+             occasional follower crashes. Checks that every quarantined \
+             follower rejoins with the native digest or dies after exactly \
+             its respawn budget, and that the leader never gates on a \
+             quarantined consumer.")
+  in
+  let stall_timeout_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "stall-timeout" ] ~docv:"CYCLES"
+          ~doc:
+            "Lifecycle policy override: cycles without consumer progress \
+             before a follower is quarantined. Implies $(b,--lifecycle).")
+  in
+  let max_restarts_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:
+            "Lifecycle policy override: respawns allowed per follower \
+             before it is declared dead. Implies $(b,--lifecycle).")
+  in
+  let min_followers_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "min-followers" ] ~docv:"N"
+          ~doc:
+            "Lifecycle policy override: below this many recoverable \
+             followers the session degrades to native-speed leader-only \
+             execution. Implies $(b,--lifecycle).")
+  in
+  let lag_threshold_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "lag-threshold" ] ~docv:"EVENTS"
+          ~doc:
+            "Lifecycle policy override: ring lag before a follower counts \
+             as lagging. Implies $(b,--lifecycle).")
+  in
+  let run seed count plan_spec followers verbose lifecycle stall_timeout
+      max_restarts min_followers lag_threshold =
+    let module Lifecycle = Varan_nvx.Lifecycle in
+    let lifecycle_on =
+      lifecycle
+      || Option.is_some stall_timeout
+      || Option.is_some max_restarts
+      || Option.is_some min_followers
+      || Option.is_some lag_threshold
+    in
+    let policy =
+      let p = H.lifecycle_policy in
+      {
+        p with
+        Lifecycle.stall_timeout =
+          Option.value stall_timeout ~default:p.Lifecycle.stall_timeout;
+        max_restarts = Option.value max_restarts ~default:p.Lifecycle.max_restarts;
+        min_followers =
+          Option.value min_followers ~default:p.Lifecycle.min_followers;
+        lag_threshold =
+          Option.value lag_threshold ~default:p.Lifecycle.lag_threshold;
+      }
+    in
     let failures = ref 0 in
     for s = seed to seed + count - 1 do
-      let case = H.gen_case s in
+      let case = if lifecycle_on then H.gen_lifecycle_case s else H.gen_case s in
+      let case =
+        if lifecycle_on then { case with H.lifecycle = Some policy } else case
+      in
       let case =
         match followers with
         | Some f -> { case with H.followers = max 1 (min 4 f) }
@@ -362,14 +432,28 @@ let torture_cmd =
             exit 2)
       in
       let out = H.run_case case in
-      let fails = H.check case out in
+      let fails =
+        H.check case out
+        @ (if lifecycle_on then H.check_lifecycle case out else [])
+      in
       if fails = [] then Printf.printf "PASS %s\n" (H.describe_case case)
       else begin
         incr failures;
         Printf.printf "FAIL %s\n" (H.describe_case case);
         List.iter (fun f -> Printf.printf "  %s\n" f) fails
       end;
+      (match out.H.lifecycle with
+      | Some r ->
+        Printf.printf "  lifecycle: quarantines=%d rejoins=%d deaths=%d%s\n"
+          r.Lifecycle.quarantines r.Lifecycle.rejoins r.Lifecycle.deaths
+          (match out.H.degraded with
+          | Some reason -> Printf.sprintf " degraded(%s)" reason
+          | None -> "")
+      | None -> ());
       if verbose then begin
+        (match out.H.lifecycle with
+        | Some r -> Format.printf "  %a@." Lifecycle.pp_report r
+        | None -> ());
         List.iter
           (fun inj -> Printf.printf "  plan: %s\n" (Fault.describe inj))
           case.H.plan;
@@ -398,7 +482,8 @@ let torture_cmd =
           native run and the trace-invariant oracle.")
     Term.(
       const run $ seed_arg $ count_arg $ plan_arg $ followers_torture_arg
-      $ verbose_arg)
+      $ verbose_arg $ lifecycle_arg $ stall_timeout_arg $ max_restarts_arg
+      $ min_followers_arg $ lag_threshold_arg)
 
 let list_cmd =
   let run () =

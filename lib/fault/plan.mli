@@ -14,9 +14,15 @@ type injection =
           reaches [at_seq] — before executing or consuming that event, so
           a crashed leader never half-applies a call (§5.1). *)
   | Stall_follower of { idx : int; at_seq : int; delay : int }
-      (** Follower [idx] sleeps [delay] cycles before consuming event
-          [at_seq] — the lagging-follower scenario that exercises ring
-          backpressure (§3.3.1). *)
+      (** Follower [idx] sleeps [delay] cycles before consuming the first
+          event at stream position [>= at_seq] it is about to take — not
+          strictly position [at_seq], which the follower may never observe
+          as a pre-consume position (e.g. after a batched drain). Each
+          armed injection fires {e at most once}: the slot burns when its
+          trigger matches, so one [Stall_follower] is one sleep, never a
+          sleep per event past [at_seq]. The lagging-follower scenario
+          that exercises ring backpressure (§3.3.1) and, with the
+          lifecycle manager on, the watchdog's stall detector. *)
   | Ring_pressure of { shrink_to : int }
       (** Cap the session's ring size at [shrink_to] slots, forcing the
           leader to stall on slow followers. Applied at launch. *)

@@ -13,6 +13,7 @@ type t = {
   trace_first_variant : bool;
   fault_plan : Varan_fault.Plan.t;
   oracle : Varan_trace.Oracle.t option;
+  lifecycle : Lifecycle.policy option;
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     trace_first_variant = false;
     fault_plan = Varan_fault.Plan.empty;
     oracle = None;
+    lifecycle = None;
   }
 
 let with_ring_size t n = { t with ring_size = n }

@@ -43,6 +43,14 @@ type t = {
   oracle : Varan_trace.Oracle.t option;
       (** when set, the session taps every tuple ring and reports stream
           bookkeeping to the trace-invariant oracle *)
+  lifecycle : Lifecycle.policy option;
+      (** when set, the follower lifecycle manager runs: a watchdog
+          quarantines stalled followers (so the leader never blocks on
+          them), respawns them from the zygote with exponential backoff,
+          and replays the session tape to splice them back into the live
+          ring; below [min_followers] the session degrades gracefully to
+          native-speed leader-only execution. [None] (the default) keeps
+          the original terminal-removal behaviour *)
 }
 
 val default : t

@@ -1,0 +1,243 @@
+module Stats = Varan_util.Stats
+
+(* ------------------------------------------------------------------ *)
+(* Policy                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type policy = {
+  lag_threshold : int;
+  stall_timeout : int;
+  max_restarts : int;
+  backoff : int;
+  min_followers : int;
+  watchdog_period : int;
+}
+
+let default_policy =
+  {
+    lag_threshold = 64;
+    stall_timeout = 500_000;
+    max_restarts = 2;
+    backoff = 100_000;
+    min_followers = 1;
+    watchdog_period = 25_000;
+  }
+
+(* Exponential backoff before respawn attempt [restarts + 1]. Saturates
+   instead of overflowing for absurd restart counts. *)
+let backoff_delay policy ~restarts =
+  let shift = min restarts 20 in
+  policy.backoff * (1 lsl shift)
+
+(* ------------------------------------------------------------------ *)
+(* State machine                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type state =
+  | Healthy
+  | Lagging
+  | Quarantined
+  | Respawning
+  | Catching_up
+  | Dead
+
+let state_name = function
+  | Healthy -> "healthy"
+  | Lagging -> "lagging"
+  | Quarantined -> "quarantined"
+  | Respawning -> "respawning"
+  | Catching_up -> "catching-up"
+  | Dead -> "dead"
+
+(* The legal transition graph:
+     Healthy <-> Lagging
+     Lagging -> Quarantined -> Respawning -> Catching_up -> Healthy
+     Quarantined -> Dead (restart budget exhausted, or degraded cancel)
+   plus the crash edges: a crash quarantines from Healthy or Catching_up
+   directly (no lag preceded it), and a variant that crashes while
+   leading goes terminal at once — a dead leader never rejoins.
+   Anything else is a lifecycle-manager bug and is recorded. *)
+let legal_transition a b =
+  match (a, b) with
+  | Healthy, Lagging
+  | Lagging, Healthy
+  | (Healthy | Lagging | Catching_up), Quarantined
+  | Quarantined, (Respawning | Dead)
+  | Respawning, Catching_up
+  | Catching_up, Healthy
+  | (Healthy | Lagging | Catching_up), Dead -> true
+  | _ -> false
+
+type entry = {
+  e_idx : int;
+  mutable e_state : state;
+  mutable e_restarts : int; (* respawns performed so far *)
+  mutable e_last_cursor : int; (* tuple-0 cursor at the last progress *)
+  mutable e_last_progress : int64; (* virtual time of the last progress *)
+  mutable e_quarantine_seq : int; (* tuple-0 cursor when quarantined *)
+  mutable e_respawn_due : int64; (* when the next respawn may fire *)
+  mutable e_reason : string; (* why the follower left Healthy *)
+}
+
+type counters = {
+  mutable c_lagging : int;
+  mutable c_recovered : int;
+  mutable c_quarantines : int;
+  mutable c_respawns : int;
+  mutable c_rejoins : int;
+  mutable c_deaths : int;
+  mutable c_illegal : int;
+}
+
+type t = {
+  policy : policy;
+  entries : entry array; (* indexed by variant idx; entry 0 unused while
+                            variant 0 leads *)
+  c : counters;
+  mutable degraded : string option;
+}
+
+let g_quarantines = Stats.counter "lifecycle.quarantines"
+let g_respawns = Stats.counter "lifecycle.respawns"
+let g_rejoins = Stats.counter "lifecycle.rejoins"
+let g_deaths = Stats.counter "lifecycle.deaths"
+let g_degradations = Stats.counter "lifecycle.degradations"
+
+let create policy ~variants =
+  {
+    policy;
+    entries =
+      Array.init variants (fun i ->
+          {
+            e_idx = i;
+            e_state = Healthy;
+            e_restarts = 0;
+            e_last_cursor = 0;
+            e_last_progress = 0L;
+            e_quarantine_seq = 0;
+            e_respawn_due = 0L;
+            e_reason = "";
+          });
+    c =
+      {
+        c_lagging = 0;
+        c_recovered = 0;
+        c_quarantines = 0;
+        c_respawns = 0;
+        c_rejoins = 0;
+        c_deaths = 0;
+        c_illegal = 0;
+      };
+    degraded = None;
+  }
+
+let entry t idx = t.entries.(idx)
+let state e = e.e_state
+let restarts e = e.e_restarts
+let policy t = t.policy
+
+let transition t e next =
+  if not (legal_transition e.e_state next) then t.c.c_illegal <- t.c.c_illegal + 1;
+  (match next with
+  | Lagging -> t.c.c_lagging <- t.c.c_lagging + 1
+  | Healthy ->
+    if e.e_state = Lagging then t.c.c_recovered <- t.c.c_recovered + 1
+    else if e.e_state = Catching_up then begin
+      t.c.c_rejoins <- t.c.c_rejoins + 1;
+      Stats.incr_counter g_rejoins
+    end
+  | Quarantined ->
+    t.c.c_quarantines <- t.c.c_quarantines + 1;
+    Stats.incr_counter g_quarantines
+  | Respawning ->
+    t.c.c_respawns <- t.c.c_respawns + 1;
+    Stats.incr_counter g_respawns
+  | Catching_up -> ()
+  | Dead ->
+    t.c.c_deaths <- t.c.c_deaths + 1;
+    Stats.incr_counter g_deaths);
+  e.e_state <- next
+
+let note_degraded t reason =
+  match t.degraded with
+  | Some _ -> () (* first reason wins *)
+  | None ->
+    t.degraded <- Some reason;
+    Stats.incr_counter g_degradations
+
+let degraded t = t.degraded
+
+(* Followers that are not permanently gone: anything short of [Dead]
+   either consumes the stream or will after a respawn. The degradation
+   test compares this count against [min_followers]. *)
+let recoverable_followers t ~leader_idx =
+  Array.fold_left
+    (fun n e ->
+      if e.e_idx <> leader_idx && e.e_state <> Dead then n + 1 else n)
+    0 t.entries
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type follower_report = {
+  fr_idx : int;
+  fr_state : state;
+  fr_restarts : int;
+  fr_reason : string;
+}
+
+type report = {
+  followers : follower_report list; (* non-leader entries, by idx *)
+  lagging : int;
+  recovered : int;
+  quarantines : int;
+  respawns : int;
+  rejoins : int;
+  deaths : int;
+  illegal_transitions : int;
+  degraded_reason : string option;
+}
+
+let report t ~leader_idx =
+  {
+    followers =
+      Array.to_list t.entries
+      |> List.filter_map (fun e ->
+             if e.e_idx = leader_idx then None
+             else
+               Some
+                 {
+                   fr_idx = e.e_idx;
+                   fr_state = e.e_state;
+                   fr_restarts = e.e_restarts;
+                   fr_reason = e.e_reason;
+                 });
+    lagging = t.c.c_lagging;
+    recovered = t.c.c_recovered;
+    quarantines = t.c.c_quarantines;
+    respawns = t.c.c_respawns;
+    rejoins = t.c.c_rejoins;
+    deaths = t.c.c_deaths;
+    illegal_transitions = t.c.c_illegal;
+    degraded_reason = t.degraded;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>lifecycle: quarantines=%d respawns=%d rejoins=%d deaths=%d \
+     lagging=%d recovered=%d%s@,"
+    r.quarantines r.respawns r.rejoins r.deaths r.lagging r.recovered
+    (if r.illegal_transitions > 0 then
+       Printf.sprintf " ILLEGAL-TRANSITIONS=%d" r.illegal_transitions
+     else "");
+  (match r.degraded_reason with
+  | Some reason -> Format.fprintf ppf "degraded to native: %s@," reason
+  | None -> ());
+  List.iter
+    (fun fr ->
+      Format.fprintf ppf "follower %d: %s (restarts=%d)%s@," fr.fr_idx
+        (state_name fr.fr_state) fr.fr_restarts
+        (if fr.fr_reason = "" then "" else " last reason: " ^ fr.fr_reason))
+    r.followers;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,113 @@
+(** Per-follower health state machine for the self-healing session.
+
+    VARAN's original answer to a slow or crashed follower is terminal:
+    the variant is removed and never comes back, and until it is removed
+    a stalled follower back-pressures the leader through the ring's
+    gating sequence. The lifecycle manager replaces that with a watchdog
+    driven cycle
+
+    {v Healthy <-> Lagging -> Quarantined -> Respawning -> Catching_up -> Healthy
+                                  |
+                                  +-> Dead (restart budget exhausted) v}
+
+    Crashes add two shortcuts: a crashed follower enters [Quarantined]
+    straight from [Healthy] or [Catching_up] (no lag preceded it), and a
+    variant that crashes while {e leading} goes straight to [Dead] — a
+    dead leader never rejoins.
+
+    A watchdog in the engine tick measures each follower's ring lag and
+    cycles-since-progress against the {!policy}; a tripped follower is
+    {e quarantined} (its ring consumers removed so the leader's gate can
+    never again wait on it) while the session's tape retains the stream,
+    then respawned from the zygote after an exponential backoff, replays
+    the recorded prefix, and splices back into the live ring. The state
+    machine itself is pure bookkeeping — {!Session} drives it. *)
+
+type policy = {
+  lag_threshold : int;
+      (** events of tuple-0 ring lag before a follower counts as lagging *)
+  stall_timeout : int;
+      (** cycles without consumer progress before a lagging follower is
+          quarantined *)
+  max_restarts : int;
+      (** respawns allowed per follower; the next trip after the budget
+          is exhausted is terminal ([Dead]) *)
+  backoff : int;
+      (** base respawn delay in cycles; attempt [n] waits
+          [backoff * 2^(n-1)] *)
+  min_followers : int;
+      (** when fewer than this many followers remain recoverable, the
+          session degrades to native-speed leader-only execution *)
+  watchdog_period : int;  (** watchdog tick period in cycles *)
+}
+
+val default_policy : policy
+
+val backoff_delay : policy -> restarts:int -> int
+(** Delay before the next respawn of a follower already respawned
+    [restarts] times. *)
+
+type state = Healthy | Lagging | Quarantined | Respawning | Catching_up | Dead
+
+val state_name : state -> string
+
+type entry = {
+  e_idx : int;
+  mutable e_state : state;
+  mutable e_restarts : int;
+  mutable e_last_cursor : int;
+  mutable e_last_progress : int64;
+  mutable e_quarantine_seq : int;
+  mutable e_respawn_due : int64;
+  mutable e_reason : string;
+}
+(** Mutable per-follower ledger; the session reads and writes the fields
+    directly from the watchdog and the quarantine/respawn agents. *)
+
+type t
+
+val create : policy -> variants:int -> t
+val entry : t -> int -> entry
+val state : entry -> state
+val restarts : entry -> int
+val policy : t -> policy
+
+val transition : t -> entry -> state -> unit
+(** Move the entry to a new state, updating the transition counters (and
+    the process-wide [lifecycle.*] counters in {!Varan_util.Stats}).
+    Illegal transitions are counted rather than raised — the report
+    surfaces them as a lifecycle-manager bug. *)
+
+val note_degraded : t -> string -> unit
+(** Record graceful degradation to native-speed leader-only execution.
+    The first reason sticks. *)
+
+val degraded : t -> string option
+
+val recoverable_followers : t -> leader_idx:int -> int
+(** Followers not permanently [Dead] — the count compared against
+    [min_followers]. *)
+
+(** {1 Report} *)
+
+type follower_report = {
+  fr_idx : int;
+  fr_state : state;
+  fr_restarts : int;
+  fr_reason : string;
+}
+
+type report = {
+  followers : follower_report list;
+  lagging : int;  (** Healthy -> Lagging transitions *)
+  recovered : int;  (** Lagging -> Healthy transitions *)
+  quarantines : int;
+  respawns : int;
+  rejoins : int;  (** Catching_up -> Healthy transitions *)
+  deaths : int;
+  illegal_transitions : int;  (** nonzero means a lifecycle bug *)
+  degraded_reason : string option;
+}
+
+val report : t -> leader_idx:int -> report
+val pp_report : Format.formatter -> report -> unit

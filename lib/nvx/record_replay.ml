@@ -45,6 +45,16 @@ let serialize buf (e : Event.t) ~out =
   Buffer.add_int32_le buf (Int32.of_int (Bytes.length out));
   Buffer.add_bytes buf out
 
+(* Bridge a lifecycle catch-up tape into the same log format: a degraded
+   session's retained stream becomes an ordinary replay log from which
+   fresh followers can later be provisioned. *)
+let serialize_tape tape =
+  let buf = Buffer.create 4096 in
+  Tape.iter
+    (fun en -> serialize buf (Tape.event_of_entry en) ~out:en.Tape.t_out)
+    tape;
+  Buffer.to_bytes buf
+
 type cursor = { data : Bytes.t; mutable pos : int }
 
 let deserialize cur : (Event.kind * int * int * int * int * int array * Bytes.t) option =

@@ -30,6 +30,12 @@ val stop : recorder -> unit
 
 val recorded_events : recorder -> int
 
+val serialize_tape : Tape.t -> Bytes.t
+(** Encode a lifecycle catch-up {!Tape} in the recorder's on-disk log
+    format. Writing the result to a file yields a log {!replay} accepts —
+    how a degraded session's retained stream provisions fresh followers
+    offline. *)
+
 (** {1 Replay} *)
 
 type replayer

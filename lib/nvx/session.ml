@@ -43,6 +43,7 @@ type vstats = {
   mutable jump_dispatches : int;
   mutable trap_dispatches : int;
   mutable vdso_dispatches : int;
+  mutable injected_stalls : int;
 }
 
 let fresh_vstats () =
@@ -62,6 +63,7 @@ let fresh_vstats () =
     jump_dispatches = 0;
     trap_dispatches = 0;
     vdso_dispatches = 0;
+    injected_stalls = 0;
   }
 
 type vstate = {
@@ -89,6 +91,18 @@ type vstate = {
      payload this follower decodes is read but not released. *)
   mutable drop_release : bool;
   mutable alive : bool;
+  (* Lifecycle catch-up: while [catchup_until.(tu) >= 0] and the position
+     has not reached it, stream reads on tuple [tu] are served from the
+     session tape at [catchup_pos.(tu)]; the live ring consumer (already
+     subscribed, cursor parked at the splice sequence) takes over when
+     the recorded prefix runs out. *)
+  mutable catchup_pos : int array; (* per tuple *)
+  mutable catchup_until : int array; (* per tuple; -1 = live *)
+  mutable incarnation : int; (* respawns of this variant's image *)
+  (* Every process ever created for this variant's current incarnation,
+     so a quarantine can kill the whole variant (fork children are not
+     reachable from [unit_procs]). *)
+  mutable all_procs : Types.proc list;
   mutable table : Syscall_table.t;
   mutable trap_share_c1000 : int;
   mutable rewrite : Rewriter.stats option;
@@ -112,7 +126,14 @@ type t = {
   mutable leader_idx : int;
   payload_refs : (int, int ref) Hashtbl.t;
   mutable zygote : Zygote.t option;
-  mutable crash_list : (int * string) list; (* reversed *)
+  mutable crash_list : (int * string) list; (* reversed, bounded *)
+  mutable crash_list_len : int;
+  mutable crash_total : int; (* crashes ever, beyond the bounded list *)
+  (* Follower lifecycle manager (None = the original terminal-removal
+     behaviour). [tapes] is the per-tuple recorder feeding catch-up. *)
+  mutable lifecycle : Lifecycle.t option;
+  mutable tapes : Tape.t array;
+  mutable degraded : string option; (* native-execution fallback reason *)
   mutable max_lag : int;
   mutable waitlock_sleepers : int array;
       (* per tuple: followers asleep in a waitlock *)
@@ -188,17 +209,65 @@ let stream_consumer vst tuple =
   | Some c -> c
   | None -> invalid_arg "Session: not a stream consumer on this tuple"
 
-let stream_peek _t vst tuple = Ring.peek_h (stream_consumer vst tuple)
+(* Tape catch-up: a respawned follower consumes the recorded prefix
+   [catchup_pos, catchup_until) of the tuple tape before touching its
+   live ring consumer (whose cursor waits at the splice sequence). Tape
+   indices coincide with stream sequence numbers — the tape records every
+   published event from sequence 0. *)
+let in_catchup vst tuple =
+  tuple < Array.length vst.catchup_until
+  && vst.catchup_until.(tuple) >= 0
+  && vst.catchup_pos.(tuple) < vst.catchup_until.(tuple)
 
-let stream_advance _t vst tuple =
-  ignore (Ring.try_consume_h (stream_consumer vst tuple))
+let catchup_done vst = Array.for_all (fun u -> u < 0) vst.catchup_until
+
+(* The rejoin moment: the last recorded prefix ran out, the next read
+   comes from the live ring at exactly the splice sequence. *)
+let finish_rejoin t vst =
+  match t.lifecycle with
+  | None -> ()
+  | Some lc ->
+    let en = Lifecycle.entry lc vst.idx in
+    if Lifecycle.state en = Lifecycle.Catching_up && catchup_done vst then
+      Lifecycle.transition lc en Lifecycle.Healthy
+
+let stream_peek t vst tuple =
+  if in_catchup vst tuple then
+    Some (Tape.event_at t.tapes.(tuple) vst.catchup_pos.(tuple))
+  else Ring.peek_h (stream_consumer vst tuple)
+
+let stream_advance t vst tuple =
+  if in_catchup vst tuple then begin
+    vst.catchup_pos.(tuple) <- vst.catchup_pos.(tuple) + 1;
+    if vst.catchup_pos.(tuple) >= vst.catchup_until.(tuple) then begin
+      vst.catchup_until.(tuple) <- -1;
+      finish_rejoin t vst
+    end;
+    (* Tape progress is invisible to the ring, but sibling units of this
+       variant park on ring activity while waiting for their tid to reach
+       the head — wake them. *)
+    Ring.poke t.rings.(tuple)
+  end
+  else ignore (Ring.try_consume_h (stream_consumer vst tuple))
 
 let stream_wait t vst tuple = Ring.wait_activity (follower_queue t vst tuple)
 
 let wait_activity_timeout t vst tuple budget =
   Ring.wait_activity_timeout (follower_queue t vst tuple) budget
 
-let stream_lag _t vst tuple = Ring.lag_h (stream_consumer vst tuple)
+let stream_lag _t vst tuple =
+  let live =
+    match vst.consumers.(tuple) with Some c -> Ring.lag_h c | None -> 0
+  in
+  if in_catchup vst tuple then
+    live + (vst.catchup_until.(tuple) - vst.catchup_pos.(tuple))
+  else live
+
+(* The consumer's stream position, tape mode included (used by the fault
+   hooks and the watchdog's progress ledger). *)
+let stream_position vst tuple =
+  if in_catchup vst tuple then Some vst.catchup_pos.(tuple)
+  else Option.map Ring.cursor_h vst.consumers.(tuple)
 
 (* A crashed follower dies with events still unread; its payload
    references go away with its cursor, or the chunks leak (caught by the
@@ -250,10 +319,18 @@ let new_tuple t =
     Ring.create ~size:(effective_ring_size t.cfg) (Printf.sprintf "ring%d" idx)
   in
   (match t.oracle with
-  | Some o -> Oracle.attach_ring o ~tuple:idx fresh
+  | Some o ->
+    Oracle.attach_ring o ~tuple:idx fresh;
+    Ring.set_stall_hook fresh
+      (Some (fun cids -> Oracle.note_gate_wait o ~tuple:idx ~cids))
   | None -> ());
   t.rings <- grow_array t.rings t.ntuples fresh;
   t.rings.(idx) <- fresh;
+  (if t.lifecycle <> None then begin
+     let tape = Tape.create () in
+     t.tapes <- grow_array t.tapes t.ntuples tape;
+     t.tapes.(idx) <- tape
+   end);
   t.waitlock_sleepers <- grow_array t.waitlock_sleepers t.ntuples 0;
   t.tuple_ready <- grow_array t.tuple_ready t.ntuples 0;
   Array.iter
@@ -261,7 +338,9 @@ let new_tuple t =
       vst.consumers <- grow_array vst.consumers t.ntuples None;
       vst.consumers.(idx) <- None;
       vst.clocks <- grow_array vst.clocks t.ntuples (Lamport.create ());
-      vst.clocks.(idx) <- Lamport.create ())
+      vst.clocks.(idx) <- Lamport.create ();
+      vst.catchup_pos <- grow_array vst.catchup_pos t.ntuples 0;
+      vst.catchup_until <- grow_array vst.catchup_until t.ntuples (-1))
     t.vstates;
   idx
 
@@ -291,48 +370,364 @@ let alive_followers t =
     (fun n v -> if v.alive && v.idx <> t.leader_idx then n + 1 else n)
     0 t.vstates
 
+(* ------------------------------------------------------------------ *)
+(* Follower lifecycle: quarantine, respawn, graceful degradation        *)
+(* ------------------------------------------------------------------ *)
+
+(* Native-speed fallback: record the reason instead of raising. The
+   leader keeps executing at full speed (with zero stream consumers it
+   pays no recording cost beyond the lifecycle tape, which is retained
+   so fresh followers can still be provisioned from it). *)
+let degrade t reason =
+  (match t.lifecycle with
+  | Some lc -> Lifecycle.note_degraded lc reason
+  | None -> ());
+  match t.degraded with
+  | Some _ -> () (* first reason wins *)
+  | None ->
+    t.degraded <- Some reason;
+    Logs.info (fun m -> m "varan: degrading to native execution: %s" reason)
+
+(* Is any follower mid-recovery (quarantined, backing off, or replaying
+   the tape)? Degradation decisions must not fire while one is. *)
+let recovery_pending t =
+  match t.lifecycle with
+  | None -> false
+  | Some lc ->
+    Array.exists
+      (fun v ->
+        v.idx <> t.leader_idx
+        &&
+        match Lifecycle.state (Lifecycle.entry lc v.idx) with
+        | Lifecycle.Quarantined | Lifecycle.Respawning
+        | Lifecycle.Catching_up -> true
+        | _ -> false)
+      t.vstates
+
+let check_degraded_floor t =
+  match t.lifecycle with
+  | None -> ()
+  | Some lc ->
+    let p = Lifecycle.policy lc in
+    let n = Lifecycle.recoverable_followers lc ~leader_idx:t.leader_idx in
+    if n < p.Lifecycle.min_followers then
+      degrade t
+        (Printf.sprintf "recoverable followers (%d) below min_followers (%d)"
+           n p.Lifecycle.min_followers)
+
+let kill_variant t vst signo =
+  List.iter (fun p -> K.kill_proc t.k p signo) vst.all_procs
+
+(* Transition a follower into quarantine (pure bookkeeping, callable
+   from the watchdog's scheduler context). Returns false when the entry
+   is already quarantined, respawning or dead — the caller must not
+   double-quarantine. *)
+let begin_quarantine t vst ~reason =
+  match t.lifecycle with
+  | None -> false
+  | Some lc ->
+    let en = Lifecycle.entry lc vst.idx in
+    (match Lifecycle.state en with
+    | Lifecycle.Quarantined | Lifecycle.Respawning | Lifecycle.Dead -> false
+    | Lifecycle.Healthy | Lifecycle.Lagging | Lifecycle.Catching_up ->
+      en.Lifecycle.e_reason <- reason;
+      (match stream_position vst 0 with
+      | Some s -> en.Lifecycle.e_quarantine_seq <- s
+      | None -> ());
+      Lifecycle.transition lc en Lifecycle.Quarantined;
+      true)
+
+(* The tuples the variant's initial units subscribe to — what a respawn
+   resubscribes; forked tuples are re-entered when their Ev_fork replays
+   from the tape. *)
+let initial_tuples vst =
+  let shape = vst.variant.Variant.program in
+  match shape.Variant.unit_kind with
+  | Variant.Thread -> [ 0 ]
+  | Variant.Process -> List.init shape.Variant.units Fun.id
+
+(* Rebuild a quarantined follower: reset the monitor state to its launch
+   shape, subscribe the initial tuples with tape catch-up ranges ending
+   at the current ring head (the splice sequence), and ask the zygote for
+   a fresh process image. Task context. *)
+let respawn t vst =
+  match t.lifecycle with
+  | None -> ()
+  | Some lc ->
+    let en = Lifecycle.entry lc vst.idx in
+    if Lifecycle.state en <> Lifecycle.Quarantined then ()
+    else if Lifecycle.degraded lc <> None then begin
+      (* The session degraded while this respawn was backing off; a late
+         rejoin would resurrect NVX behind the report's back. *)
+      en.Lifecycle.e_reason <- "respawn cancelled: session degraded";
+      Lifecycle.transition lc en Lifecycle.Dead
+    end
+    else begin
+      Lifecycle.transition lc en Lifecycle.Respawning;
+      en.Lifecycle.e_restarts <- en.Lifecycle.e_restarts + 1;
+      (match t.oracle with
+      | Some o ->
+        Oracle.note_respawn o ~idx:vst.idx
+          ~max_restarts:(Lifecycle.policy lc).Lifecycle.max_restarts
+      | None -> ());
+      let shape = vst.variant.Variant.program in
+      let nunits = shape.Variant.units in
+      vst.vrole <- Follower;
+      vst.table <- Syscall_table.follower;
+      vst.main_proc <- None;
+      vst.unit_procs <- [||];
+      vst.all_procs <- [];
+      vst.apis <- [];
+      vst.consumers <- Array.make t.ntuples None;
+      vst.clocks <- Array.init t.ntuples (fun _ -> Lamport.create ());
+      vst.promoted <- Array.make nunits false;
+      vst.unit_tuple <-
+        (match shape.Variant.unit_kind with
+        | Variant.Thread -> Array.make nunits 0
+        | Variant.Process -> Array.init nunits Fun.id);
+      vst.unit_tid <- Array.init nunits Fun.id;
+      Hashtbl.reset vst.partial_consumed;
+      vst.drop_release <- false;
+      vst.incarnation <- vst.incarnation + 1;
+      vst.catchup_pos <- Array.make t.ntuples 0;
+      vst.catchup_until <- Array.make t.ntuples (-1);
+      vst.alive <- true;
+      (* The live consumer's cursor parks at the ring head; the recorded
+         prefix [0, head) replays from the tape, so the splice lands at
+         exactly the head sequence and the Lamport clock arrives at the
+         live stream's stamp. *)
+      List.iter
+        (fun tu ->
+          let ring = t.rings.(tu) in
+          let head = Ring.published ring in
+          let c = Ring.subscribe ring in
+          vst.consumers.(tu) <- Some c;
+          if head > 0 then begin
+            vst.catchup_pos.(tu) <- 0;
+            vst.catchup_until.(tu) <- head
+          end;
+          match t.oracle with
+          | Some o ->
+            Oracle.note_rejoin o ~idx:vst.idx ~tuple:tu
+              ~cid:(Ring.consumer_cid c) ~splice_seq:head
+          | None -> ())
+        (initial_tuples vst);
+      (* Restart the watchdog's progress ledger: the fresh incarnation
+         gets a full stall timeout before its first consume, instead of
+         inheriting the stale timestamp that just condemned its
+         predecessor. *)
+      en.Lifecycle.e_last_cursor <- vst.st.events_consumed;
+      en.Lifecycle.e_last_progress <- E.now_cycles ();
+      Lifecycle.transition lc en Lifecycle.Catching_up;
+      (* An empty stream means there is nothing to catch up on. *)
+      finish_rejoin t vst;
+      (* If the leader died while this follower was out, adopt the role:
+         the catch-up still replays the recorded prefix, and the variant
+         promotes itself once the stream drains. *)
+      if not t.vstates.(t.leader_idx).alive then t.leader_idx <- vst.idx;
+      match t.zygote with
+      | Some z -> ignore (Zygote.fork_request z vst.variant.Variant.v_name)
+      | None -> ()
+    end
+
+(* The effectful half of a quarantine; the entry is already in state
+   [Quarantined] (via {!begin_quarantine}). Removes the ring consumers —
+   releasing their unread payload grants, so the leader's gate can never
+   again wait on this follower — kills the variant's processes, and
+   either schedules a backed-off respawn or declares the follower dead
+   when the restart budget is spent. Task context. *)
+let quarantine_work t vst =
+  match t.lifecycle with
+  | None -> ()
+  | Some lc ->
+    let en = Lifecycle.entry lc vst.idx in
+    let p = Lifecycle.policy lc in
+    (match t.oracle with
+    | Some o ->
+      Array.iteri
+        (fun tu c ->
+          match c with
+          | Some c ->
+            Oracle.note_quarantine o ~idx:vst.idx ~tuple:tu
+              ~cid:(Ring.consumer_cid c)
+          | None -> ())
+        vst.consumers
+    | None -> ());
+    vst.alive <- false;
+    stream_remove t vst;
+    Array.fill vst.catchup_until 0 (Array.length vst.catchup_until) (-1);
+    kill_variant t vst Varan_kernel.Flags.sigkill;
+    (* The leader may be parked on this follower's gate or a fork
+       rendezvous; both re-examine the world when woken. *)
+    poke_all t;
+    E.Cond.broadcast t.ready_cond;
+    if en.Lifecycle.e_restarts >= p.Lifecycle.max_restarts then begin
+      Lifecycle.transition lc en Lifecycle.Dead;
+      check_degraded_floor t
+    end
+    else begin
+      let delay =
+        Lifecycle.backoff_delay p ~restarts:en.Lifecycle.e_restarts
+      in
+      en.Lifecycle.e_respawn_due <-
+        Int64.add (E.now_cycles ()) (Int64.of_int delay);
+      ignore
+        (E.spawn_here
+           ~name:(Printf.sprintf "lifecycle-respawn%d" vst.idx)
+           (fun () ->
+             (* A sleeping task, not a ticker entry: the pending respawn
+                keeps the engine alive, so every quarantine resolves
+                (rejoin or death) before the run goes quiescent. *)
+             E.sleep delay;
+             respawn t vst))
+    end
+
+(* The watchdog: runs in scheduler context from the engine ticker. Pure
+   reads and state transitions only; the effectful quarantine is
+   delegated to a spawned task. *)
+let watchdog_tick t =
+  (match t.lifecycle with
+  | None -> ()
+  | Some lc ->
+    let p = Lifecycle.policy lc in
+    let now = E.now t.k.Types.eng in
+    Array.iter
+      (fun vst ->
+        if vst.idx <> t.leader_idx && vst.alive then begin
+          let en = Lifecycle.entry lc vst.idx in
+          match Lifecycle.state en with
+          | Lifecycle.Quarantined | Lifecycle.Respawning | Lifecycle.Dead ->
+            ()
+          | Lifecycle.Healthy | Lifecycle.Lagging | Lifecycle.Catching_up ->
+            (* Progress = events consumed across every tuple (tape
+               replay included); lag = the worst per-tuple backlog. *)
+            let progress = vst.st.events_consumed in
+            if progress > en.Lifecycle.e_last_cursor then begin
+              en.Lifecycle.e_last_cursor <- progress;
+              en.Lifecycle.e_last_progress <- now
+            end;
+            let lag = ref 0 in
+            for tu = 0 to t.ntuples - 1 do
+              lag := max !lag (stream_lag t vst tu)
+            done;
+            let lag = !lag in
+            (match Lifecycle.state en with
+            | Lifecycle.Healthy when lag > p.Lifecycle.lag_threshold ->
+              en.Lifecycle.e_reason <-
+                Printf.sprintf "lag %d above threshold %d" lag
+                  p.Lifecycle.lag_threshold;
+              Lifecycle.transition lc en Lifecycle.Lagging
+            | Lifecycle.Lagging when lag <= p.Lifecycle.lag_threshold ->
+              Lifecycle.transition lc en Lifecycle.Healthy
+            | _ -> ());
+            let stalled_for = Int64.sub now en.Lifecycle.e_last_progress in
+            if
+              lag > 0 && stalled_for >= Int64.of_int p.Lifecycle.stall_timeout
+            then begin
+              (* The watchdog trip always passes through Lagging. *)
+              if Lifecycle.state en = Lifecycle.Healthy then
+                Lifecycle.transition lc en Lifecycle.Lagging;
+              let reason =
+                Printf.sprintf "stalled: lag %d, no progress for %Ld cycles"
+                  lag stalled_for
+              in
+              if begin_quarantine t vst ~reason then
+                ignore
+                  (E.spawn t.k.Types.eng
+                     ~name:(Printf.sprintf "lifecycle-quarantine%d" vst.idx)
+                     (fun () -> quarantine_work t vst))
+            end
+        end)
+      t.vstates);
+  true
+
+(* ------------------------------------------------------------------ *)
+(* Crash handling and failover (§5.1)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let crash_list_limit = 64
+
 let handle_crash t vst exn =
   if vst.alive then begin
     vst.alive <- false;
-    t.crash_list <- (vst.idx, Printexc.to_string exn) :: t.crash_list;
+    t.crash_total <- t.crash_total + 1;
+    if t.crash_list_len < crash_list_limit then begin
+      t.crash_list <- (vst.idx, Printexc.to_string exn) :: t.crash_list;
+      t.crash_list_len <- t.crash_list_len + 1
+    end;
     (match t.oracle with
     | Some o ->
       Oracle.note_crash o ~idx:vst.idx ~was_leader:(t.leader_idx = vst.idx)
     | None -> ());
-    (* The SIGSEGV handler notifies the coordinator over the control
-       socket; the coordinator reacts after the notification delay. *)
-    ignore
-      (E.spawn_here ~name:"coordinator-failover" (fun () ->
-           E.consume t.cost.Cost.failover_notify;
-           (match vst.main_proc with
-           | Some proc -> K.kill_proc t.k proc Varan_kernel.Flags.sigsegv
-           | None -> ());
-           stream_remove t vst;
-           (* Leadership is re-examined when the notification arrives,
-              not frozen at crash time: crashes race the notification
-              delay, and a decision based on stale state could hand the
-              leader role to a variant that died in the meantime (e.g.
-              the last follower crashing while an earlier leader
-              crash's election is still in flight). *)
-           if not t.vstates.(t.leader_idx).alive then begin
-             (* Elect the alive follower with the smallest internal id. *)
-             let candidate =
-               Array.fold_left
-                 (fun acc v ->
-                   if v.alive then
-                     match acc with
-                     | None -> Some v
-                     | Some best when v.idx < best.idx -> Some v
-                     | some -> some
-                   else acc)
-                 None t.vstates
-             in
-             match candidate with
-             | Some v -> t.leader_idx <- v.idx
-             | None -> ()
-           end;
-           poke_all t;
-           E.Cond.broadcast t.ready_cond))
+    if t.lifecycle <> None && vst.idx <> t.leader_idx then
+      (* A crashed follower under the lifecycle manager is quarantined
+         with intent to respawn, not removed for good. The notification
+         delay still applies (SIGSEGV handler -> control socket). *)
+      ignore
+        (E.spawn_here
+           ~name:(Printf.sprintf "lifecycle-quarantine%d" vst.idx)
+           (fun () ->
+             E.consume t.cost.Cost.failover_notify;
+             if
+               begin_quarantine t vst
+                 ~reason:("crashed: " ^ Printexc.to_string exn)
+             then quarantine_work t vst))
+    else
+      (* The SIGSEGV handler notifies the coordinator over the control
+         socket; the coordinator reacts after the notification delay. *)
+      ignore
+        (E.spawn_here ~name:"coordinator-failover" (fun () ->
+             E.consume t.cost.Cost.failover_notify;
+             (match vst.main_proc with
+             | Some proc -> K.kill_proc t.k proc Varan_kernel.Flags.sigsegv
+             | None -> ());
+             stream_remove t vst;
+             (match t.lifecycle with
+             | Some lc ->
+               (* A dead leader never rejoins: mark it terminal so the
+                  degradation floor sees the truth. *)
+               let en = Lifecycle.entry lc vst.idx in
+               en.Lifecycle.e_reason <- "crashed while leading";
+               if Lifecycle.state en <> Lifecycle.Dead then
+                 Lifecycle.transition lc en Lifecycle.Dead
+             | None -> ());
+             (* Leadership is re-examined when the notification arrives,
+                not frozen at crash time: crashes race the notification
+                delay, and a decision based on stale state could hand the
+                leader role to a variant that died in the meantime (e.g.
+                the last follower crashing while an earlier leader
+                crash's election is still in flight). *)
+             if not t.vstates.(t.leader_idx).alive then begin
+               (* Elect the alive follower with the smallest internal id. *)
+               let candidate =
+                 Array.fold_left
+                   (fun acc v ->
+                     if v.alive then
+                       match acc with
+                       | None -> Some v
+                       | Some best when v.idx < best.idx -> Some v
+                       | some -> some
+                     else acc)
+                   None t.vstates
+               in
+               match candidate with
+               | Some v -> t.leader_idx <- v.idx
+               | None ->
+                 (* Nobody left to lead. Unless a quarantined follower is
+                    still on its way back, the session is over: report it
+                    as degradation, not as an escaping exception. *)
+                 if not (recovery_pending t) then degrade t "no leader remains"
+             end;
+             (match t.lifecycle with
+             | Some _ -> check_degraded_floor t
+             | None ->
+               if
+                 t.vstates.(t.leader_idx).alive
+                 && alive_followers t = 0
+                 && vst.idx <> t.leader_idx
+               then degrade t "all followers dead");
+             poke_all t;
+             E.Cond.broadcast t.ready_cond))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -408,19 +803,24 @@ let fault_leader_hook t vst proc tuple =
 let fault_follower_hook t vst tuple =
   match t.fault with
   | None -> ()
-  | Some armed ->
-    let seq = Option.map Ring.cursor_h vst.consumers.(tuple) in
-    match seq with
+  | Some armed -> (
+    match stream_position vst tuple with
     | None -> ()
     | Some seq ->
       List.iter
         (fun (action : Fault.action) ->
           match action with
-          | Fault.Stall delay -> E.sleep delay
+          | Fault.Stall delay ->
+            (* One-shot by construction (the armed slot burns its [fired]
+               flag before the action list is returned), so the count
+               below equals the number of [Stall_follower] injections
+               that ever triggered — pinned by a regression test. *)
+            vst.st.injected_stalls <- vst.st.injected_stalls + 1;
+            E.sleep delay
           | Fault.Drop_payload -> vst.drop_release <- true
           | Fault.Crash -> raise (injected_crash vst seq)
           | Fault.Signals _ -> ())
-        (Fault.at_follower_consume armed ~idx:vst.idx ~seq)
+        (Fault.at_follower_consume armed ~idx:vst.idx ~seq))
 
 (* ------------------------------------------------------------------ *)
 (* Leader path                                                         *)
@@ -440,6 +840,10 @@ let leader_execute_and_record t vst ~unit_idx ~tuple proc
     | None -> Ring.active_consumers t.rings.(tuple)
     | Some _ -> nfoll
   in
+  (* The lifecycle recorder keeps the stream flowing even with every
+     follower quarantined or the session degraded: the tape is what a
+     respawned follower replays to splice back in. *)
+  let nconsumers = if t.lifecycle <> None then max nconsumers 1 else nconsumers in
   let publish result =
     (* Shared-memory payload for out-buffer results. *)
     let payload, payload_len, inline_out =
@@ -507,6 +911,11 @@ let leader_execute_and_record t vst ~unit_idx ~tuple proc
           | Some _ -> nfoll
         in
         register_payload t event readers;
+        (* Tape capture flattens the payload now, from the leader's own
+           result buffer — the pool chunk may be recycled long before a
+           respawned follower replays this entry. *)
+        if t.lifecycle <> None then
+          Tape.append t.tapes.(tuple) event ~out:result.Args.out;
         event);
     vst.st.events_published <- vst.st.events_published + 1
   in
@@ -548,8 +957,13 @@ let rec await_event t vst ~unit_idx ~tuple sysno =
     await_event t vst ~unit_idx ~tuple sysno
   | None ->
     if t.leader_idx = vst.idx then raise Promote
-    else if not t.vstates.(t.leader_idx).alive && alive_followers t = 0 then
-      raise (Divergence_kill "no leader remains")
+    else if not t.vstates.(t.leader_idx).alive && alive_followers t = 0 then begin
+      (* Nobody can feed this stream again: degrade to native execution
+         with a reported reason and unwind this unit quietly instead of
+         escaping with Divergence_kill. *)
+      degrade t "no leader remains";
+      raise E.Killed
+    end
     else begin
       let t0 = E.now_cycles () in
       let uses_waitlock =
@@ -806,10 +1220,20 @@ let do_promote t vst ~unit_idx ~tuple =
     vst.vrole <- Leader;
     vst.table <- Syscall_table.leader;
     Lamport.force vst.clocks.(tuple) (Lamport.current vst.clocks.(tuple));
-    match t.oracle with
+    (match t.oracle with
     | Some o -> Oracle.note_promotion o ~idx:vst.idx
-    | None -> ()
+    | None -> ())
   end;
+  (* A catching-up variant only promotes once its stream is drained —
+     the recorded prefix is fully replayed, so it continues natively. *)
+  (match t.lifecycle with
+  | Some lc ->
+    let en = Lifecycle.entry lc vst.idx in
+    if Lifecycle.state en = Lifecycle.Catching_up then begin
+      Array.fill vst.catchup_until 0 (Array.length vst.catchup_until) (-1);
+      Lifecycle.transition lc en Lifecycle.Healthy
+    end
+  | None -> ());
   E.consume t.cost.Cost.failover_promote
 
 (* Publish a signal-delivery event: followers must run their handler at
@@ -821,12 +1245,18 @@ let leader_publish_signal t vst ~unit_idx ~tuple signo =
     | None -> Ring.active_consumers t.rings.(tuple)
     | Some _ -> nfoll
   in
+  let nconsumers = if t.lifecycle <> None then max nconsumers 1 else nconsumers in
   if nconsumers > 0 then begin
     E.consume (publish_cost t Syscall_table.Stream nfoll);
     stream_publish_k t tuple (fun () ->
         let clockv = Lamport.tick vst.clocks.(tuple) in
-        Event.make ~kind:Event.Ev_signal ~tid:vst.unit_tid.(unit_idx)
-          ~clock:clockv signo);
+        let event =
+          Event.make ~kind:Event.Ev_signal ~tid:vst.unit_tid.(unit_idx)
+            ~clock:clockv signo
+        in
+        if t.lifecycle <> None then
+          Tape.append t.tapes.(tuple) event ~out:None;
+        event);
     vst.st.events_published <- vst.st.events_published + 1
   end
 
@@ -951,6 +1381,8 @@ and nvx_fork t vst ~unit_idx parent_proc body =
   let spawn_child_unit ~promoted ~new_tu child_proc ~pre =
     let child_unit = new_unit vst ~tuple:new_tu ~tid:0 ~promoted in
     let child_api = make_unit_api t vst ~unit_idx:child_unit child_proc in
+    vst.all_procs <- child_proc :: vst.all_procs;
+    let incarnation = vst.incarnation in
     let tid =
       E.spawn_here ~name:child_name (fun () ->
           try
@@ -958,7 +1390,7 @@ and nvx_fork t vst ~unit_idx parent_proc body =
             body child_api
           with
           | E.Killed -> ()
-          | exn -> handle_crash t vst exn)
+          | exn -> if vst.incarnation = incarnation then handle_crash t vst exn)
     in
     K.register_task t.k child_proc tid
   in
@@ -970,15 +1402,23 @@ and nvx_fork t vst ~unit_idx parent_proc body =
     E.consume (t.cost.Cost.native_base Sysno.Fork);
     let nfoll = alive_followers t in
     let nconsumers = Ring.active_consumers t.rings.(tuple) in
+    let nconsumers =
+      if t.lifecycle <> None then max nconsumers 1 else nconsumers
+    in
     if nconsumers > 0 then begin
       if t.waitlock_sleepers.(tuple) > 0 then
         E.consume t.cost.Cost.waitlock_wake;
       E.consume (publish_cost t Syscall_table.Stream nfoll);
       stream_publish_k t tuple (fun () ->
           let clockv = Lamport.tick vst.clocks.(tuple) in
-          Event.make ~kind:Event.Ev_fork ~tid:vst.unit_tid.(unit_idx)
-            ~args:[| new_tu |] ~ret:child_proc.Types.pid ~clock:clockv
-            (Sysno.to_int Sysno.Fork));
+          let event =
+            Event.make ~kind:Event.Ev_fork ~tid:vst.unit_tid.(unit_idx)
+              ~args:[| new_tu |] ~ret:child_proc.Types.pid ~clock:clockv
+              (Sysno.to_int Sysno.Fork)
+          in
+          if t.lifecycle <> None then
+            Tape.append t.tapes.(tuple) event ~out:None;
+          event);
       vst.st.events_published <- vst.st.events_published + 1
     end;
     (* "The leader then continues execution, but the coordinator waits
@@ -1012,6 +1452,16 @@ and nvx_fork t vst ~unit_idx parent_proc body =
       let child_proc = K.fork_proc t.k parent_proc child_name in
       E.consume (t.cost.Cost.native_base Sysno.Fork);
       vst.consumers.(new_tu) <- Some (Ring.subscribe t.rings.(new_tu));
+      (* A catching-up follower replays this Ev_fork from the tape while
+         the child tuple's live ring may be far ahead: the child unit
+         gets its own catch-up range ending at that ring's head. *)
+      (if t.lifecycle <> None then begin
+         let head = Ring.published t.rings.(new_tu) in
+         if head > 0 then begin
+           vst.catchup_pos.(new_tu) <- 0;
+           vst.catchup_until.(new_tu) <- head
+         end
+       end);
       t.tuple_ready.(new_tu) <- t.tuple_ready.(new_tu) + 1;
       E.Cond.broadcast t.ready_cond;
       spawn_child_unit ~promoted:false ~new_tu child_proc
@@ -1034,6 +1484,11 @@ let start_units t vst =
           else
             K.fork_proc t.k main_proc
               (Printf.sprintf "%s.worker%d" vst.variant.Variant.v_name u));
+  vst.all_procs <-
+    Array.fold_left
+      (fun acc p -> if List.memq p acc then acc else p :: acc)
+      vst.all_procs vst.unit_procs;
+  let incarnation = vst.incarnation in
   for u = 0 to nunits - 1 do
     let proc = vst.unit_procs.(u) in
     let api = make_unit_api t vst ~unit_idx:u proc in
@@ -1044,7 +1499,10 @@ let start_units t vst =
       E.spawn_here ~name:task_name (fun () ->
           try program.Variant.body ~unit_idx:u api with
           | E.Killed -> ()
-          | exn -> handle_crash t vst exn)
+          | exn ->
+            (* A task surviving from a superseded incarnation must not
+               crash the respawned one. *)
+            if vst.incarnation = incarnation then handle_crash t vst exn)
     in
     K.register_task t.k proc tid
   done
@@ -1066,6 +1524,11 @@ let launch ?(config = Config.default) k variants =
     | Variant.Process -> shape.Variant.units
   in
   let nvariants = Array.length variants in
+  if config.Config.lifecycle <> None && config.Config.streaming = Config.Event_pump
+  then
+    invalid_arg
+      "Session.launch: the follower lifecycle manager requires shared-ring \
+       streaming";
   let ring_size = effective_ring_size config in
   let rings =
     Array.init ntuples (fun i ->
@@ -1108,6 +1571,10 @@ let launch ?(config = Config.default) k variants =
           partial_consumed = Hashtbl.create 4;
           drop_release = false;
           alive = true;
+          catchup_pos = Array.make ntuples 0;
+          catchup_until = Array.make ntuples (-1);
+          incarnation = 0;
+          all_procs = [];
           table =
             (if idx = 0 then Syscall_table.leader else Syscall_table.follower);
           trap_share_c1000 = 0;
@@ -1132,6 +1599,17 @@ let launch ?(config = Config.default) k variants =
       payload_refs = Hashtbl.create 64;
       zygote = None;
       crash_list = [];
+      crash_list_len = 0;
+      crash_total = 0;
+      lifecycle =
+        (match config.Config.lifecycle with
+        | Some p -> Some (Lifecycle.create p ~variants:nvariants)
+        | None -> None);
+      tapes =
+        (match config.Config.lifecycle with
+        | Some _ -> Array.init ntuples (fun _ -> Tape.create ())
+        | None -> [||]);
+      degraded = None;
       max_lag = 0;
       waitlock_sleepers = Array.make ntuples 0;
       tuple_ready = Array.make ntuples 0;
@@ -1147,7 +1625,23 @@ let launch ?(config = Config.default) k variants =
     }
   in
   (match t.oracle with
-  | Some o -> Array.iteri (fun i ring -> Oracle.attach_ring o ~tuple:i ring) rings
+  | Some o ->
+    Array.iteri
+      (fun i ring ->
+        Oracle.attach_ring o ~tuple:i ring;
+        (* Every producer stall reports the consumers holding the gate:
+           the oracle flags any that were quarantined — the leader must
+           never again wait on one. *)
+        Ring.set_stall_hook ring
+          (Some (fun cids -> Oracle.note_gate_wait o ~tuple:i ~cids)))
+      rings
+  | None -> ());
+  (* The follower watchdog rides the engine tick. *)
+  (match t.lifecycle with
+  | Some lc ->
+    let p = Lifecycle.policy lc in
+    E.add_ticker k.Types.eng ~period:p.Lifecycle.watchdog_period (fun () ->
+        watchdog_tick t)
   | None -> ());
   (* Register ring consumers for followers (and pump consumers). *)
   (match pump_queues with
@@ -1210,7 +1704,9 @@ let launch ?(config = Config.default) k variants =
            | None -> ()
            | Some vst ->
              vst.main_proc <- Some proc;
-             prepare_image vst;
+             (* A respawned variant reuses its rewritten image — the
+                zygote forks from the pristine copy, as in Figure 2. *)
+             if vst.rewrite = None then prepare_image vst;
              start_units t vst
          in
          let z = Zygote.spawn k ~launcher in
@@ -1219,7 +1715,12 @@ let launch ?(config = Config.default) k variants =
            (fun vst ->
              ignore (Zygote.fork_request z vst.variant.Variant.v_name))
            vstates;
-         Zygote.shutdown z));
+         (* With the lifecycle manager the zygote stays resident to
+            serve respawn requests; its service task parks on the
+            request pipe and is abandoned at quiescence. *)
+         match t.lifecycle with
+         | Some _ -> ()
+         | None -> Zygote.shutdown z));
   t
 
 (* ------------------------------------------------------------------ *)
@@ -1235,6 +1736,13 @@ let alive_count t =
 
 let crashes t = List.rev t.crash_list
 let crash_log_nonempty t = t.crash_list <> []
+let crash_count t = t.crash_total
+let degraded t = t.degraded
+
+let lifecycle_report t =
+  match t.lifecycle with
+  | Some lc -> Some (Lifecycle.report lc ~leader_idx:t.leader_idx)
+  | None -> None
 
 type variant_stats = {
   vs_name : string;
@@ -1255,6 +1763,8 @@ type variant_stats = {
   vs_jump_dispatches : int;
   vs_trap_dispatches : int;
   vs_vdso_dispatches : int;
+  vs_injected_stalls : int;
+  vs_incarnation : int;
   vs_rewrite : Rewriter.stats option;
 }
 
@@ -1289,6 +1799,8 @@ let stats t =
             vs_jump_dispatches = vst.st.jump_dispatches;
             vs_trap_dispatches = vst.st.trap_dispatches;
             vs_vdso_dispatches = vst.st.vdso_dispatches;
+            vs_injected_stalls = vst.st.injected_stalls;
+            vs_incarnation = vst.incarnation;
             vs_rewrite = vst.rewrite;
           })
         t.vstates;

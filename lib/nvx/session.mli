@@ -35,9 +35,23 @@ val is_alive : t -> int -> bool
 val alive_count : t -> int
 
 val crashes : t -> (int * string) list
-(** Variants that crashed, oldest first, with the exception text. *)
+(** Variants that crashed, oldest first, with the exception text. The
+    list is bounded (64 entries); {!crash_count} has the true total. *)
 
 val crash_log_nonempty : t -> bool
+
+val crash_count : t -> int
+(** Total crashes ever, including those beyond the bounded list. *)
+
+val degraded : t -> string option
+(** When the session fell back to native-speed leader-only execution
+    (all followers dead, no leader left to elect, or the lifecycle
+    manager's [min_followers] floor), the reported reason. [None] while
+    N-version execution is still in force. *)
+
+val lifecycle_report : t -> Lifecycle.report option
+(** Per-follower lifecycle states and transition counters; [None] when
+    {!Config.t.lifecycle} was not set. *)
 
 (** {1 Statistics} *)
 
@@ -64,6 +78,11 @@ type variant_stats = {
   vs_jump_dispatches : int;
   vs_trap_dispatches : int;
   vs_vdso_dispatches : int;
+  vs_injected_stalls : int;
+      (** [Stall_follower] injections that actually fired on this
+          variant — each armed injection fires at most once *)
+  vs_incarnation : int;
+      (** times this variant was respawned by the lifecycle manager *)
   vs_rewrite : Varan_binary.Rewriter.stats option;
 }
 

@@ -1,0 +1,89 @@
+module Event = Varan_ringbuf.Event
+
+(* The lifecycle recorder's retained stream: every event the leader
+   publishes on a tuple is also appended here, flattened so it stays
+   readable after the ring slot is overwritten and the shared-memory
+   payload freed. A respawned follower replays entries [0, splice) and
+   then switches to the live ring at sequence [splice].
+
+   Entries keep the original Lamport stamp, tid and descriptor grant, so
+   the ordinary follower-replay path consumes them unchanged and the
+   rejoined variant's descriptor tables and clocks come out identical to
+   a follower that never left. *)
+
+type entry = {
+  t_kind : Event.kind;
+  t_sysno : int;
+  t_tid : int;
+  t_args : int array;
+  t_ret : int;
+  t_clock : int;
+  t_out : Bytes.t option; (* payloads flattened to inline bytes *)
+  t_grant : Obj.t option;
+}
+
+type t = { mutable entries : entry array; mutable len : int }
+
+let dummy =
+  {
+    t_kind = Event.Ev_syscall;
+    t_sysno = 0;
+    t_tid = 0;
+    t_args = [||];
+    t_ret = 0;
+    t_clock = 0;
+    t_out = None;
+    t_grant = None;
+  }
+
+let create () = { entries = Array.make 64 dummy; len = 0 }
+
+let length t = t.len
+
+(* Flatten at capture time: [out] is the leader's result buffer, handed
+   over before any pool chunk can be recycled. *)
+let append t (e : Event.t) ~out =
+  if t.len = Array.length t.entries then begin
+    let bigger = Array.make (2 * t.len) t.entries.(0) in
+    Array.blit t.entries 0 bigger 0 t.len;
+    t.entries <- bigger
+  end;
+  t.entries.(t.len) <-
+    {
+      t_kind = e.Event.kind;
+      t_sysno = e.Event.sysno;
+      t_tid = e.Event.tid;
+      t_args = e.Event.args;
+      t_ret = e.Event.ret;
+      t_clock = e.Event.clock;
+      t_out = out;
+      t_grant = e.Event.grant;
+    };
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Tape.get: out of range";
+  t.entries.(i)
+
+(* Reconstruct a stream event from a tape entry. The payload travels
+   inline regardless of size: the pool chunk it came from is long gone. *)
+let event_of_entry (en : entry) : Event.t =
+  {
+    Event.kind = en.t_kind;
+    sysno = en.t_sysno;
+    tid = en.t_tid;
+    args = en.t_args;
+    ret = en.t_ret;
+    clock = en.t_clock;
+    payload = None;
+    payload_len = 0;
+    inline_out = en.t_out;
+    grant = en.t_grant;
+  }
+
+let event_at t i = event_of_entry (get t i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.entries.(i)
+  done

@@ -1,0 +1,46 @@
+(** In-memory stream tape for follower rejoin (rr-style catch-up).
+
+    When the lifecycle manager is enabled, the session appends every
+    published event to a per-tuple tape, flattened: shared-memory
+    payloads are copied to inline bytes at capture time (before the pool
+    chunk can be recycled), while tid, args, return value, Lamport stamp
+    and descriptor grant are kept verbatim. A follower respawned from the
+    zygote replays tape entries [0, splice) through the ordinary replay
+    path and then switches to the live ring at sequence [splice] — the
+    recorded prefix is exactly what it missed.
+
+    {!Record_replay.serialize_tape} bridges a tape into the on-disk
+    record/replay log format, which is how a degraded session's retained
+    stream can later provision fresh followers. *)
+
+type entry = {
+  t_kind : Varan_ringbuf.Event.kind;
+  t_sysno : int;
+  t_tid : int;
+  t_args : int array;
+  t_ret : int;
+  t_clock : int;
+  t_out : Bytes.t option;
+  t_grant : Obj.t option;
+}
+
+type t
+
+val create : unit -> t
+val length : t -> int
+
+val append : t -> Varan_ringbuf.Event.t -> out:Bytes.t option -> unit
+(** Capture one published event. [out] is the event's full result buffer
+    (pool payload or inline), already materialized by the publisher.
+    Pure — callable from inside {!Varan_ringbuf.Ring.publish_k}. *)
+
+val get : t -> int -> entry
+(** @raise Invalid_argument out of range. *)
+
+val event_of_entry : entry -> Varan_ringbuf.Event.t
+(** Reconstruct a stream event; the payload travels inline regardless of
+    size (the pool chunk is long gone). *)
+
+val event_at : t -> int -> Varan_ringbuf.Event.t
+
+val iter : (entry -> unit) -> t -> unit

@@ -42,6 +42,11 @@ type 'a t = {
   mutable n_consume_wakeups : int;
   mutable n_gate_recomputes : int;
   mutable tap : 'a tap option;
+  (* Called each time the producer parks because the ring is full, with
+     the cids whose cursors sit on the gating sequence — who the producer
+     is actually waiting for. The lifecycle oracle uses it to prove the
+     leader never blocks on a quarantined consumer. *)
+  mutable stall_hook : (int list -> unit) option;
 }
 
 and 'a consumer = {
@@ -72,11 +77,13 @@ let create ?(size = 256) rname =
     n_consume_wakeups = 0;
     n_gate_recomputes = 0;
     tap = None;
+    stall_hook = None;
   }
 
 let size t = Array.length t.slots
 let name t = t.rname
 let set_tap t tap = t.tap <- tap
+let set_stall_hook t hook = t.stall_hook <- hook
 
 (* ------------------------------------------------------------------ *)
 (* Consumer registry                                                   *)
@@ -150,6 +157,28 @@ let is_full t =
    least 1 whenever [is_full t] just returned false. *)
 let available t = Array.length t.slots - (t.head - t.gate)
 
+(* Active consumers whose cursor equals the current minimum — the ones a
+   full ring is actually gated on. Recomputes the gate so the answer is
+   exact even between producer checks. *)
+let gating_cids t =
+  recompute_gate t;
+  if t.head - t.gate < Array.length t.slots then []
+  else
+    Array.fold_left
+      (fun acc c ->
+        match c with
+        | Some c when c.active && c.cursor = t.gate -> c.cid :: acc
+        | _ -> acc)
+      [] t.registry
+    |> List.rev
+
+(* One producer park: count it and report who is holding the gate. *)
+let producer_stall t =
+  t.n_producer_stalls <- t.n_producer_stalls + 1;
+  match t.stall_hook with
+  | Some hook -> hook (gating_cids t)
+  | None -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Publish                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -177,14 +206,14 @@ let publish_now t v =
 
 let publish t v =
   while is_full t do
-    t.n_producer_stalls <- t.n_producer_stalls + 1;
+    producer_stall t;
     Cond.wait t.not_full
   done;
   publish_now t v
 
 let publish_k t make =
   while is_full t do
-    t.n_producer_stalls <- t.n_producer_stalls + 1;
+    producer_stall t;
     Cond.wait t.not_full
   done;
   (* No effects between the space check and the slot write: the claimed
@@ -206,7 +235,7 @@ let publish_batch t vs =
   let i = ref 0 in
   while !i < n do
     while is_full t do
-      t.n_producer_stalls <- t.n_producer_stalls + 1;
+      producer_stall t;
       Cond.wait t.not_full
     done;
     (* Claim the longest run the gate allows with this one check, write

@@ -165,3 +165,21 @@ type 'a tap = {
 }
 
 val set_tap : 'a t -> 'a tap option -> unit
+
+(** {1 Gate introspection}
+
+    Who is the producer actually waiting for? The follower-lifecycle
+    watchdog needs to prove a quarantined consumer can never again hold
+    the leader's publish path, so the ring exposes the gating set and a
+    hook that fires on every producer park. *)
+
+val gating_cids : 'a t -> int list
+(** Cids of active consumers whose cursor sits on the gating sequence
+    while the ring is full — the consumers the producer would block on
+    right now. [[]] when the ring has space. Recomputes the cached gate
+    (exact, not the producer's conservative cache). *)
+
+val set_stall_hook : 'a t -> (int list -> unit) option -> unit
+(** Install a callback invoked each time a publisher parks on a full
+    ring, with {!gating_cids} at that instant. Like taps, the callback
+    runs synchronously and must not block or perform engine effects. *)

@@ -51,6 +51,8 @@ module Heap = struct
       i := p
     done
 
+  let peek h = if h.len = 0 then None else Some h.a.(0)
+
   let pop h =
     if h.len = 0 then None
     else begin
@@ -101,6 +103,18 @@ let claim_waiter c w =
     c.c_nwaiters <- c.c_nwaiters - 1
   end
 
+(* A ticker is a periodic scheduler-context hook: it fires as virtual
+   time advances past its deadlines but never schedules heap entries of
+   its own, so an otherwise-quiescent simulation is never kept alive by
+   its watchdogs. Callbacks run outside any task and must not perform
+   engine effects; they may call [spawn] to delegate work to a task. *)
+type ticker = {
+  tk_period : int64;
+  mutable tk_next : int64;
+  tk_fn : unit -> bool; (* [false] deactivates the ticker *)
+  mutable tk_active : bool;
+}
+
 type t = {
   heap : Heap.t;
   mutable seq : int;
@@ -108,6 +122,7 @@ type t = {
   tasks : (task_id, task) Hashtbl.t;
   mutable global_time : int64;
   mutable failure_list : (task_id * exn) list; (* reversed *)
+  mutable tickers : ticker list;
 }
 
 type _ Effect.t +=
@@ -131,7 +146,30 @@ let create () =
     tasks = Hashtbl.create 64;
     global_time = 0L;
     failure_list = [];
+    tickers = [];
   }
+
+let add_ticker t ~period fn =
+  if period <= 0 then invalid_arg "Engine.add_ticker: period must be positive";
+  let period = Int64.of_int period in
+  t.tickers <-
+    {
+      tk_period = period;
+      tk_next = Int64.add t.global_time period;
+      tk_fn = fn;
+      tk_active = true;
+    }
+    :: t.tickers
+
+let next_due_ticker t =
+  List.fold_left
+    (fun acc tk ->
+      if not tk.tk_active then acc
+      else
+        match acc with
+        | Some best when best.tk_next <= tk.tk_next -> acc
+        | _ -> Some tk)
+    None t.tickers
 
 let schedule t time run =
   let e = { etime = time; eseq = t.seq; cancelled = false; run } in
@@ -396,10 +434,25 @@ let blocked_task_names t =
 
 let drain ?cycle_budget t =
   let rec loop () =
-    match Heap.pop t.heap with
-    | None -> ()
-    | Some e ->
-      if not e.cancelled then begin
+    match Heap.peek t.heap with
+    | None -> () (* tickers never outlive the work they monitor *)
+    | Some e when e.cancelled ->
+      ignore (Heap.pop t.heap);
+      loop ()
+    | Some e -> (
+      match next_due_ticker t with
+      | Some tk when tk.tk_next < e.etime ->
+        (* Virtual time is about to jump past this ticker's deadline:
+           fire it first. The callback may [spawn] tasks at the deadline,
+           which land in the heap ahead of [e] and are picked up by the
+           next iteration. *)
+        let due = tk.tk_next in
+        if due > t.global_time then t.global_time <- due;
+        tk.tk_next <- Int64.add due tk.tk_period;
+        if not (tk.tk_fn ()) then tk.tk_active <- false;
+        loop ()
+      | _ ->
+        ignore (Heap.pop t.heap);
         (* Liveness watchdog: a simulation that schedules work past the
            budget is considered hung (livelock, missed wakeup, runaway
            retry loop) and aborted rather than left spinning. *)
@@ -408,9 +461,8 @@ let drain ?cycle_budget t =
           raise (Budget_exceeded t.global_time)
         | _ -> ());
         if e.etime > t.global_time then t.global_time <- e.etime;
-        e.run ()
-      end;
-      loop ()
+        e.run ();
+        loop ())
   in
   loop ()
 

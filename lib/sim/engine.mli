@@ -49,6 +49,20 @@ val run_until_quiescent : ?cycle_budget:int64 -> t -> unit
     simply abandoned); used by benchmarks whose servers block in [accept]
     forever once the clients are done. *)
 
+val add_ticker : t -> period:int -> (unit -> bool) -> unit
+(** [add_ticker t ~period fn] installs a periodic scheduler-context hook:
+    as the event loop advances virtual time past each multiple of
+    [period] cycles, [fn] runs at that deadline, before any event due
+    later. Returning [false] deactivates the ticker permanently.
+
+    Tickers piggyback on scheduled work — they never enqueue events of
+    their own, so they stop firing (and cannot keep the simulation alive)
+    once the heap drains. [fn] runs outside any task: it must not perform
+    engine effects (consume/sleep/wait/broadcast); reading state and
+    calling {!spawn} to delegate effectful work to a task are the
+    intended uses. The NVX follower watchdog is the canonical client.
+    @raise Invalid_argument if [period <= 0]. *)
+
 val now : t -> int64
 (** Global high-water virtual time, in cycles. *)
 

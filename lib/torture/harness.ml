@@ -5,6 +5,7 @@ module Config = Varan_nvx.Config
 module Variant = Varan_nvx.Variant
 module Fault = Varan_fault.Plan
 module Oracle = Varan_trace.Oracle
+module Lifecycle = Varan_nvx.Lifecycle
 module Prng = Varan_util.Prng
 module P = Programs
 
@@ -14,6 +15,7 @@ type case = {
   prog_len : int;
   ring_size : int;
   plan : Fault.t;
+  lifecycle : Lifecycle.policy option;
 }
 
 let gen_case seed =
@@ -24,11 +26,62 @@ let gen_case seed =
     Fault.random rng ~variants:(followers + 1) ~max_seq:(prog_len * 3 / 2)
       ~max_op:prog_len
   in
-  { seed; followers; prog_len; ring_size = 8; plan }
+  { seed; followers; prog_len; ring_size = 8; plan; lifecycle = None }
+
+(* The lifecycle sweep's policy: aggressive enough that every injected
+   stall (>= 300k cycles, see below) trips the watchdog long before the
+   sleep ends, with backoffs short enough that two respawns still fit the
+   cycle budget. [lag_threshold] sits below the ring size so a stalled
+   consumer's (capacity-capped) live lag can exceed it. *)
+let lifecycle_policy =
+  {
+    Lifecycle.lag_threshold = 4;
+    stall_timeout = 150_000;
+    max_restarts = 2;
+    backoff = 50_000;
+    min_followers = 1;
+    watchdog_period = 20_000;
+  }
+
+let gen_lifecycle_case seed =
+  let rng = Prng.create (seed lxor 0x11FEC) in
+  let followers = 1 + Prng.int rng 4 in
+  let prog_len = 12 + Prng.int rng 49 in
+  let max_seq = prog_len * 3 / 2 in
+  let follower_idx () = 1 + Prng.int rng followers in
+  (* Stalls an order of magnitude past [stall_timeout]: the watchdog must
+     quarantine the sleeper, never wait it out. Leader (idx 0) is never a
+     victim — lifecycle recovery is a follower affair. *)
+  let stalls =
+    List.init
+      (1 + Prng.int rng 2)
+      (fun _ ->
+        Fault.Stall_follower
+          {
+            idx = follower_idx ();
+            at_seq = 1 + Prng.int rng max_seq;
+            delay = 300_000 + Prng.int rng 700_000;
+          })
+  in
+  let plan =
+    if Prng.int rng 3 = 0 then
+      Fault.Crash_variant { idx = follower_idx (); at_seq = 1 + Prng.int rng max_seq }
+      :: stalls
+    else stalls
+  in
+  {
+    seed;
+    followers;
+    prog_len;
+    ring_size = 8;
+    plan;
+    lifecycle = Some lifecycle_policy;
+  }
 
 let describe_case c =
-  Printf.sprintf "seed=%d followers=%d len=%d ring=%d plan=[%s]" c.seed
+  Printf.sprintf "seed=%d followers=%d len=%d ring=%d%s plan=[%s]" c.seed
     c.followers c.prog_len c.ring_size
+    (if c.lifecycle = None then "" else " lifecycle")
     (Fault.to_string c.plan)
 
 let build_program case =
@@ -54,6 +107,8 @@ type outcome = {
   crashes : (int * string) list;
   report : Oracle.report;
   stats : Nvx.stats;
+  lifecycle : Lifecycle.report option;
+  degraded : string option;
   budget_blown : bool;
 }
 
@@ -73,7 +128,12 @@ let run_ops case ops =
     List.init n (fun i ->
         Variant.make
           (Printf.sprintf "v%d" i)
-          (Variant.single (fun api -> P.interpret ~obs:obs.(i) ~path:"0" ops api)))
+          (Variant.single (fun api ->
+               (* A respawned incarnation re-runs the whole program; stale
+                  buffers from the quarantined one must not pollute its
+                  digest. *)
+               if case.lifecycle <> None then P.reset obs.(i);
+               P.interpret ~obs:obs.(i) ~path:"0" ops api)))
   in
   let oracle = Oracle.create () in
   let config =
@@ -82,6 +142,7 @@ let run_ops case ops =
       Config.ring_size = case.ring_size;
       fault_plan = case.plan;
       oracle = Some oracle;
+      lifecycle = case.lifecycle;
     }
   in
   let session = Nvx.launch ~config k variants in
@@ -99,6 +160,8 @@ let run_ops case ops =
     crashes = Nvx.crashes session;
     report = Oracle.report oracle;
     stats = Nvx.stats session;
+    lifecycle = Nvx.lifecycle_report session;
+    degraded = Nvx.degraded session;
     budget_blown;
   }
 
@@ -141,3 +204,51 @@ let run_seed seed =
   let case = gen_case seed in
   let out = run_case case in
   (case, out, check case out)
+
+(* The lifecycle sweep's extra verdicts, on top of {!check}: every
+   follower settles — caught back up with a digest identical to native,
+   or declared dead after exactly its respawn budget (fewer only when the
+   whole session degraded and cancelled the remaining respawns). *)
+let check_lifecycle (case : case) (out : outcome) =
+  let fails = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> fails := s :: !fails) fmt in
+  (match out.lifecycle with
+  | None -> fail "lifecycle: no report despite policy"
+  | Some r ->
+    if r.Lifecycle.illegal_transitions > 0 then
+      fail "lifecycle: %d illegal transition(s)" r.Lifecycle.illegal_transitions;
+    let policy =
+      match case.lifecycle with Some p -> p | None -> lifecycle_policy
+    in
+    List.iter
+      (fun fr ->
+        let idx = fr.Lifecycle.fr_idx in
+        match fr.Lifecycle.fr_state with
+        | Lifecycle.Healthy | Lifecycle.Lagging ->
+          if out.digests.(idx) <> out.native then
+            fail "follower %d ended %s but diverged: %S <> native %S" idx
+              (Lifecycle.state_name fr.Lifecycle.fr_state)
+              out.digests.(idx) out.native
+        | Lifecycle.Dead ->
+          if
+            fr.Lifecycle.fr_restarts <> policy.Lifecycle.max_restarts
+            && out.degraded = None
+          then
+            fail
+              "follower %d dead after %d respawn(s), budget %d, and no \
+               degradation to excuse it"
+              idx fr.Lifecycle.fr_restarts policy.Lifecycle.max_restarts
+        | (Lifecycle.Quarantined | Lifecycle.Respawning | Lifecycle.Catching_up)
+          as st ->
+          fail "follower %d never settled: stuck %s (%s)" idx
+            (Lifecycle.state_name st) fr.Lifecycle.fr_reason)
+      r.Lifecycle.followers);
+  if out.report.Oracle.gate_waits_on_quarantined > 0 then
+    fail "leader gate waited on a quarantined consumer %d time(s)"
+      out.report.Oracle.gate_waits_on_quarantined;
+  List.rev !fails
+
+let run_lifecycle_seed seed =
+  let case = gen_lifecycle_case seed in
+  let out = run_case case in
+  (case, out, check case out @ check_lifecycle case out)

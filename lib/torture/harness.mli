@@ -23,10 +23,23 @@ type case = {
   prog_len : int;
   ring_size : int;  (** before any [Ring_pressure] shrink *)
   plan : Varan_fault.Plan.t;
+  lifecycle : Varan_nvx.Lifecycle.policy option;
+      (** run the session with the follower lifecycle manager *)
 }
 
 val gen_case : int -> case
 (** Derive the whole case deterministically from the seed. *)
+
+val lifecycle_policy : Varan_nvx.Lifecycle.policy
+(** The lifecycle sweep's policy: stall timeout well under the injected
+    delays (every stall trips the watchdog), short backoffs, a respawn
+    budget of 2. *)
+
+val gen_lifecycle_case : int -> case
+(** A case aimed at the lifecycle manager: follower-only stalls long
+    enough (300k–1M cycles) that the watchdog must quarantine the sleeper
+    rather than wait it out, sometimes a follower crash, never a leader
+    fault. Uses {!lifecycle_policy}. *)
 
 val describe_case : case -> string
 
@@ -42,6 +55,8 @@ type outcome = {
   crashes : (int * string) list;
   report : Varan_trace.Oracle.report;
   stats : Varan_nvx.Session.stats;
+  lifecycle : Varan_nvx.Lifecycle.report option;
+  degraded : string option;
   budget_blown : bool;
 }
 
@@ -57,3 +72,14 @@ val check : case -> outcome -> string list
 
 val run_seed : int -> case * outcome * string list
 (** [gen_case], [run_case], [check] in one step. *)
+
+val check_lifecycle : case -> outcome -> string list
+(** The lifecycle sweep's extra verdicts on top of {!check}: no illegal
+    transitions; every follower either caught back up (digest identical
+    to native) or is dead after exactly its respawn budget (fewer only
+    under degradation); the leader's gate never waited on a quarantined
+    consumer. *)
+
+val run_lifecycle_seed : int -> case * outcome * string list
+(** [gen_lifecycle_case], [run_case], then [check] plus
+    [check_lifecycle]. *)

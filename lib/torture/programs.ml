@@ -72,6 +72,11 @@ type observations = (string, Buffer.t) Hashtbl.t
 
 let observations () : observations = Hashtbl.create 8
 
+(* A respawned variant re-runs its whole program; dropping the stale
+   incarnation's buffers (the main unit's and every forked child's) keeps
+   the digest that of exactly one complete execution. *)
+let reset (obs : observations) = Hashtbl.reset obs
+
 let digest (obs : observations) =
   Hashtbl.fold (fun path buf acc -> (path, Buffer.contents buf) :: acc) obs []
   |> List.sort compare

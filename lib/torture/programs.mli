@@ -51,6 +51,11 @@ type observations
 
 val observations : unit -> observations
 
+val reset : observations -> unit
+(** Drop every buffer. A variant respawned by the lifecycle manager
+    re-runs its whole program; the harness resets its observations at
+    body entry so the digest reflects exactly one complete execution. *)
+
 val digest : observations -> string
 (** Join every unit's observation buffer, sorted by unit path. *)
 

@@ -27,6 +27,17 @@ type t = {
   promoted_variants : (int, unit) Hashtbl.t;
   fork_refs : (int, unit) Hashtbl.t; (* tuples claimed by an Ev_fork *)
   payloads : (int, int ref) Hashtbl.t; (* addr -> outstanding readers *)
+  (* Lifecycle bookkeeping: consumer ids retired by a quarantine (the
+     leader's gate must never wait on one again), and the exact splice
+     sequence each rejoined consumer must first read. *)
+  quarantined_cids : (int * int, unit) Hashtbl.t; (* (tuple, cid) *)
+  splice_expect : (int * int, int) Hashtbl.t; (* (tuple, cid) -> seq *)
+  respawn_counts : (int, int ref) Hashtbl.t; (* variant -> respawns *)
+  mutable quarantines : int;
+  mutable respawns : int;
+  mutable rejoins : int;
+  mutable gate_waits : int;
+  mutable gate_waits_on_quarantined : int;
 }
 
 let violation_cap = 64
@@ -43,6 +54,14 @@ let create () =
     promoted_variants = Hashtbl.create 4;
     fork_refs = Hashtbl.create 4;
     payloads = Hashtbl.create 16;
+    quarantined_cids = Hashtbl.create 4;
+    splice_expect = Hashtbl.create 4;
+    respawn_counts = Hashtbl.create 4;
+    quarantines = 0;
+    respawns = 0;
+    rejoins = 0;
+    gate_waits = 0;
+    gate_waits_on_quarantined = 0;
   }
 
 let violate t fmt =
@@ -143,6 +162,18 @@ let on_consume t ts ~cid ~seq (e : Event.t) =
   if cs.started && seq <> cs.next_seq then
     violate t "tuple %d: consumer %d jumped from seq %d to %d" ts.tu cid
       cs.next_seq seq;
+  (* A rejoined consumer is stricter: its first live read must land at
+     exactly the splice sequence the session recorded at resubscribe. *)
+  (if not cs.started then
+     match Hashtbl.find_opt t.splice_expect (ts.tu, cid) with
+     | Some expected when seq <> expected ->
+       violate t
+         "tuple %d: rejoined consumer %d spliced at seq %d, expected %d"
+         ts.tu cid seq expected
+     | _ -> ());
+  (if Hashtbl.mem t.quarantined_cids (ts.tu, cid) then
+     violate t "tuple %d: quarantined consumer %d read seq %d after removal"
+       ts.tu cid seq);
   cs.started <- true;
   cs.next_seq <- seq + 1;
   (if seq >= ts.nevents then
@@ -199,6 +230,42 @@ let note_promotion t ~idx =
   if t.promotions > t.leader_crashes then
     violate t "promotion of variant %d without a preceding leader crash" idx
 
+let note_quarantine t ~idx ~tuple ~cid =
+  ignore idx;
+  t.quarantines <- t.quarantines + 1;
+  Hashtbl.replace t.quarantined_cids (tuple, cid) ()
+
+let note_respawn t ~idx ~max_restarts =
+  t.respawns <- t.respawns + 1;
+  let r =
+    match Hashtbl.find_opt t.respawn_counts idx with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.respawn_counts idx r;
+      r
+  in
+  incr r;
+  if !r > max_restarts then
+    violate t "variant %d respawned %d times, beyond max_restarts %d" idx !r
+      max_restarts
+
+let note_rejoin t ~idx ~tuple ~cid ~splice_seq =
+  ignore idx;
+  t.rejoins <- t.rejoins + 1;
+  Hashtbl.replace t.splice_expect (tuple, cid) splice_seq
+
+let note_gate_wait t ~tuple ~cids =
+  t.gate_waits <- t.gate_waits + 1;
+  List.iter
+    (fun cid ->
+      if Hashtbl.mem t.quarantined_cids (tuple, cid) then begin
+        t.gate_waits_on_quarantined <- t.gate_waits_on_quarantined + 1;
+        violate t
+          "tuple %d: leader gate waited on quarantined consumer %d" tuple cid
+      end)
+    cids
+
 let note_payload_register t ~addr ~readers =
   Hashtbl.replace t.payloads addr (ref readers)
 
@@ -220,6 +287,11 @@ type report = {
   crashes : int;
   leader_crashes : int;
   promotions : int;
+  quarantines : int;
+  respawns : int;
+  rejoins : int;
+  gate_waits : int;
+  gate_waits_on_quarantined : int;
   outstanding_payloads : int;
   digests : (int * int * int) list;
   violations : string list;
@@ -251,6 +323,11 @@ let report t =
     crashes = t.crashes;
     leader_crashes = t.leader_crashes;
     promotions = t.promotions;
+    quarantines = t.quarantines;
+    respawns = t.respawns;
+    rejoins = t.rejoins;
+    gate_waits = t.gate_waits;
+    gate_waits_on_quarantined = t.gate_waits_on_quarantined;
     outstanding_payloads = outstanding;
     digests;
     violations = List.rev t.violations @ List.rev !finals;
@@ -264,6 +341,12 @@ let pp_report ppf r =
      crashes=%d (leader=%d) promotions=%d outstanding_payloads=%d@,"
     r.tuples r.events r.consumed r.crashes r.leader_crashes r.promotions
     r.outstanding_payloads;
+  if r.quarantines > 0 || r.respawns > 0 || r.gate_waits > 0 then
+    Format.fprintf ppf
+      "lifecycle: quarantines=%d respawns=%d rejoins=%d gate_waits=%d \
+       (on quarantined: %d)@,"
+      r.quarantines r.respawns r.rejoins r.gate_waits
+      r.gate_waits_on_quarantined;
   List.iter
     (fun (tu, n, d) ->
       Format.fprintf ppf "tuple %d: %d events, digest %08x@," tu n

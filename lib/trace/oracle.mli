@@ -39,6 +39,31 @@ val note_promotion : t -> idx:int -> unit
 val note_payload_register : t -> addr:int -> readers:int -> unit
 val note_payload_release : t -> addr:int -> unit
 
+(** {2 Lifecycle notes}
+
+    The follower lifecycle manager reports quarantines, respawns and
+    rejoins; with them the oracle enforces three more invariants — the
+    leader's gate never waits on a quarantined consumer again, a
+    rejoined consumer's first live read lands at exactly its splice
+    sequence, and no variant respawns beyond its restart budget. *)
+
+val note_quarantine : t -> idx:int -> tuple:int -> cid:int -> unit
+(** Consumer [cid] of tuple [tuple] was removed by a quarantine (called
+    once per subscribed tuple, before the unsubscribe). *)
+
+val note_respawn : t -> idx:int -> max_restarts:int -> unit
+(** Variant [idx] is being respawned; more than [max_restarts] respawns
+    of one variant is a violation. *)
+
+val note_rejoin : t -> idx:int -> tuple:int -> cid:int -> splice_seq:int -> unit
+(** The respawned variant resubscribed to [tuple] as consumer [cid];
+    its first live read must land at exactly [splice_seq]. *)
+
+val note_gate_wait : t -> tuple:int -> cids:int list -> unit
+(** The leader parked on [tuple]'s gate while [cids] held it (wired to
+    {!Varan_ringbuf.Ring.set_stall_hook}); any quarantined cid among
+    them is a violation. *)
+
 (** {1 Report} *)
 
 type report = {
@@ -48,6 +73,11 @@ type report = {
   crashes : int;
   leader_crashes : int;
   promotions : int;
+  quarantines : int;  (** (tuple, cid) pairs retired by quarantines *)
+  respawns : int;
+  rejoins : int;  (** splice expectations registered *)
+  gate_waits : int;  (** leader publishes that parked on the gate *)
+  gate_waits_on_quarantined : int;  (** nonzero is always a violation *)
   outstanding_payloads : int;  (** payload chunks never fully released *)
   digests : (int * int * int) list;
       (** per tuple: (tuple, events published, structural stream digest

@@ -65,3 +65,31 @@ let pp_summary ppf s =
   Format.fprintf ppf
     "n=%d mean=%.2f median=%.2f stddev=%.2f min=%.2f max=%.2f p95=%.2f p99=%.2f"
     s.n s.mean s.median s.stddev s.min s.max s.p95 s.p99
+
+(* ------------------------------------------------------------------ *)
+(* Named monotonic counters                                            *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.replace registry name c;
+    c
+
+let incr_counter c = c.c_value <- c.c_value + 1
+let add_counter c n = c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+let counter_name c = c.c_name
+
+let counters () =
+  Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) registry []
+  |> List.sort compare
+
+let reset_counters () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) registry

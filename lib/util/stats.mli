@@ -35,3 +35,27 @@ val summarize : float list -> summary
     Requires a non-empty list. *)
 
 val pp_summary : Format.formatter -> summary -> unit
+
+(** {1 Named monotonic counters}
+
+    A tiny process-wide counter registry used for cross-cutting event
+    tallies (the follower-lifecycle transition counters are the first
+    client). Counters are created on first use and survive across
+    sessions in the same process; {!reset_counters} zeroes them (a sweep
+    harness resets between seeds when it wants per-seed totals). *)
+
+type counter
+
+val counter : string -> counter
+(** Find or create the counter with this name. *)
+
+val incr_counter : counter -> unit
+val add_counter : counter -> int -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+val counters : unit -> (string * int) list
+(** Every registered counter with its current value, sorted by name. *)
+
+val reset_counters : unit -> unit
+(** Zero every registered counter (registrations persist). *)

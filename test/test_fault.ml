@@ -14,6 +14,7 @@ module Variant = Varan_nvx.Variant
 module RR = Varan_nvx.Record_replay
 module Fault = Varan_fault.Plan
 module Oracle = Varan_trace.Oracle
+module Lifecycle = Varan_nvx.Lifecycle
 module Prng = Varan_util.Prng
 module H = Varan_torture.Harness
 module P = Gen_programs
@@ -30,8 +31,8 @@ let check_case_exn label case out =
 (* Directed scenarios                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let directed_case ~seed ~followers ~plan =
-  { H.seed; followers; prog_len = 0; ring_size = 8; plan }
+let directed_case ?lifecycle ~seed ~followers ~plan () =
+  { H.seed; followers; prog_len = 0; ring_size = 8; plan; lifecycle }
 
 (* A workload whose every phase publishes events, including >48-byte
    payloads that travel through the shared-memory pool. *)
@@ -50,7 +51,7 @@ let payload_ops n =
 let test_leader_crash_during_publish () =
   let case =
     directed_case ~seed:101 ~followers:2
-      ~plan:[ Fault.Crash_variant { idx = 0; at_seq = 7 } ]
+      ~plan:[ Fault.Crash_variant { idx = 0; at_seq = 7 } ] ()
   in
   let out = H.run_ops case (payload_ops 8) in
   check_case_exn "leader crash" case out;
@@ -68,6 +69,7 @@ let test_follower_stall_at_full_ring () =
           Fault.Ring_pressure { shrink_to = 1 };
           Fault.Stall_follower { idx = 1; at_seq = 3; delay = 30_000 };
         ]
+      ()
   in
   let out = H.run_ops case (payload_ops 6) in
   check_case_exn "stall at full ring" case out;
@@ -86,7 +88,7 @@ let test_fork_then_crash () =
   in
   let case =
     directed_case ~seed:103 ~followers:2
-      ~plan:[ Fault.Crash_variant { idx = 0; at_seq = 15 } ]
+      ~plan:[ Fault.Crash_variant { idx = 0; at_seq = 15 } ] ()
   in
   let out = H.run_ops case ops in
   check_case_exn "fork then crash" case out;
@@ -108,6 +110,7 @@ let test_cascading_crashes_in_index_order () =
           Fault.Crash_variant { idx = 1; at_seq = 6 };
           Fault.Crash_variant { idx = 2; at_seq = 8 };
         ]
+      ()
   in
   let out = H.run_ops case (payload_ops 8) in
   check_case_exn "cascading crashes" case out;
@@ -127,6 +130,7 @@ let test_all_followers_crash () =
           Fault.Crash_variant { idx = 2; at_seq = 5 };
           Fault.Crash_variant { idx = 3; at_seq = 7 };
         ]
+      ()
   in
   let out = H.run_ops case (payload_ops 8) in
   check_case_exn "all followers crash" case out;
@@ -138,7 +142,7 @@ let test_all_followers_crash () =
    no producer stalls, and no publish-side wakeups (nobody is ever
    parked on the ring). *)
 let test_zero_followers_pay_no_streaming_costs () =
-  let case = directed_case ~seed:107 ~followers:0 ~plan:[] in
+  let case = directed_case ~seed:107 ~followers:0 ~plan:[] () in
   let out = H.run_ops case (payload_ops 8) in
   check_case_exn "zero followers" case out;
   Array.iter
@@ -153,12 +157,171 @@ let test_zero_followers_pay_no_streaming_costs () =
 let test_drop_payload_negative_control () =
   let case =
     directed_case ~seed:106 ~followers:1
-      ~plan:[ Fault.Drop_payload_grant { idx = 1; at_seq = 2 } ]
+      ~plan:[ Fault.Drop_payload_grant { idx = 1; at_seq = 2 } ] ()
   in
   let out = H.run_ops case (payload_ops 4) in
   Alcotest.(check bool) "oracle flags the leak" false (Oracle.ok out.H.report);
   Alcotest.(check bool) "as an outstanding payload" true
     (out.H.report.Oracle.outstanding_payloads > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Follower lifecycle: quarantine, rejoin, degradation                 *)
+(* ------------------------------------------------------------------ *)
+
+let lc = H.lifecycle_policy
+
+let check_lifecycle_exn label case out =
+  check_case_exn label case out;
+  match H.check_lifecycle case out with
+  | [] -> ()
+  | fails ->
+    Alcotest.failf "%s: %s\n  %s" label
+      (H.describe_case case)
+      (String.concat "\n  " fails)
+
+let lifecycle_of out =
+  match out.H.lifecycle with
+  | Some r -> r
+  | None -> Alcotest.fail "no lifecycle report"
+
+(* Satellite regression pinning [Stall_follower] semantics: the slot
+   triggers on the first pre-consume position >= at_seq and burns — one
+   armed stall is exactly one sleep, never one per event past at_seq. *)
+let test_stall_fires_once () =
+  let case =
+    directed_case ~seed:110 ~followers:1
+      ~plan:[ Fault.Stall_follower { idx = 1; at_seq = 3; delay = 30_000 } ]
+      ()
+  in
+  let out = H.run_ops case (payload_ops 6) in
+  check_case_exn "stall fires once" case out;
+  Alcotest.(check int) "exactly one stall hit the victim" 1
+    out.H.stats.Nvx.variants.(1).Nvx.vs_injected_stalls;
+  Alcotest.(check int) "none hit the leader" 0
+    out.H.stats.Nvx.variants.(0).Nvx.vs_injected_stalls
+
+(* A follower sleeping an order of magnitude past the stall timeout is
+   quarantined by the watchdog, respawned, replays the tape and splices
+   back into the live ring — ending healthy with the native digest,
+   having never blocked the leader on its retired consumers. *)
+let test_quarantine_then_rejoin () =
+  let case =
+    directed_case ~lifecycle:lc ~seed:111 ~followers:2
+      ~plan:[ Fault.Stall_follower { idx = 1; at_seq = 4; delay = 2_000_000 } ]
+      ()
+  in
+  let out = H.run_ops case (payload_ops 10) in
+  check_lifecycle_exn "quarantine then rejoin" case out;
+  let r = lifecycle_of out in
+  Alcotest.(check bool) "victim was quarantined" true
+    (r.Lifecycle.quarantines >= 1);
+  Alcotest.(check bool) "and respawned" true (r.Lifecycle.respawns >= 1);
+  Alcotest.(check bool) "and rejoined" true (r.Lifecycle.rejoins >= 1);
+  Alcotest.(check int) "one incarnation consumed" 1
+    out.H.stats.Nvx.variants.(1).Nvx.vs_incarnation;
+  Alcotest.(check string) "victim digest equals native" out.H.native
+    out.H.digests.(1);
+  Alcotest.(check int) "leader never gated on the quarantined consumer" 0
+    out.H.report.Oracle.gate_waits_on_quarantined
+
+(* Two stalls on the same follower with a respawn budget of one: the
+   second incarnation trips the watchdog again and the follower is
+   declared dead after exactly max_restarts backed-off attempts, while
+   the untouched follower finishes with the native digest. *)
+let test_dead_after_restart_budget () =
+  let policy = { lc with Lifecycle.max_restarts = 1 } in
+  let case =
+    directed_case ~lifecycle:policy ~seed:112 ~followers:2
+      ~plan:
+        [
+          Fault.Stall_follower { idx = 1; at_seq = 3; delay = 2_000_000 };
+          Fault.Stall_follower { idx = 1; at_seq = 9; delay = 2_000_000 };
+        ]
+      ()
+  in
+  let out = H.run_ops case (payload_ops 10) in
+  check_lifecycle_exn "dead after budget" case out;
+  let r = lifecycle_of out in
+  let fr1 =
+    List.find (fun fr -> fr.Lifecycle.fr_idx = 1) r.Lifecycle.followers
+  in
+  Alcotest.(check bool) "victim is dead" true
+    (fr1.Lifecycle.fr_state = Lifecycle.Dead);
+  Alcotest.(check int) "after exactly max_restarts respawns" 1
+    fr1.Lifecycle.fr_restarts;
+  Alcotest.(check string) "sibling digest equals native" out.H.native
+    out.H.digests.(2);
+  Alcotest.(check (option string)) "session not degraded" None out.H.degraded
+
+(* Satellite: losing every follower degrades the session to native-speed
+   leader-only execution with a reported reason — never an escaping
+   exception. *)
+let test_degrade_all_followers_dead () =
+  let case =
+    directed_case ~seed:113 ~followers:1
+      ~plan:[ Fault.Crash_variant { idx = 1; at_seq = 3 } ]
+      ()
+  in
+  let out = H.run_ops case (payload_ops 6) in
+  check_case_exn "all followers dead" case out;
+  Alcotest.(check (option string)) "degraded with reason"
+    (Some "all followers dead") out.H.degraded;
+  Alcotest.(check bool) "leader finished" true out.H.alive.(0);
+  Alcotest.(check string) "leader digest equals native" out.H.native
+    out.H.digests.(0)
+
+(* Satellite: the leader crashing with no electable candidate left must
+   also surface as degradation, not a Divergence_kill escaping the
+   engine. *)
+let test_degrade_no_leader_remains () =
+  let case =
+    directed_case ~seed:114 ~followers:1
+      ~plan:
+        [
+          Fault.Crash_variant { idx = 1; at_seq = 3 };
+          Fault.Crash_variant { idx = 0; at_seq = 6 };
+        ]
+      ()
+  in
+  let out = H.run_ops case (payload_ops 6) in
+  check_case_exn "no leader remains" case out;
+  Alcotest.(check (option string)) "degraded with reason"
+    (Some "no leader remains") out.H.degraded;
+  Alcotest.(check bool) "nobody survived" false (Array.exists Fun.id out.H.alive)
+
+(* The 200-seed lifecycle sweep: follower-only stalls past the watchdog
+   timeout plus occasional follower crashes. Every quarantined follower
+   either rejoins with a digest identical to native or dies after
+   exactly its respawn budget, and the leader's gate never waits on a
+   quarantined consumer (check_lifecycle enforces all of it per seed). *)
+let lifecycle_base_seed = 0xFACE
+let lifecycle_sweep_cases = 200
+
+let test_lifecycle_sweep () =
+  let quarantines = ref 0 and rejoins = ref 0 and deaths = ref 0 in
+  for i = 0 to lifecycle_sweep_cases - 1 do
+    let seed = lifecycle_base_seed + i in
+    let case, out, fails = H.run_lifecycle_seed seed in
+    (match fails with
+    | [] -> ()
+    | fs ->
+      Alcotest.failf
+        "lifecycle seed %d failed (reproduce: varan torture --lifecycle \
+         --seed %d)\n\
+        \  %s\n\
+        \  %s" seed seed (H.describe_case case)
+        (String.concat "\n  " fs));
+    match out.H.lifecycle with
+    | Some r ->
+      quarantines := !quarantines + r.Lifecycle.quarantines;
+      rejoins := !rejoins + r.Lifecycle.rejoins;
+      deaths := !deaths + r.Lifecycle.deaths
+    | None -> ()
+  done;
+  (* The sweep must actually exercise the recovery machinery. *)
+  Alcotest.(check bool) "sweep quarantined followers" true (!quarantines > 0);
+  Alcotest.(check bool) "sweep rejoined followers" true (!rejoins > 0);
+  ignore !deaths
 
 (* ------------------------------------------------------------------ *)
 (* The randomized torture sweep                                        *)
@@ -319,6 +482,21 @@ let () =
             test_zero_followers_pay_no_streaming_costs;
           Alcotest.test_case "drop-payload negative control" `Quick
             test_drop_payload_negative_control;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "stall injection fires exactly once" `Quick
+            test_stall_fires_once;
+          Alcotest.test_case "quarantine then rejoin" `Quick
+            test_quarantine_then_rejoin;
+          Alcotest.test_case "dead after restart budget" `Quick
+            test_dead_after_restart_budget;
+          Alcotest.test_case "all followers dead degrades" `Quick
+            test_degrade_all_followers_dead;
+          Alcotest.test_case "no leader remains degrades" `Quick
+            test_degrade_no_leader_remains;
+          Alcotest.test_case "200-seed lifecycle sweep" `Slow
+            test_lifecycle_sweep;
         ] );
       ( "sweep",
         [ Alcotest.test_case "200 random fault plans" `Slow test_torture_sweep ]

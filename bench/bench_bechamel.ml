@@ -20,6 +20,7 @@ module Asm = Varan_bpf.Asm
 module Interp = Varan_bpf.Interp
 module Rules = Varan_bpf.Rules
 module Rewriter = Varan_binary.Rewriter
+module Rewrite_cache = Varan_binary.Rewrite_cache
 module Codegen = Varan_binary.Codegen
 module Prng = Varan_util.Prng
 
@@ -49,12 +50,32 @@ let rewriter_test =
   Test.make ~name:"rewriter-30kB-image"
     (Staged.stage (fun () -> ignore (Rewriter.rewrite rewrite_code)))
 
+(* The spawn fast path: same 30 kB image, but served from a warm
+   content-addressed cache — hash, copy, and O(sites) site-id rebase
+   instead of a full disassemble-and-patch. The ratio of this row to
+   [rewriter-30kB-image] is the headline spawn speedup. *)
+let rewriter_cached_test =
+  let cache = Rewrite_cache.create () in
+  ignore (Rewrite_cache.prepare cache rewrite_code);
+  Test.make ~name:"rewriter-30kB-cached"
+    (Staged.stage (fun () ->
+         ignore (Rewrite_cache.prepare cache ~first_site_id:512 rewrite_code)))
+
 let pool_test =
   let pool = Pool.create () in
   Test.make ~name:"pool-alloc-free-512B"
     (Staged.stage (fun () ->
          let c = Pool.alloc pool 512 in
          Pool.free pool c))
+
+(* The zero-copy read path used by follower replay and the recorder:
+   fill a caller-owned buffer straight from the chunk. *)
+let pool_read_into_test =
+  let pool = Pool.create () in
+  let c = Pool.alloc pool 512 in
+  let dst = Bytes.create 512 in
+  Test.make ~name:"pool-read-into-512B"
+    (Staged.stage (fun () -> ignore (Pool.read_into c dst ~len:512)))
 
 (* One ring revolution cycle: publish 256 events and have [nconsumers]
    drain them all, in runs of [batch] (batch 1 is the one-at-a-time
@@ -118,7 +139,14 @@ let engine_test =
          E.run eng))
 
 let tests =
-  [ bpf_test; bpf_compiled_test; rewriter_test; pool_test ]
+  [
+    bpf_test;
+    bpf_compiled_test;
+    rewriter_test;
+    rewriter_cached_test;
+    pool_test;
+    pool_read_into_test;
+  ]
   @ ring_tests
   @ [ engine_test ]
 

@@ -448,7 +448,17 @@ let torture_cmd =
           r.Lifecycle.quarantines r.Lifecycle.rejoins r.Lifecycle.deaths
           (match out.H.degraded with
           | Some reason -> Printf.sprintf " degraded(%s)" reason
-          | None -> "")
+          | None -> "");
+        (* The spawn fast path's effectiveness: every launch past the
+           first of a given image — replicas and respawns alike — should
+           be a cache hit served by rebase. *)
+        let module RC = Varan_binary.Rewrite_cache in
+        let rc = out.H.stats.Varan_nvx.Session.rewrite_cache in
+        let total = rc.RC.hits + rc.RC.misses in
+        Printf.printf
+          "  rewrite-cache: hits=%d misses=%d rebases=%d hit-rate=%d%%\n"
+          rc.RC.hits rc.RC.misses rc.RC.rebases
+          (if total = 0 then 0 else rc.RC.hits * 100 / total)
       | None -> ());
       if verbose then begin
         (match out.H.lifecycle with

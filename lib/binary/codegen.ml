@@ -8,6 +8,38 @@ let assemble insns =
   List.iter (fun i -> ofs := !ofs + I.encode_into buf !ofs i) insns;
   buf
 
+(* ------------------------------------------------------------------ *)
+(* Stub (trampoline) assembly                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The rewriter's stub emitter. Hook immediates are written as
+   *base-relative* site ids and their byte offsets recorded, so the
+   finished buffer plus the offset table form a relocatable trampoline
+   image: rebasing to any first_site_id is a pass over the offsets, not
+   a re-disassembly. *)
+type stubs = {
+  sb_base : int; (* address of the first stub byte (original code length) *)
+  sb_buf : Buffer.t;
+  mutable sb_hooks : int list; (* Hook opcode offsets, reversed *)
+}
+
+let stubs_create ~base = { sb_base = base; sb_buf = Buffer.create 256; sb_hooks = [] }
+let stubs_here sb = sb.sb_base + Buffer.length sb.sb_buf
+let stubs_emit sb insn = Buffer.add_bytes sb.sb_buf (I.encode insn)
+
+let jmp32_len = I.length (I.Jmp 0l)
+
+let stubs_emit_jmp_to sb target =
+  let rel = target - (stubs_here sb + jmp32_len) in
+  stubs_emit sb (I.Jmp (Int32.of_int rel))
+
+let stubs_emit_hook sb ~rel_id =
+  sb.sb_hooks <- stubs_here sb :: sb.sb_hooks;
+  stubs_emit sb (I.Hook rel_id)
+
+let stubs_finish sb =
+  (Buffer.to_bytes sb.sb_buf, Array.of_list (List.rev sb.sb_hooks))
+
 let straightline ~syscall_numbers =
   let body =
     List.concat_map

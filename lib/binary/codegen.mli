@@ -5,6 +5,39 @@
     and the NVX layer (code images with realistic syscall densities whose
     rewrite statistics drive the interception cost mix). *)
 
+(** {1 Stub (trampoline) assembly}
+
+    The emission half of the binary rewriter: an append-only buffer of
+    generated stub code placed after the original text. [Hook]
+    immediates are written {e base-relative} (an id counted from 0 for
+    this image) and the byte offset of every emitted [Hook] is recorded
+    — the {e trampoline table}. Together with a base-relative site list
+    this makes the finished image relocatable: {!Rewriter.rebase} turns
+    it into an absolute-id image for any [first_site_id] with one O(sites)
+    pass over the recorded offsets instead of a re-disassembly. *)
+
+type stubs
+
+val stubs_create : base:int -> stubs
+(** Fresh emitter whose first byte will live at address [base] (the
+    original code length — stubs are appended after the text). *)
+
+val stubs_here : stubs -> int
+(** Address of the next byte to be emitted. *)
+
+val stubs_emit : stubs -> Varan_isa.Insn.t -> unit
+
+val stubs_emit_jmp_to : stubs -> int -> unit
+(** Emit a [Jmp rel32] whose target is the given absolute address. *)
+
+val stubs_emit_hook : stubs -> rel_id:int -> unit
+(** Emit a monitor entry point carrying a {e base-relative} site id and
+    record its offset in the trampoline table. *)
+
+val stubs_finish : stubs -> Bytes.t * int array
+(** The emitted stub bytes and the trampoline table: offsets of every
+    [Hook] opcode, in emission order (ascending). *)
+
 val straightline : syscall_numbers:int list -> Bytes.t
 (** A program that loads each number into R0, issues [Syscall], does a
     little register arithmetic between calls, and halts. Always

@@ -15,6 +15,16 @@ type stats = {
 
 type result = { code : Bytes.t; sites : site list; stats : stats }
 
+type reloc_site = { rel_id : int; rel_addr : int; rel_dispatch : dispatch }
+
+type relocatable = {
+  rt_code : Bytes.t;
+  rt_orig_len : int;
+  rt_hook_offsets : int array;
+  rt_sites : reloc_site list;
+  rt_stats : stats;
+}
+
 let jmp_len = 5
 
 (* Gather the relocation window starting at the syscall: the syscall itself
@@ -36,27 +46,24 @@ let collect_window code targets addr =
   | Some (I.Syscall, 1) -> go [ (addr, I.Syscall) ] 1 (addr + 1)
   | _ -> None
 
-let rewrite ?(first_site_id = 0) code0 =
+let rewrite_relocatable code0 =
   let orig_len = Bytes.length code0 in
   let targets = D.branch_targets code0 in
   let syscalls = D.syscall_sites code0 in
   let patched = Bytes.copy code0 in
-  let stubs = Buffer.create 256 in
-  let next_site = ref first_site_id in
+  let stubs = Codegen.stubs_create ~base:orig_len in
+  let next_site = ref 0 in
   let sites = ref [] in
   let relocated = ref 0 in
   let jump_count = ref 0 in
   let trap_count = ref 0 in
   let covered_until = ref (-1) in
 
-  let here () = orig_len + Buffer.length stubs in
-  let emit insn = Buffer.add_bytes stubs (I.encode insn) in
-  let emit_jmp32_to target =
-    let rel = target - (here () + jmp_len) in
-    emit (I.Jmp (Int32.of_int rel))
-  in
-  let new_site orig_addr dispatch =
-    let s = { site_id = !next_site; orig_addr; dispatch } in
+  let here () = Codegen.stubs_here stubs in
+  let emit insn = Codegen.stubs_emit stubs insn in
+  let emit_jmp32_to target = Codegen.stubs_emit_jmp_to stubs target in
+  let new_site rel_addr rel_dispatch =
+    let s = { rel_id = !next_site; rel_addr; rel_dispatch } in
     incr next_site;
     sites := s :: !sites;
     s
@@ -67,7 +74,7 @@ let rewrite ?(first_site_id = 0) code0 =
     | I.Syscall ->
       let s = new_site a Jump in
       incr jump_count;
-      emit (I.Hook s.site_id)
+      Codegen.stubs_emit_hook stubs ~rel_id:s.rel_id
     | _ when I.is_branch insn -> (
       incr relocated;
       let target =
@@ -127,7 +134,7 @@ let rewrite ?(first_site_id = 0) code0 =
           | (a0, I.Syscall) :: rest ->
             let s = new_site a0 Jump in
             incr jump_count;
-            emit (I.Hook s.site_id);
+            Codegen.stubs_emit_hook stubs ~rel_id:s.rel_id;
             List.iter emit_relocated rest
           | _ -> assert false);
           emit_jmp32_to window_end;
@@ -136,15 +143,17 @@ let rewrite ?(first_site_id = 0) code0 =
       end)
     syscalls;
 
-  let stub_data = Buffer.to_bytes stubs in
+  let stub_data, hook_offsets = Codegen.stubs_finish stubs in
   let code = Bytes.create (orig_len + Bytes.length stub_data) in
   Bytes.blit patched 0 code 0 orig_len;
   Bytes.blit stub_data 0 code orig_len (Bytes.length stub_data);
-  let sites = List.sort (fun a b -> compare a.orig_addr b.orig_addr) !sites in
+  let sites = List.sort (fun a b -> compare a.rel_addr b.rel_addr) !sites in
   {
-    code;
-    sites;
-    stats =
+    rt_code = code;
+    rt_orig_len = orig_len;
+    rt_hook_offsets = hook_offsets;
+    rt_sites = sites;
+    rt_stats =
       {
         total_syscalls = !jump_count + !trap_count;
         jump_sites = !jump_count;
@@ -153,6 +162,33 @@ let rewrite ?(first_site_id = 0) code0 =
         stub_bytes = Bytes.length stub_data;
       };
   }
+
+let rebase rt ~first_site_id =
+  let code = Bytes.copy rt.rt_code in
+  if first_site_id <> 0 then
+    Array.iter
+      (fun ofs ->
+        (* The Hook immediate holds the base-relative id; offset +1 skips
+           the opcode byte. *)
+        let rel = Int32.to_int (Bytes.get_int32_le code (ofs + 1)) in
+        Bytes.set_int32_le code (ofs + 1) (Int32.of_int (rel + first_site_id)))
+      rt.rt_hook_offsets;
+  {
+    code;
+    sites =
+      List.map
+        (fun s ->
+          {
+            site_id = s.rel_id + first_site_id;
+            orig_addr = s.rel_addr;
+            dispatch = s.rel_dispatch;
+          })
+        rt.rt_sites;
+    stats = rt.rt_stats;
+  }
+
+let rewrite ?(first_site_id = 0) code0 =
+  rebase (rewrite_relocatable code0) ~first_site_id
 
 let rewrite_segment ?first_site_id seg =
   let out = ref None in

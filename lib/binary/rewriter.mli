@@ -39,9 +39,47 @@ type result = {
   stats : stats;
 }
 
+(** {1 Relocatable form}
+
+    The rewrite is split in two: the expensive half ({!rewrite_relocatable}
+    — disassembly, window collection, stub emission) produces an image
+    whose [Hook] immediates and site table are {e base-relative} (ids
+    counted from 0), plus the trampoline table of [Hook] byte offsets;
+    the cheap half ({!rebase}) turns that into an absolute-id {!result}
+    for any [first_site_id] with a single O(sites) patch pass. The
+    content-addressed {!Rewrite_cache} stores the relocatable form so one
+    cold rewrite serves every variant, respawned incarnation and forked
+    child of the same image. *)
+
+type reloc_site = {
+  rel_id : int;  (** site id counted from 0 within this image *)
+  rel_addr : int;  (** address of the original syscall instruction *)
+  rel_dispatch : dispatch;
+}
+
+type relocatable = {
+  rt_code : Bytes.t;  (** patched code; [Hook] immediates hold rel ids *)
+  rt_orig_len : int;  (** length of the original text prefix *)
+  rt_hook_offsets : int array;
+      (** trampoline table: byte offset of every emitted [Hook] opcode *)
+  rt_sites : reloc_site list;  (** ascending by [rel_addr] *)
+  rt_stats : stats;
+}
+
+val rewrite_relocatable : Bytes.t -> relocatable
+(** Disassemble, collect detour windows and emit stubs once; the result
+    can be {!rebase}d to any id range without re-disassembling. *)
+
+val rebase : relocatable -> first_site_id:int -> result
+(** Materialise an absolute-id image: copy the code, add [first_site_id]
+    to every [Hook] immediate through the trampoline table, and shift the
+    site table. [rebase rt ~first_site_id:0] is byte-identical to the
+    relocatable code. Never mutates [rt]. *)
+
 val rewrite : ?first_site_id:int -> Bytes.t -> result
 (** Rewrite every syscall site in the buffer. The output buffer's prefix
-    has the original length; stub code is appended after it. *)
+    has the original length; stub code is appended after it. Equivalent
+    to [rebase (rewrite_relocatable code) ~first_site_id]. *)
 
 val rewrite_segment : ?first_site_id:int -> Image.segment -> site list * stats
 (** Apply {!rewrite} to an executable segment in place, using

@@ -33,7 +33,10 @@ let kind_of_int = function
   | 2 -> Event.Ev_fork
   | _ -> Event.Ev_exit
 
-let serialize buf (e : Event.t) ~out =
+(* The header is split from the payload so pooled out-buffers can be
+   appended straight out of the shared chunk ({!Pool.view} +
+   [Buffer.add_subbytes]) without materialising an intermediate copy. *)
+let serialize_header buf (e : Event.t) ~outlen =
   Buffer.add_uint8 buf (kind_to_int e.Event.kind);
   Buffer.add_uint8 buf e.Event.tid;
   Buffer.add_uint16_le buf (Array.length e.Event.args);
@@ -41,8 +44,11 @@ let serialize buf (e : Event.t) ~out =
   Buffer.add_int32_le buf (Int32.of_int e.Event.clock);
   Buffer.add_int64_le buf (Int64.of_int e.Event.ret);
   Array.iter (fun a -> Buffer.add_int64_le buf (Int64.of_int a)) e.Event.args;
+  Buffer.add_int32_le buf (Int32.of_int outlen)
+
+let serialize buf (e : Event.t) ~out =
   let out = match out with Some b -> b | None -> Bytes.empty in
-  Buffer.add_int32_le buf (Int32.of_int (Bytes.length out));
+  serialize_header buf e ~outlen:(Bytes.length out);
   Buffer.add_bytes buf out
 
 (* Bridge a lifecycle catch-up tape into the same log format: a degraded
@@ -147,15 +153,15 @@ let record session k ~tuple ~path =
       | Error e -> failwith ("recorder: open failed: " ^ Errno.name e)
     in
     let record_one e =
-      let out =
-        match e.Event.payload with
-        | Some chunk ->
-          let bytes = Pool.read chunk e.Event.payload_len in
-          Session.release_payload session e;
-          Some bytes
-        | None -> e.Event.inline_out
-      in
-      serialize r.buf e ~out;
+      (match e.Event.payload with
+      | Some chunk ->
+        (* Pooled payloads go straight from the shared chunk into the
+           log buffer — the single copy on the record path. *)
+        Pool.view chunk ~len:e.Event.payload_len (fun data off len ->
+            serialize_header r.buf e ~outlen:len;
+            Buffer.add_subbytes r.buf data off len);
+        Session.release_payload session e
+      | None -> serialize r.buf e ~out:e.Event.inline_out);
       r.events <- r.events + 1;
       if Buffer.length r.buf >= flush_threshold then flush r fd
     in

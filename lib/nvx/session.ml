@@ -13,6 +13,7 @@ module Lamport = Varan_vclock.Lamport
 module Interp = Varan_bpf.Interp
 module Rules = Varan_bpf.Rules
 module Rewriter = Varan_binary.Rewriter
+module Rewrite_cache = Varan_binary.Rewrite_cache
 module Codegen = Varan_binary.Codegen
 module Image = Varan_binary.Image
 module Vdso = Varan_binary.Vdso
@@ -107,6 +108,12 @@ type vstate = {
   mutable trap_share_c1000 : int;
   mutable rewrite : Rewriter.stats option;
   mutable trap_acc : int;
+  (* The zygote's pristine copy of this variant's text: generated once,
+     forked (reused) by every incarnation. The rewrite applied to it is
+     served by the zygote's content-addressed cache. *)
+  mutable pristine_code : Bytes.t option;
+  mutable spawn_ns : float; (* wall-clock ns spent in prepare_image, total *)
+  mutable spawn_preps : int; (* prepare_image runs (1 + respawns) *)
   st : vstats;
   mutable apis : Api.t list;
 }
@@ -126,6 +133,14 @@ type t = {
   mutable leader_idx : int;
   payload_refs : (int, int ref) Hashtbl.t;
   mutable zygote : Zygote.t option;
+  (* The spawn fast path's rewrite cache — the same object the resident
+     zygote owns, kept here so stats and prepare_image reach it without
+     going through the (optional) zygote handle. *)
+  rewrite_cache : Rewrite_cache.t;
+  (* Monitor-wide site-id allocator: each prepared image (and vDSO patch)
+     claims a contiguous id range, so cached rewrites are rebased to
+     fresh ranges instead of re-run. *)
+  mutable next_site_id : int;
   mutable crash_list : (int * string) list; (* reversed, bounded *)
   mutable crash_list_len : int;
   mutable crash_total : int; (* crashes ever, beyond the bounded list *)
@@ -1007,7 +1022,13 @@ let decode_event_result t vst (disp : Syscall_table.disposition) proc
       E.consume
         (Cost.copy_cycles ~rate_c100:c.Cost.shmem_copy_follower_c100
            e.Event.payload_len);
-      let bytes = Pool.read chunk e.Event.payload_len in
+      (* The out-buffer escapes to the replayed syscall's caller, so one
+         copy out of the shared chunk is unavoidable — but exactly one:
+         [read_into] fills a right-sized caller buffer directly, with no
+         intermediate allocation. *)
+      let n = min e.Event.payload_len (Pool.size chunk) in
+      let bytes = Bytes.create n in
+      let _ = Pool.read_into chunk bytes ~len:n in
       if vst.drop_release then vst.drop_release <- false
       else release_payload t e;
       Some bytes
@@ -1309,21 +1330,41 @@ let interposed t vst ~unit_idx proc sysno args =
 (* Setup                                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Build the variant's synthetic text segment and rewrite it, recording
-   the dispatch mix; also patch a vDSO image so interception covers the
-   virtual syscalls (§3.2.1). *)
-let prepare_image vst =
-  let p = vst.variant.Variant.profile in
-  let rng = Prng.create p.Variant.code_seed in
+(* Build the variant's synthetic text segment and rewrite it through the
+   resident rewrite cache, recording the dispatch mix; also patch a vDSO
+   image so interception covers the virtual syscalls (§3.2.1).
+
+   This is the spawn fast path: the pristine text is generated once per
+   variant (the zygote forks every incarnation from the same pristine
+   image), and the rewrite is served content-addressed — the first
+   launch of a given image pays the full disassemble-and-patch cost,
+   every later launch (replica of the same binary, respawned
+   incarnation) is an O(sites) rebase of the cached entry into a fresh
+   site-id range. *)
+let prepare_image t vst =
+  let t0 = Unix.gettimeofday () in
   let code =
-    Codegen.profile_image rng ~code_bytes:p.Variant.code_bytes
-      ~syscall_share:p.Variant.syscall_share
+    match vst.pristine_code with
+    | Some c -> c
+    | None ->
+      let p = vst.variant.Variant.profile in
+      let rng = Prng.create p.Variant.code_seed in
+      let c =
+        Codegen.profile_image rng ~code_bytes:p.Variant.code_bytes
+          ~syscall_share:p.Variant.syscall_share
+      in
+      vst.pristine_code <- Some c;
+      c
   in
   let seg =
     Image.make_segment ~name:(vst.variant.Variant.v_name ^ ".text") ~base:0
       ~perm:Image.rx code
   in
-  let _sites, stats = Rewriter.rewrite_segment seg in
+  let first_site_id = t.next_site_id in
+  let _sites, stats =
+    Rewrite_cache.prepare_segment t.rewrite_cache ~first_site_id seg
+  in
+  t.next_site_id <- first_site_id + stats.Rewriter.total_syscalls;
   vst.rewrite <- Some stats;
   vst.trap_share_c1000 <-
     (if stats.Rewriter.total_syscalls = 0 then 0
@@ -1333,7 +1374,10 @@ let prepare_image vst =
   let vdso_code, symbols =
     Vdso.build (List.map (fun n -> (n, 0l)) Vdso.default_symbols)
   in
-  ignore (Vdso.patch vdso_code symbols)
+  let patched = Vdso.patch ~first_site_id:t.next_site_id vdso_code symbols in
+  t.next_site_id <- t.next_site_id + List.length patched.Vdso.v_sites;
+  vst.spawn_ns <- vst.spawn_ns +. ((Unix.gettimeofday () -. t0) *. 1e9);
+  vst.spawn_preps <- vst.spawn_preps + 1
 
 (* Build the monitor-interposed API for one execution unit, including the
    NVX fork hook (§3.3.3). *)
@@ -1580,6 +1624,9 @@ let launch ?(config = Config.default) k variants =
           trap_share_c1000 = 0;
           rewrite = None;
           trap_acc = 0;
+          pristine_code = None;
+          spawn_ns = 0.;
+          spawn_preps = 0;
           st = fresh_vstats ();
           apis = [];
         })
@@ -1598,6 +1645,8 @@ let launch ?(config = Config.default) k variants =
       leader_idx = 0;
       payload_refs = Hashtbl.create 64;
       zygote = None;
+      rewrite_cache = Rewrite_cache.create ();
+      next_site_id = 0;
       crash_list = [];
       crash_list_len = 0;
       crash_total = 0;
@@ -1704,12 +1753,15 @@ let launch ?(config = Config.default) k variants =
            | None -> ()
            | Some vst ->
              vst.main_proc <- Some proc;
-             (* A respawned variant reuses its rewritten image — the
-                zygote forks from the pristine copy, as in Figure 2. *)
-             if vst.rewrite = None then prepare_image vst;
+             (* Every incarnation goes through prepare_image: the zygote
+                forks from the pristine copy (Figure 2), and the rewrite
+                cache turns everything after the first launch of a given
+                image into an O(sites) rebase — respawns never re-run
+                the rewriter from scratch. *)
+             prepare_image t vst;
              start_units t vst
          in
-         let z = Zygote.spawn k ~launcher in
+         let z = Zygote.spawn ~cache:t.rewrite_cache k ~launcher in
          t.zygote <- Some z;
          Array.iter
            (fun vst ->
@@ -1766,6 +1818,8 @@ type variant_stats = {
   vs_injected_stalls : int;
   vs_incarnation : int;
   vs_rewrite : Rewriter.stats option;
+  vs_spawn_ns : float;
+  vs_spawn_preps : int;
 }
 
 type stats = {
@@ -1773,6 +1827,7 @@ type stats = {
   rings : Ring.stats array;
   pool : Pool.stats;
   max_observed_lag : int;
+  rewrite_cache : Rewrite_cache.stats;
 }
 
 let stats t =
@@ -1802,11 +1857,14 @@ let stats t =
             vs_injected_stalls = vst.st.injected_stalls;
             vs_incarnation = vst.incarnation;
             vs_rewrite = vst.rewrite;
+            vs_spawn_ns = vst.spawn_ns;
+            vs_spawn_preps = vst.spawn_preps;
           })
         t.vstates;
     rings = Array.map Ring.stats t.rings;
     pool = Pool.stats t.pool;
     max_observed_lag = t.max_lag;
+    rewrite_cache = Rewrite_cache.stats t.rewrite_cache;
   }
 
 type divergence_entry = {

@@ -84,6 +84,10 @@ type variant_stats = {
   vs_incarnation : int;
       (** times this variant was respawned by the lifecycle manager *)
   vs_rewrite : Varan_binary.Rewriter.stats option;
+  vs_spawn_ns : float;
+      (** wall-clock nanoseconds spent preparing this variant's image
+          across all incarnations (spawn fast path latency) *)
+  vs_spawn_preps : int;  (** image preparations: 1 cold + one per respawn *)
 }
 
 type stats = {
@@ -91,6 +95,10 @@ type stats = {
   rings : Varan_ringbuf.Ring.stats array;
   pool : Varan_shmem.Pool.stats;
   max_observed_lag : int;
+  rewrite_cache : Varan_binary.Rewrite_cache.stats;
+      (** the resident zygote cache's hit/miss/rebase tallies — the
+          spawn fast path's effectiveness ([misses] = distinct images
+          rewritten cold, [rebases] = launches served by rebase) *)
 }
 
 val stats : t -> stats

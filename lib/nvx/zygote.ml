@@ -1,6 +1,7 @@
 module E = Varan_sim.Engine
 module K = Varan_kernel.Kernel
 module Api = Varan_kernel.Api
+module Rewrite_cache = Varan_binary.Rewrite_cache
 
 type t = {
   k : Varan_kernel.Types.t;
@@ -9,6 +10,12 @@ type t = {
   resp_r : int; (* coordinator reads replies here *)
   coord_api : Api.t; (* pipe endpoints live in the coordinator's table *)
   mutable served : int;
+  (* The spawn fast path: the zygote outlives every variant incarnation
+     (it stays resident to serve respawns), so it owns the
+     content-addressed cache of rewritten images. Launches after the
+     first of each distinct image — replicas, respawned incarnations —
+     rebase a cached entry instead of re-running the rewriter. *)
+  rcache : Rewrite_cache.t;
 }
 
 let read_line api fd =
@@ -27,7 +34,7 @@ let read_line api fd =
   in
   go ()
 
-let spawn k ~launcher =
+let spawn ?cache k ~launcher =
   (* The coordinator's process owns one end of each pipe; the zygote's
      process owns the other. For simplicity both pipes are created in a
      scratch process and the fds shared — the simulated kernel's
@@ -44,7 +51,10 @@ let spawn k ~launcher =
   in
   let req_r, req_w = (zygote_end, coord_end) in
   let resp_r, resp_w = (coord_end, zygote_end) in
-  let t = { k; zproc; req_w; resp_r; coord_api = zapi; served = 0 } in
+  let rcache =
+    match cache with Some c -> c | None -> Rewrite_cache.create ()
+  in
+  let t = { k; zproc; req_w; resp_r; coord_api = zapi; served = 0; rcache } in
   let service () =
     let rec loop () =
       let line = read_line zapi req_r in
@@ -98,3 +108,4 @@ let fork_request t name =
 
 let shutdown t = ignore (Api.close t.coord_api t.req_w)
 let forks_served t = t.served
+let cache t = t.rcache

@@ -12,13 +12,20 @@
 type t
 
 val spawn :
+  ?cache:Varan_binary.Rewrite_cache.t ->
   Varan_kernel.Types.t ->
   launcher:(Varan_kernel.Types.proc -> name:string -> unit) ->
   t
 (** Create the zygote process and its service task. [launcher] is called
     in the zygote's context with each newly forked process; the session
     uses it to start the variant's monitor. Must be called from inside a
-    running engine task. *)
+    running engine task.
+
+    The zygote owns the spawn fast path's rewrite cache ([cache], or a
+    fresh one): it is the only session participant resident across
+    variant incarnations, so cached rewritten images survive respawns
+    and every fork after the first of a given image is served by an
+    O(sites) rebase. *)
 
 val fork_request : t -> string -> int
 (** [fork_request z name] sends a fork request over the pipe and waits
@@ -28,3 +35,6 @@ val shutdown : t -> unit
 (** Close the request pipe; the zygote task exits after draining. *)
 
 val forks_served : t -> int
+
+val cache : t -> Varan_binary.Rewrite_cache.t
+(** The resident rewrite cache. *)

@@ -107,6 +107,17 @@ let write c payload =
 
 let read c len = Bytes.sub c.data 0 (min len (Bytes.length c.data))
 
+let size c = Bytes.length c.data
+
+let read_into c ?(pos = 0) dst ~len =
+  let n = min len (Bytes.length c.data) in
+  Bytes.blit c.data 0 dst pos n;
+  n
+
+let view c ~len f =
+  let n = min (max len 0) (Bytes.length c.data) in
+  f c.data 0 n
+
 type stats = {
   allocs : int;
   frees : int;

@@ -41,7 +41,29 @@ val write : chunk -> Bytes.t -> unit
 (** Copy payload into the chunk. @raise Invalid_argument on overflow. *)
 
 val read : chunk -> int -> Bytes.t
-(** [read chunk len] copies [len] bytes back out. *)
+(** [read chunk len] copies [len] bytes back out into a fresh buffer.
+    Prefer {!read_into} (caller-owned destination, no allocation) or
+    {!view} (no copy at all) on hot paths. *)
+
+val size : chunk -> int
+(** Length of the chunk's backing buffer — the zero-alloc length check:
+    callers clamp or validate a payload length against it without
+    materialising the bytes. *)
+
+val read_into : chunk -> ?pos:int -> Bytes.t -> len:int -> int
+(** [read_into chunk dst ~len] copies [min len (size chunk)] bytes into
+    [dst] starting at [pos] (default 0) and returns the count copied.
+    The single copy of the follower-replay payload path: no intermediate
+    buffer is allocated. *)
+
+val view : chunk -> len:int -> (Bytes.t -> int -> int -> 'a) -> 'a
+(** [view chunk ~len f] calls [f buf off n] with a zero-copy borrow of
+    the chunk's backing buffer, where [n = min len (size chunk)] and
+    [buf.[off..off+n-1]] are the payload bytes. The borrow is only valid
+    during the callback and only while the chunk is live: [f] must not
+    retain [buf], mutate it, or free the chunk — a freed chunk's buffer
+    is recycled by the next allocation. Used by consumers that fold over
+    the payload (digests, serializers) without owning a copy. *)
 
 type stats = {
   allocs : int;

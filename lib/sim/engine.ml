@@ -123,7 +123,13 @@ type t = {
   mutable global_time : int64;
   mutable failure_list : (task_id * exn) list; (* reversed *)
   mutable tickers : ticker list;
+  mutable switches : int; (* heap entries dispatched — task switches *)
 }
+
+(* Process-wide mirror of every engine's dispatch count: the scheduler
+   baseline for future work (engine-1k-task-switches measures the cost
+   of one such dispatch). *)
+let g_switches = Varan_util.Stats.counter "engine.task_switches"
 
 type _ Effect.t +=
   | E_consume : int -> unit Effect.t
@@ -147,6 +153,7 @@ let create () =
     global_time = 0L;
     failure_list = [];
     tickers = [];
+    switches = 0;
   }
 
 let add_ticker t ~period fn =
@@ -188,6 +195,7 @@ let is_alive t id =
   | None -> false
 
 let failures t = List.rev t.failure_list
+let task_switches t = t.switches
 
 let max64 a b : int64 = if a > b then a else b
 
@@ -461,6 +469,8 @@ let drain ?cycle_budget t =
           raise (Budget_exceeded t.global_time)
         | _ -> ());
         if e.etime > t.global_time then t.global_time <- e.etime;
+        t.switches <- t.switches + 1;
+        Varan_util.Stats.incr_counter g_switches;
         e.run ();
         loop ())
   in

@@ -78,6 +78,12 @@ val task_name : t -> task_id -> string
 val failures : t -> (task_id * exn) list
 (** Tasks that terminated with an uncaught exception, oldest first. *)
 
+val task_switches : t -> int
+(** Heap entries dispatched so far — the engine's task-switch count.
+    Also mirrored into the process-wide [engine.task_switches]
+    {!Varan_util.Stats} counter, so scheduler work has a baseline to
+    measure against. *)
+
 (** {1 Task-context operations}
 
     These must be called from inside a running task; calling them outside a

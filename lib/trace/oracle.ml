@@ -95,15 +95,21 @@ let digest_event (e : Event.t) =
   add e.Event.ret;
   add e.Event.clock;
   Array.iter add e.Event.args;
-  (match
-     match e.Event.payload with
-     | Some chunk -> Some (Pool.read chunk e.Event.payload_len)
-     | None -> e.Event.inline_out
-   with
-  | None -> add (-1)
-  | Some out ->
-    add (Bytes.length out);
-    Bytes.iter (fun c -> add (Char.code c)) out);
+  (match e.Event.payload with
+  | Some chunk ->
+    (* Hash the pooled payload in place — a scoped borrow of the chunk,
+       no allocation, same mixing as the inline branch. *)
+    Pool.view chunk ~len:e.Event.payload_len (fun data off len ->
+        add len;
+        for i = off to off + len - 1 do
+          add (Char.code (Bytes.get data i))
+        done)
+  | None -> (
+    match e.Event.inline_out with
+    | None -> add (-1)
+    | Some out ->
+      add (Bytes.length out);
+      Bytes.iter (fun c -> add (Char.code c)) out));
   !h
 
 (* ------------------------------------------------------------------ *)

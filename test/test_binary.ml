@@ -6,6 +6,7 @@ module I = Varan_isa.Insn
 module D = Varan_isa.Disasm
 module Vm = Varan_isa.Vm
 module R = Varan_binary.Rewriter
+module RC = Varan_binary.Rewrite_cache
 module Codegen = Varan_binary.Codegen
 module Image = Varan_binary.Image
 module Vdso = Varan_binary.Vdso
@@ -301,6 +302,77 @@ let prop_sites_cover_all_syscalls =
       r.R.stats.R.total_syscalls = n_sys
       && List.length r.R.sites = n_sys)
 
+(* --- rewrite cache --------------------------------------------------- *)
+
+let test_cache_rebase_identity () =
+  let code = Codegen.straightline ~syscall_numbers:[ 1; 2; 3 ] in
+  let cache = RC.create () in
+  let cold = R.rewrite ~first_site_id:40 code in
+  ignore (RC.prepare cache code);
+  let hit = RC.prepare cache ~first_site_id:40 code in
+  Alcotest.(check bool) "identical code" true (Bytes.equal cold.R.code hit.R.code);
+  Alcotest.(check bool) "identical sites" true (cold.R.sites = hit.R.sites);
+  Alcotest.(check bool) "identical stats" true (cold.R.stats = hit.R.stats);
+  let s = RC.stats cache in
+  Alcotest.(check int) "one miss" 1 s.RC.misses;
+  Alcotest.(check int) "one hit" 1 s.RC.hits;
+  Alcotest.(check int) "one rebase" 1 s.RC.rebases;
+  Alcotest.(check int) "one entry" 1 s.RC.entries
+
+let test_cache_rebase_zero_is_identity () =
+  (* Rebasing to id 0 must reproduce the relocatable bytes untouched. *)
+  let code = Codegen.straightline ~syscall_numbers:[ 7; 8 ] in
+  let rt = R.rewrite_relocatable code in
+  let r0 = R.rebase rt ~first_site_id:0 in
+  Alcotest.(check bool) "bytes equal" true (Bytes.equal rt.R.rt_code r0.R.code);
+  Alcotest.(check bool)
+    "fresh copy, not an alias" true
+    (rt.R.rt_code != r0.R.code)
+
+let test_cache_eviction () =
+  let cache = RC.create ~capacity:2 () in
+  let imgs =
+    List.map
+      (fun n -> Codegen.straightline ~syscall_numbers:[ n ])
+      [ 1; 2; 3 ]
+  in
+  List.iter (fun c -> ignore (RC.prepare cache c)) imgs;
+  let s = RC.stats cache in
+  Alcotest.(check int) "entries capped" 2 s.RC.entries;
+  Alcotest.(check int) "one eviction" 1 s.RC.evictions;
+  (* The evicted (oldest) image must miss again; the resident ones hit. *)
+  ignore (RC.prepare cache (List.hd imgs));
+  ignore (RC.prepare cache (List.nth imgs 2));
+  let s = RC.stats cache in
+  Alcotest.(check int) "evictee re-misses" 4 s.RC.misses;
+  Alcotest.(check int) "resident hits" 1 s.RC.hits
+
+(* Property: serving an image from the cache and rebasing it to an
+   arbitrary site-id range is indistinguishable from a cold rewrite at
+   that range — same bytes, same stats, same trap-site set. *)
+let prop_cache_rebase_equals_cold =
+  QCheck.Test.make ~name:"cache hit + rebase == cold rewrite" ~count:200
+    QCheck.(pair (int_bound 1_000_000) (int_bound 5_000))
+    (fun (seed, first_site_id) ->
+      let rng = Prng.create seed in
+      let code = Codegen.random_program rng ~size:60 ~syscall_share:0.25 in
+      let cold = R.rewrite ~first_site_id code in
+      let cache = RC.create () in
+      ignore (RC.prepare cache code);
+      let hit = RC.prepare cache ~first_site_id code in
+      let trap_addrs r =
+        List.filter_map
+          (fun s ->
+            if s.R.dispatch = R.Trap then Some s.R.orig_addr else None)
+          r.R.sites
+      in
+      Bytes.equal cold.R.code hit.R.code
+      && cold.R.stats = hit.R.stats
+      && cold.R.sites = hit.R.sites
+      && trap_addrs cold = trap_addrs hit
+      && (RC.stats cache).RC.hits = 1
+      && (RC.stats cache).RC.misses = 1)
+
 (* --- W^X ------------------------------------------------------------- *)
 
 let test_wx_violation () =
@@ -408,6 +480,15 @@ let () =
             test_rel8_universal_expansion;
           QCheck_alcotest.to_alcotest prop_rewrite_equivalence;
           QCheck_alcotest.to_alcotest prop_sites_cover_all_syscalls;
+        ] );
+      ( "rewrite-cache",
+        [
+          Alcotest.test_case "rebase identity" `Quick
+            test_cache_rebase_identity;
+          Alcotest.test_case "rebase to 0 is identity" `Quick
+            test_cache_rebase_zero_is_identity;
+          Alcotest.test_case "FIFO eviction" `Quick test_cache_eviction;
+          QCheck_alcotest.to_alcotest prop_cache_rebase_equals_cold;
         ] );
       ( "image",
         [

@@ -224,6 +224,40 @@ let test_quarantine_then_rejoin () =
   Alcotest.(check int) "leader never gated on the quarantined consumer" 0
     out.H.report.Oracle.gate_waits_on_quarantined
 
+(* Satellite regression for the spawn fast path: every variant in the
+   harness shares the default code profile, so the session rewrites its
+   image cold exactly once — the other replicas at startup and the
+   respawned incarnation (which shares the zygote's unchanged pristine
+   image) are all content-addressed cache hits served by rebase. *)
+let test_respawn_uses_rewrite_cache () =
+  let module RC = Varan_binary.Rewrite_cache in
+  let case =
+    directed_case ~lifecycle:lc ~seed:111 ~followers:2
+      ~plan:[ Fault.Stall_follower { idx = 1; at_seq = 4; delay = 2_000_000 } ]
+      ()
+  in
+  let out = H.run_ops case (payload_ops 10) in
+  check_lifecycle_exn "respawn fast path" case out;
+  Alcotest.(check int) "one respawn happened" 1
+    out.H.stats.Nvx.variants.(1).Nvx.vs_incarnation;
+  let rc = out.H.stats.Nvx.rewrite_cache in
+  Alcotest.(check int) "exactly one cold rewrite" 1 rc.RC.misses;
+  Alcotest.(check int) "every other launch hit the cache" 3 rc.RC.hits;
+  Alcotest.(check int) "hits are served by rebase" 3 rc.RC.rebases;
+  (* The victim prepared its image twice (launch + respawn), the leader
+     and the untouched follower once each — and every preparation's
+     wall-clock latency was recorded. *)
+  Array.iteri
+    (fun i vs ->
+      Alcotest.(check int)
+        (Printf.sprintf "variant %d image preparations" i)
+        (if i = 1 then 2 else 1)
+        vs.Nvx.vs_spawn_preps;
+      Alcotest.(check bool)
+        (Printf.sprintf "variant %d spawn latency recorded" i)
+        true (vs.Nvx.vs_spawn_ns > 0.))
+    out.H.stats.Nvx.variants
+
 (* Two stalls on the same follower with a respawn budget of one: the
    second incarnation trips the watchdog again and the follower is
    declared dead after exactly max_restarts backed-off attempts, while
@@ -487,6 +521,8 @@ let () =
         [
           Alcotest.test_case "stall injection fires exactly once" `Quick
             test_stall_fires_once;
+          Alcotest.test_case "respawn reuses the rewrite cache" `Quick
+            test_respawn_uses_rewrite_cache;
           Alcotest.test_case "quarantine then rejoin" `Quick
             test_quarantine_then_rejoin;
           Alcotest.test_case "dead after restart budget" `Quick

@@ -75,6 +75,50 @@ let test_pool_oversized_alloc () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
 
+let test_pool_read_into () =
+  let p = Pool.create () in
+  let c = Pool.alloc p 64 in
+  Pool.write c (Bytes.of_string "zero-copy");
+  Alcotest.(check bool)
+    "size covers the payload (zero-alloc length check)" true (Pool.size c >= 9);
+  (* Fill a caller-owned buffer; bytes outside the request are untouched. *)
+  let dst = Bytes.make 16 '.' in
+  let n = Pool.read_into c dst ~len:9 in
+  Alcotest.(check int) "copied the request" 9 n;
+  Alcotest.(check string) "contents + untouched tail" "zero-copy......."
+    (Bytes.to_string dst);
+  (* Offset writes land where asked. *)
+  let dst = Bytes.make 8 '.' in
+  let n = Pool.read_into c ~pos:4 dst ~len:4 in
+  Alcotest.(check int) "partial copy" 4 n;
+  Alcotest.(check string) "placed at pos" "....zero" (Bytes.to_string dst);
+  (* read_into must match read byte for byte. *)
+  let via_read = Pool.read c 9 in
+  let via_into = Bytes.create 9 in
+  ignore (Pool.read_into c via_into ~len:9);
+  Alcotest.(check bool) "read_into == read" true (Bytes.equal via_read via_into);
+  (* An over-long request is capped at the chunk's capacity, exactly as
+     Pool.read caps its result. *)
+  let cap = Pool.size c in
+  let big = Bytes.create (cap + 32) in
+  Alcotest.(check int)
+    "capped at capacity" cap
+    (Pool.read_into c big ~len:(cap + 32))
+
+let test_pool_view () =
+  let p = Pool.create () in
+  let c = Pool.alloc p 64 in
+  Pool.write c (Bytes.of_string "borrowed");
+  let seen =
+    Pool.view c ~len:8 (fun data off len -> Bytes.sub_string data off len)
+  in
+  Alcotest.(check string) "view sees the bytes" "borrowed" seen;
+  (* The view is clamped to the chunk's capacity and floored at zero. *)
+  Alcotest.(check int)
+    "clamped" (Pool.size c)
+    (Pool.view c ~len:(Pool.size c + 100) (fun _ _ n -> n));
+  Alcotest.(check int) "floored" 0 (Pool.view c ~len:(-3) (fun _ _ n -> n))
+
 (* --- ring ------------------------------------------------------------- *)
 
 let test_ring_publish_consume () =
@@ -781,6 +825,8 @@ let () =
           Alcotest.test_case "double free" `Quick test_pool_double_free_rejected;
           Alcotest.test_case "exhaustion" `Quick test_pool_exhaustion;
           Alcotest.test_case "oversized" `Quick test_pool_oversized_alloc;
+          Alcotest.test_case "read_into" `Quick test_pool_read_into;
+          Alcotest.test_case "view" `Quick test_pool_view;
         ] );
       ( "ring",
         [

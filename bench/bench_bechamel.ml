@@ -23,6 +23,10 @@ module Rewriter = Varan_binary.Rewriter
 module Rewrite_cache = Varan_binary.Rewrite_cache
 module Codegen = Varan_binary.Codegen
 module Prng = Varan_util.Prng
+module Tape = Varan_nvx.Tape
+module Checkpoint = Varan_nvx.Checkpoint
+module Kernel = Varan_kernel.Kernel
+module Event = Varan_ringbuf.Event
 
 let listing1 = Asm.assemble_exn Rules.listing1
 
@@ -127,6 +131,76 @@ let ring_tests =
         [ 1; 8; 64 ])
     [ 1; 2; 3; 4 ]
 
+(* Checkpointed rejoin latency vs. tape length: a follower respawned
+   into an [n]-event session restores the nearest checkpoint (taken
+   every 512 events) and replays only the tape delta behind it. The
+   three rows must stay flat — the delta is bounded by the checkpoint
+   interval, not by [n] — which is the whole point of rr-style rejoin
+   over full-tape replay. *)
+let rejoin_setup n =
+  let tape = Tape.create () in
+  let store = Checkpoint.create () in
+  let eng = E.create () in
+  let k = Kernel.create ~seed:7 eng in
+  let proc = Kernel.new_proc k "bench" in
+  let fds = Kernel.snapshot_fds proc in
+  let out = Bytes.make 24 'x' in
+  for i = 0 to n - 1 do
+    Tape.append tape
+      (Event.make ~clock:(i + 1) ~ret:i ~args:[| i; i * 3 |] ((i * 7) mod 300))
+      ~out:(if i land 3 = 0 then Some out else None);
+    if (i + 1) mod 512 = 0 then
+      Checkpoint.store store
+        {
+          Checkpoint.cp_idx = 1;
+          cp_seq = i + 1;
+          cp_clock = i + 1;
+          cp_fds = fds;
+          cp_state = Bytes.create 64;
+        }
+  done;
+  (tape, store)
+
+let rejoin tape store n =
+  let start =
+    match Checkpoint.nearest_any store ~seq:n with
+    | Some cp -> cp.Checkpoint.cp_seq
+    | None -> 0
+  in
+  let acc = ref 0 in
+  for i = start to n - 1 do
+    let e = Tape.get tape i in
+    acc := !acc + (e.Tape.t_ret land 0xffff)
+  done;
+  !acc
+
+let rejoin_tests =
+  List.map
+    (fun n ->
+      let tape, store = rejoin_setup n in
+      Test.make
+        ~name:(Printf.sprintf "rejoin-latency-tape-%dk" (n / 1000))
+        (Staged.stage (fun () -> ignore (rejoin tape store n))))
+    [ 1_000; 10_000; 100_000 ]
+
+(* Steady-state recorder footprint: a million-event stream with the
+   retention floor trailing 2048 events behind the head. The reported
+   number is resident bytes per retained event (packed sealed segments
+   plus the open segment) — the honest per-event cost of keeping the
+   rejoin window, independent of how long the session has run. *)
+let tape_bytes_per_event () =
+  let tape = Tape.create () in
+  let n = 1_000_000 in
+  let out = Bytes.make 24 'x' in
+  for i = 0 to n - 1 do
+    Tape.append tape
+      (Event.make ~clock:(i + 1) ~ret:i ((i * 7) mod 300))
+      ~out:(if i land 3 = 0 then Some out else None);
+    if (i + 1) mod 4096 = 0 then Tape.retire tape ~keep_from:(i + 1 - 2048)
+  done;
+  let retained = Tape.length tape - Tape.base tape in
+  float_of_int (Tape.resident_bytes tape) /. float_of_int retained
+
 let engine_test =
   Test.make ~name:"engine-1k-task-switches"
     (Staged.stage (fun () ->
@@ -148,6 +222,7 @@ let tests =
     pool_read_into_test;
   ]
   @ ring_tests
+  @ rejoin_tests
   @ [ engine_test ]
 
 let smoke = Sys.getenv_opt "VARAN_BENCH_SMOKE" <> None
@@ -187,5 +262,11 @@ let run () =
           ignore raw)
         results)
     tests;
+  (* Not a timing: resident tape bytes per retained event at steady
+     state, reported through the same JSON so CI can track it. *)
+  let bpe = tape_bytes_per_event () in
+  Printf.printf "  %-28s %12.1f bytes/event (resident, retained window)\n"
+    "tape-bytes-per-event" bpe;
+  estimates := ("tape-bytes-per-event", bpe) :: !estimates;
   Report.save_hotpath_json (List.rev !estimates);
   print_newline ()

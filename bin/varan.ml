@@ -387,8 +387,18 @@ let torture_cmd =
             "Lifecycle policy override: ring lag before a follower counts \
              as lagging. Implies $(b,--lifecycle).")
   in
+  let checkpoint_interval_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "checkpoint-interval" ] ~docv:"CYCLES"
+          ~doc:
+            "Lifecycle policy override: cycles between follower \
+             checkpoints; a respawn restores the newest one and replays \
+             only the tape delta (rr-style fast rejoin). 0 disables \
+             checkpointing. Implies $(b,--lifecycle).")
+  in
   let run seed count plan_spec followers verbose lifecycle stall_timeout
-      max_restarts min_followers lag_threshold =
+      max_restarts min_followers lag_threshold checkpoint_interval =
     let module Lifecycle = Varan_nvx.Lifecycle in
     let lifecycle_on =
       lifecycle
@@ -396,6 +406,7 @@ let torture_cmd =
       || Option.is_some max_restarts
       || Option.is_some min_followers
       || Option.is_some lag_threshold
+      || Option.is_some checkpoint_interval
     in
     let policy =
       let p = H.lifecycle_policy in
@@ -408,6 +419,9 @@ let torture_cmd =
           Option.value min_followers ~default:p.Lifecycle.min_followers;
         lag_threshold =
           Option.value lag_threshold ~default:p.Lifecycle.lag_threshold;
+        checkpoint_interval =
+          Option.value checkpoint_interval
+            ~default:p.Lifecycle.checkpoint_interval;
       }
     in
     let failures = ref 0 in
@@ -458,7 +472,16 @@ let torture_cmd =
         Printf.printf
           "  rewrite-cache: hits=%d misses=%d rebases=%d hit-rate=%d%%\n"
           rc.RC.hits rc.RC.misses rc.RC.rebases
-          (if total = 0 then 0 else rc.RC.hits * 100 / total)
+          (if total = 0 then 0 else rc.RC.hits * 100 / total);
+        (* The fast-rejoin path's effectiveness: respawns served from a
+           checkpoint replay only the tape delta behind it. *)
+        let module CK = Varan_nvx.Checkpoint in
+        let ck = out.H.stats.Varan_nvx.Session.checkpoints in
+        if ck.CK.taken > 0 || ck.CK.restores > 0 then
+          Printf.printf
+            "  checkpoints: taken=%d restores=%d delta-events=%d \
+             resident=%dB\n"
+            ck.CK.taken ck.CK.restores ck.CK.delta_events ck.CK.resident_bytes
       | None -> ());
       if verbose then begin
         (match out.H.lifecycle with
@@ -493,7 +516,89 @@ let torture_cmd =
     Term.(
       const run $ seed_arg $ count_arg $ plan_arg $ followers_torture_arg
       $ verbose_arg $ lifecycle_arg $ stall_timeout_arg $ max_restarts_arg
-      $ min_followers_arg $ lag_threshold_arg)
+      $ min_followers_arg $ lag_threshold_arg $ checkpoint_interval_arg)
+
+let replay_cmd =
+  let module H = Varan_torture.Harness in
+  let module RR = Varan_nvx.Record_replay in
+  let module CK = Varan_nvx.Checkpoint in
+  let module Lifecycle = Varan_nvx.Lifecycle in
+  let at_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "at" ] ~docv:"SEQ"
+          ~doc:
+            "Time-travel target: the tuple-0 stream position to \
+             reconstruct, as a checkpointed rejoin would — restore the \
+             nearest retained checkpoint at or below it and replay only \
+             the tape delta behind it.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0xBEEF
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed of the lifecycle torture case whose tape is replayed.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt int 60_000
+      & info [ "checkpoint-interval" ] ~docv:"CYCLES"
+          ~doc:"Cycles between follower checkpoints during the recording run.")
+  in
+  let events_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "n" ] ~docv:"N" ~doc:"Delta events to print (tail truncated).")
+  in
+  let run at seed interval nprint =
+    (* Record: one lifecycle torture case with checkpointing on, keeping
+       the finished session's tape and checkpoint store. *)
+    let case = H.gen_lifecycle_case seed in
+    let policy =
+      { H.lifecycle_policy with Lifecycle.checkpoint_interval = interval }
+    in
+    let case = { case with H.lifecycle = Some policy } in
+    Printf.printf "Recorded %s\n" (H.describe_case case);
+    let out = H.run_case case in
+    match RR.time_travel out.H.session ~at with
+    | Error e ->
+      Printf.eprintf "varan replay: %s\n" e;
+      exit 1
+    | Ok tt ->
+      let module Nvx = Varan_nvx.Session in
+      (match Nvx.tuple_tape out.H.session 0 with
+      | Some tape ->
+        Printf.printf "Tape: retained window [%d, %d)\n" (Varan_nvx.Tape.base tape)
+          (Varan_nvx.Tape.length tape)
+      | None -> ());
+      (match tt.RR.tt_checkpoint with
+      | Some cp ->
+        Printf.printf
+          "Restore: variant %d's checkpoint at seq %d (clock %d, %d B of \
+           program state, %d fds)\n"
+          cp.CK.cp_idx cp.CK.cp_seq cp.CK.cp_clock
+          (Bytes.length cp.CK.cp_state)
+          (Varan_kernel.Kernel.fd_snapshot_count cp.CK.cp_fds)
+      | None -> Printf.printf "Restore: none — cold start from seq 0\n");
+      Printf.printf "Delta: %d event(s) to reach seq %d\n"
+        (List.length tt.RR.tt_delta) tt.RR.tt_at;
+      List.iteri
+        (fun i e ->
+          if i < nprint then
+            Format.printf "  %4d  %a@."
+              (tt.RR.tt_at - List.length tt.RR.tt_delta + i)
+              Varan_ringbuf.Event.pp e)
+        tt.RR.tt_delta;
+      if List.length tt.RR.tt_delta > nprint then
+        Printf.printf "  ... (%d more)\n" (List.length tt.RR.tt_delta - nprint)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Time-travel a recorded lifecycle session: reconstruct any stream \
+          position from the nearest checkpoint plus the retained tape delta.")
+    Term.(const run $ at_arg $ seed_arg $ interval_arg $ events_arg)
 
 let list_cmd =
   let run () =
@@ -513,7 +618,7 @@ let main =
        ~doc:"An efficient N-version execution framework (simulated reproduction).")
     [
       run_cmd; lockstep_cmd; rewrite_cmd; bpf_cmd; strace_cmd; torture_cmd;
-      list_cmd;
+      replay_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval main)

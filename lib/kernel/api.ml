@@ -6,6 +6,8 @@ type t = {
   sys : Sysno.t -> Args.t -> Args.result;
   mutable compute_scale_c1000 : int;
   mutable fork_child : ((t -> unit) -> int) option;
+  mutable checkpoint_hook : ((unit -> Bytes.t) -> unit) option;
+  mutable resume_state : Bytes.t option;
 }
 
 let rec direct k proc =
@@ -15,6 +17,8 @@ let rec direct k proc =
       sys = (fun sysno args -> Kernel.exec k proc sysno args);
       compute_scale_c1000 = 1000;
       fork_child = None;
+      checkpoint_hook = None;
+      resume_state = None;
     }
   in
   api.fork_child <-
@@ -35,7 +39,14 @@ let rec direct k proc =
   api
 
 let with_sys proc sys =
-  { proc; sys; compute_scale_c1000 = 1000; fork_child = None }
+  {
+    proc;
+    sys;
+    compute_scale_c1000 = 1000;
+    fork_child = None;
+    checkpoint_hook = None;
+    resume_state = None;
+  }
 
 let fork api body =
   match api.fork_child with

@@ -22,6 +22,17 @@ type t = {
       (** how [fork] is implemented in this execution environment: plain
           process creation natively, the Ev_fork streaming protocol under
           NVX (installed by the runtime, not by programs). *)
+  mutable checkpoint_hook : ((unit -> Bytes.t) -> unit) option;
+      (** cooperative checkpointing: a program that supports snapshots
+          calls the hook at every syscall boundary, passing an encoder
+          for its own resumable state. The runtime (when a checkpoint is
+          due) invokes the encoder and files the snapshot; otherwise the
+          call is a cheap no-op. [None] natively. *)
+  mutable resume_state : Bytes.t option;
+      (** set by the runtime before a respawned program body starts: the
+          program-state blob of the checkpoint being restored. A
+          cooperative program decodes it, fast-forwards past the work
+          already covered, and clears the field. *)
 }
 
 val direct : Types.t -> Types.proc -> t

@@ -262,6 +262,35 @@ let install_grant k proc g =
       install_fd_at proc fd ofile)
     g.granted
 
+(* ------------------------------------------------------------------ *)
+(* Descriptor-table snapshots (checkpoint/restore)                     *)
+(* ------------------------------------------------------------------ *)
+
+type fd_snapshot = (int * ofile * bool) list
+
+(* The entries reference the shared open-file descriptions by identity —
+   exactly what a replayed grant would install — so a snapshot restored
+   into a fresh process yields the same table a full tape replay would
+   have built. *)
+let snapshot_fds proc =
+  Hashtbl.fold
+    (fun fd e acc -> (fd, e.fde_ofile, e.fde_cloexec) :: acc)
+    proc.fds []
+
+let restore_fds k proc snap =
+  List.iter
+    (fun (fd, ofile, cloexec) ->
+      (match fd_entry proc fd with
+      | Some old ->
+        Hashtbl.remove proc.fds fd;
+        release_ofile k old.fde_ofile
+      | None -> ());
+      install_fd_at proc fd ofile;
+      (Hashtbl.find proc.fds fd).fde_cloexec <- cloexec)
+    snap
+
+let fd_snapshot_count = List.length
+
 let now_ns k =
   let cycles = Int64.to_float (E.now k.eng) in
   let ns = cycles /. k.cost.Cost.cpu_ghz in

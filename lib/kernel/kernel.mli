@@ -64,6 +64,23 @@ val install_grant : t -> proc -> fd_grant -> unit
     numbers}, bumping refcounts — the simulation's equivalent of receiving
     SCM_RIGHTS descriptors and [dup2]ing them into place. *)
 
+(** {1 Descriptor-table snapshots (checkpoint/restore)} *)
+
+type fd_snapshot
+(** A process's descriptor table frozen at a syscall boundary: fd
+    numbers, cloexec flags, and identity references to the shared
+    open-file descriptions (offsets and flags stay live, exactly as
+    SCM_RIGHTS-passed descriptors would). *)
+
+val snapshot_fds : proc -> fd_snapshot
+
+val restore_fds : t -> proc -> fd_snapshot -> unit
+(** Install the snapshot into [proc] at the same fd numbers, bumping
+    refcounts like {!install_grant} — the table a full grant-by-grant
+    tape replay would have produced, in one step. *)
+
+val fd_snapshot_count : fd_snapshot -> int
+
 (** {1 Introspection} *)
 
 val now_ns : t -> int64

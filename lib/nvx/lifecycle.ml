@@ -11,6 +11,7 @@ type policy = {
   backoff : int;
   min_followers : int;
   watchdog_period : int;
+  checkpoint_interval : int;
 }
 
 let default_policy =
@@ -21,6 +22,7 @@ let default_policy =
     backoff = 100_000;
     min_followers = 1;
     watchdog_period = 25_000;
+    checkpoint_interval = 0;
   }
 
 (* Exponential backoff before respawn attempt [restarts + 1]. Saturates

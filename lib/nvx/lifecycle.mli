@@ -39,6 +39,11 @@ type policy = {
       (** when fewer than this many followers remain recoverable, the
           session degrades to native-speed leader-only execution *)
   watchdog_period : int;  (** watchdog tick period in cycles *)
+  checkpoint_interval : int;
+      (** cycles between follower checkpoints (rr-style fast rejoin);
+          the watchdog arms a capture every interval and the follower
+          snapshots at its next syscall boundary. [0] disables
+          checkpointing — respawns then replay the full tape. *)
 }
 
 val default_policy : policy

@@ -63,41 +63,116 @@ let serialize_tape tape =
 
 type cursor = { data : Bytes.t; mutable pos : int }
 
+(* A record cut off mid-header or mid-payload (a crashed recorder, a
+   truncated log file) must decode to [None], not crash the replayer. *)
+exception Short
+
 let deserialize cur : (Event.kind * int * int * int * int * int array * Bytes.t) option =
-  if cur.pos >= Bytes.length cur.data then None
+  let len = Bytes.length cur.data in
+  if cur.pos >= len then None
   else begin
+    let start = cur.pos in
+    let need n = if cur.pos + n > len then raise Short in
     let u8 () =
+      need 1;
       let v = Char.code (Bytes.get cur.data cur.pos) in
       cur.pos <- cur.pos + 1;
       v
     in
     let u16 () =
+      need 2;
       let v = Bytes.get_uint16_le cur.data cur.pos in
       cur.pos <- cur.pos + 2;
       v
     in
     let i32 () =
+      need 4;
       let v = Int32.to_int (Bytes.get_int32_le cur.data cur.pos) in
       cur.pos <- cur.pos + 4;
       v
     in
     let i64 () =
+      need 8;
       let v = Int64.to_int (Bytes.get_int64_le cur.data cur.pos) in
       cur.pos <- cur.pos + 8;
       v
     in
-    let kind = kind_of_int (u8 ()) in
-    let tid = u8 () in
-    let nargs = u16 () in
-    let sysno = i32 () in
-    let clock = i32 () in
-    let ret = i64 () in
-    let args = Array.init nargs (fun _ -> i64 ()) in
-    let outlen = i32 () in
-    let out = Bytes.sub cur.data cur.pos outlen in
-    cur.pos <- cur.pos + outlen;
-    Some (kind, tid, sysno, clock, ret, args, out)
+    try
+      let kind = kind_of_int (u8 ()) in
+      let tid = u8 () in
+      let nargs = u16 () in
+      let sysno = i32 () in
+      let clock = i32 () in
+      let ret = i64 () in
+      (* Explicit recursion: [Array.init]'s evaluation order is
+         unspecified, and the reads must land in stream order. *)
+      let args = Array.make nargs 0 in
+      for i = 0 to nargs - 1 do
+        args.(i) <- i64 ()
+      done;
+      let outlen = i32 () in
+      if outlen < 0 then raise Short;
+      need outlen;
+      let out = Bytes.sub cur.data cur.pos outlen in
+      cur.pos <- cur.pos + outlen;
+      Some (kind, tid, sysno, clock, ret, args, out)
+    with Short ->
+      (* Rewind so the caller can tell a clean end ([pos] at the data's
+         end) from a torn tail record ([pos] short of it). *)
+      cur.pos <- start;
+      None
   end
+
+(* ------------------------------------------------------------------ *)
+(* Time travel                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [varan replay --at <seq>]: reconstruct the state a follower would hold
+   after consuming tuple 0's first [at] events, the way a checkpointed
+   rejoin does — restore the nearest checkpoint at or below [at], then
+   replay only the tape delta behind it. With no usable checkpoint the
+   whole retained prefix replays; a position below the oldest retained
+   segment (and not covered by any checkpoint) is a clean error. *)
+type time_travel = {
+  tt_at : int;  (** the requested stream position *)
+  tt_base : int;  (** oldest retained tape index at lookup time *)
+  tt_checkpoint : Checkpoint.snapshot option;
+      (** the snapshot a restore would start from; [None] = cold start *)
+  tt_delta : Event.t list;  (** the tape events replayed after it *)
+}
+
+let time_travel session ~at =
+  match Session.tuple_tape session 0 with
+  | None -> Error "no tape: the session ran without a lifecycle policy"
+  | Some tape ->
+    let total = Tape.length tape in
+    let base = Tape.base tape in
+    if at < 0 || at > total then
+      Error (Printf.sprintf "sequence %d out of range [0, %d]" at total)
+    else begin
+      let ck = Session.checkpoint_store session in
+      let cp =
+        match Checkpoint.nearest_any ck ~seq:at with
+        | Some c when c.Checkpoint.cp_seq >= base -> Some c
+        | _ -> None
+      in
+      let start =
+        match cp with Some c -> c.Checkpoint.cp_seq | None -> 0
+      in
+      if start < base then
+        Error
+          (Printf.sprintf
+             "sequence %d predates the oldest retained tape segment (base \
+              %d) and no checkpoint covers it"
+             at base)
+      else begin
+        let delta = ref [] in
+        for i = at - 1 downto start do
+          delta := Tape.event_at tape i :: !delta
+        done;
+        Ok { tt_at = at; tt_base = base; tt_checkpoint = cp; tt_delta = !delta }
+      end
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Recorder                                                            *)

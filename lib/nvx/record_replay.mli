@@ -34,7 +34,42 @@ val serialize_tape : Tape.t -> Bytes.t
 (** Encode a lifecycle catch-up {!Tape} in the recorder's on-disk log
     format. Writing the result to a file yields a log {!replay} accepts —
     how a degraded session's retained stream provisions fresh followers
-    offline. *)
+    offline. Only the retained window [{!Tape.base}, {!Tape.length}) is
+    encoded: segments retired by the checkpoint retention policy are
+    gone. *)
+
+(** {2 Log decoding} *)
+
+type cursor = { data : Bytes.t; mutable pos : int }
+
+val deserialize :
+  cursor ->
+  (Varan_ringbuf.Event.kind * int * int * int * int * int array * Bytes.t)
+  option
+(** Decode one record ([kind, tid, sysno, clock, ret, args, out]) and
+    advance the cursor. [None] at a clean end of data — and also on a
+    torn tail record (cut off mid-header or mid-payload), in which case
+    the cursor is left {e before} the torn record so callers can tell the
+    two apart by comparing [pos] against the data length. *)
+
+(** {1 Time travel} *)
+
+type time_travel = {
+  tt_at : int;  (** the requested stream position *)
+  tt_base : int;  (** oldest retained tape index at lookup time *)
+  tt_checkpoint : Checkpoint.snapshot option;
+      (** the snapshot a restore would start from; [None] = cold start *)
+  tt_delta : Varan_ringbuf.Event.t list;
+      (** the tape events replayed after it, in stream order *)
+}
+
+val time_travel : Session.t -> at:int -> (time_travel, string) result
+(** [varan replay --at <seq>]'s engine: reconstruct how a checkpointed
+    rejoin would reach tuple-0 stream position [at] — the nearest retained
+    checkpoint at or below it plus the tape delta behind it. [Error]
+    (never an exception) when the session has no tape, [at] is out of
+    range, or [at] predates the oldest retained segment with no
+    checkpoint covering it. *)
 
 (** {1 Replay} *)
 

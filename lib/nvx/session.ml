@@ -116,6 +116,14 @@ type vstate = {
   mutable spawn_preps : int; (* prepare_image runs (1 + respawns) *)
   st : vstats;
   mutable apis : Api.t list;
+  (* Checkpoint/restore fast rejoin (rr-style): the watchdog arms
+     [checkpoint_due] every [checkpoint_interval] cycles; the follower
+     captures at its next syscall boundary through the program's
+     checkpoint hook. [pending_restore] carries the snapshot a respawn
+     chose, applied when the fresh incarnation's unit 0 starts. *)
+  mutable checkpoint_due : bool;
+  mutable last_checkpoint_at : int64;
+  mutable pending_restore : Checkpoint.snapshot option;
 }
 
 type t = {
@@ -148,6 +156,9 @@ type t = {
      behaviour). [tapes] is the per-tuple recorder feeding catch-up. *)
   mutable lifecycle : Lifecycle.t option;
   mutable tapes : Tape.t array;
+  (* Follower checkpoint store — the same object the resident zygote
+     owns, so snapshots survive the incarnations they were taken in. *)
+  checkpoints : Checkpoint.t;
   mutable degraded : string option; (* native-execution fallback reason *)
   mutable max_lag : int;
   mutable waitlock_sleepers : int array;
@@ -302,6 +313,89 @@ let stream_remove t vst =
   | Some pq ->
     (* Waking the private queues lets the pump notice the departure. *)
     Array.iter (fun per_tuple -> Ring.poke per_tuple.(vst.idx)) pq
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint capture (rr-style fast rejoin)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Tape retention floor: the oldest tuple-0 position any recoverable
+   variant could still need. A follower with a checkpoint restores from
+   at most its newest one; a follower without any (or one mid-catch-up
+   below its checkpoint) pins the floor lower. With no lifecycle, or any
+   follower yet to checkpoint, the floor is 0 and nothing is retired —
+   the zero-checkpoint session keeps the full tape and falls back to a
+   full replay. *)
+let checkpoint_floor t =
+  match t.lifecycle with
+  | None -> 0
+  | Some lc ->
+    let floor = ref max_int in
+    Array.iter
+      (fun vst ->
+        if
+          vst.idx <> t.leader_idx
+          && Lifecycle.state (Lifecycle.entry lc vst.idx) <> Lifecycle.Dead
+        then begin
+          let c =
+            match Checkpoint.latest_seq t.checkpoints ~idx:vst.idx with
+            | Some s -> s
+            | None -> 0
+          in
+          let c = if in_catchup vst 0 then min c vst.catchup_pos.(0) else c in
+          floor := min !floor c
+        end)
+      t.vstates;
+    if !floor = max_int then 0 else !floor
+
+(* Called from the program's checkpoint hook at a syscall boundary (task
+   context — no call in flight, [encode] observes a quiescent program).
+   Captures only when the watchdog armed one, and only the shapes the
+   restore path can resume: unit 0 of a live single-unit follower with no
+   residual coalescing state (a nonempty [partial_consumed] would serve
+   already-consumed bytes twice after a restore). Each capture advances
+   the tape retention floor and retires segments below it. *)
+let maybe_capture_checkpoint t vst ~unit_idx ~incarnation proc encode =
+  if
+    vst.checkpoint_due && vst.alive
+    && vst.incarnation = incarnation
+    && unit_idx = 0
+    && vst.variant.Variant.program.Variant.units = 1
+    && vst.idx <> t.leader_idx
+    && (not vst.promoted.(unit_idx))
+    && Hashtbl.length vst.partial_consumed = 0
+  then begin
+    match stream_position vst 0 with
+    | None -> ()
+    | Some seq ->
+      (match Checkpoint.latest_seq t.checkpoints ~idx:vst.idx with
+      | Some s when s >= seq ->
+        (* Nothing consumed since the last capture; arming stays cheap. *)
+        vst.checkpoint_due <- false;
+        vst.last_checkpoint_at <- E.now_cycles ()
+      | _ ->
+        let state = encode () in
+        let snap =
+          {
+            Checkpoint.cp_idx = vst.idx;
+            cp_seq = seq;
+            cp_clock = Lamport.current vst.clocks.(0);
+            cp_fds = K.snapshot_fds proc;
+            cp_state = state;
+          }
+        in
+        (* The capture's cost is copying the program state out. *)
+        E.consume
+          (Cost.copy_cycles ~rate_c100:t.cost.Cost.copy_per_byte_c100
+             (Bytes.length state));
+        Checkpoint.store t.checkpoints snap;
+        (match t.oracle with
+        | Some o -> Oracle.note_checkpoint o ~idx:vst.idx ~seq
+        | None -> ());
+        vst.checkpoint_due <- false;
+        vst.last_checkpoint_at <- E.now_cycles ();
+        if Array.length t.tapes > 0 then
+          Tape.retire t.tapes.(0) ~keep_from:(checkpoint_floor t))
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Dynamic tuples and units (process forks)                            *)
@@ -507,18 +601,53 @@ let respawn t vst =
       vst.catchup_pos <- Array.make t.ntuples 0;
       vst.catchup_until <- Array.make t.ntuples (-1);
       vst.alive <- true;
+      (* rr-style fast rejoin: restore the newest retained checkpoint and
+         replay only the tape delta behind it. Only single-unit variants
+         are restorable — the snapshot covers exactly unit 0's program
+         state; anything else replays the full tape. A checkpoint below
+         [Tape.base] was retired (possible only if this variant was not
+         counted in the retention floor, e.g. a last-restart race) and is
+         unusable. *)
+      let restore =
+        if nunits = 1 && Array.length t.tapes > 0 then
+          match
+            Checkpoint.latest_at_most t.checkpoints ~idx:vst.idx
+              ~seq:(Ring.published t.rings.(0))
+          with
+          | Some cp when cp.Checkpoint.cp_seq >= Tape.base t.tapes.(0) ->
+            Some cp
+          | _ -> None
+        else None
+      in
+      vst.pending_restore <- None;
       (* The live consumer's cursor parks at the ring head; the recorded
-         prefix [0, head) replays from the tape, so the splice lands at
-         exactly the head sequence and the Lamport clock arrives at the
-         live stream's stamp. *)
+         prefix [start, head) replays from the tape — [start] is 0 or the
+         restored checkpoint's position — so the splice lands at exactly
+         the head sequence and the Lamport clock arrives at the live
+         stream's stamp. *)
       List.iter
         (fun tu ->
           let ring = t.rings.(tu) in
           let head = Ring.published ring in
           let c = Ring.subscribe ring in
           vst.consumers.(tu) <- Some c;
-          if head > 0 then begin
-            vst.catchup_pos.(tu) <- 0;
+          let start =
+            match restore with
+            | Some cp when tu = 0 ->
+              Lamport.force vst.clocks.(tu) cp.Checkpoint.cp_clock;
+              vst.pending_restore <- Some cp;
+              Checkpoint.note_restore t.checkpoints
+                ~delta:(head - cp.Checkpoint.cp_seq);
+              (match t.oracle with
+              | Some o ->
+                Oracle.note_restore o ~idx:vst.idx ~seq:cp.Checkpoint.cp_seq
+                  ~splice_seq:head
+              | None -> ());
+              cp.Checkpoint.cp_seq
+            | _ -> 0
+          in
+          if head > start then begin
+            vst.catchup_pos.(tu) <- start;
             vst.catchup_until.(tu) <- head
           end;
           match t.oracle with
@@ -621,6 +750,14 @@ let watchdog_tick t =
               en.Lifecycle.e_last_cursor <- progress;
               en.Lifecycle.e_last_progress <- now
             end;
+            (* Arm a checkpoint; the follower captures at its next
+               syscall boundary (the effectful snapshot runs in its task
+               context, never here). *)
+            if
+              p.Lifecycle.checkpoint_interval > 0
+              && Int64.sub now vst.last_checkpoint_at
+                 >= Int64.of_int p.Lifecycle.checkpoint_interval
+            then vst.checkpoint_due <- true;
             let lag = ref 0 in
             for tu = 0 to t.ntuples - 1 do
               lag := max !lag (stream_lag t vst tu)
@@ -1408,6 +1545,16 @@ let rec make_unit_api t vst ~unit_idx proc =
     end
     else api
   in
+  (* Cooperative checkpointing: a snapshot-capable program calls the hook
+     at every syscall boundary; the capture only happens when the
+     watchdog armed one (and this unit's shape qualifies). *)
+  (if t.lifecycle <> None then begin
+     let incarnation = vst.incarnation in
+     api.Api.checkpoint_hook <-
+       Some
+         (fun encode ->
+           maybe_capture_checkpoint t vst ~unit_idx ~incarnation proc encode)
+   end);
   vst.apis <- api :: vst.apis;
   api
 
@@ -1536,6 +1683,15 @@ let start_units t vst =
   for u = 0 to nunits - 1 do
     let proc = vst.unit_procs.(u) in
     let api = make_unit_api t vst ~unit_idx:u proc in
+    (* Apply the respawn's chosen checkpoint: reinstate the snapshotted
+       descriptor table and hand the program its own encoded state to
+       fast-forward from, before the unit body runs. *)
+    (match vst.pending_restore with
+    | Some cp when u = 0 ->
+      K.restore_fds t.k proc cp.Checkpoint.cp_fds;
+      api.Api.resume_state <- Some cp.Checkpoint.cp_state;
+      vst.pending_restore <- None
+    | _ -> ());
     let task_name =
       Printf.sprintf "%s.unit%d" vst.variant.Variant.v_name u
     in
@@ -1629,6 +1785,9 @@ let launch ?(config = Config.default) k variants =
           spawn_preps = 0;
           st = fresh_vstats ();
           apis = [];
+          checkpoint_due = false;
+          last_checkpoint_at = 0L;
+          pending_restore = None;
         })
       variants
   in
@@ -1658,6 +1817,7 @@ let launch ?(config = Config.default) k variants =
         (match config.Config.lifecycle with
         | Some _ -> Array.init ntuples (fun _ -> Tape.create ())
         | None -> [||]);
+      checkpoints = Checkpoint.create ();
       degraded = None;
       max_lag = 0;
       waitlock_sleepers = Array.make ntuples 0;
@@ -1761,7 +1921,10 @@ let launch ?(config = Config.default) k variants =
              prepare_image t vst;
              start_units t vst
          in
-         let z = Zygote.spawn ~cache:t.rewrite_cache k ~launcher in
+         let z =
+           Zygote.spawn ~cache:t.rewrite_cache ~checkpoints:t.checkpoints k
+             ~launcher
+         in
          t.zygote <- Some z;
          Array.iter
            (fun vst ->
@@ -1828,6 +1991,8 @@ type stats = {
   pool : Pool.stats;
   max_observed_lag : int;
   rewrite_cache : Rewrite_cache.stats;
+  checkpoints : Checkpoint.stats;
+  tapes : Tape.stats array;
 }
 
 let stats t =
@@ -1865,6 +2030,8 @@ let stats t =
     pool = Pool.stats t.pool;
     max_observed_lag = t.max_lag;
     rewrite_cache = Rewrite_cache.stats t.rewrite_cache;
+    checkpoints = Checkpoint.stats t.checkpoints;
+    tapes = Array.map Tape.stats t.tapes;
   }
 
 type divergence_entry = {
@@ -1904,3 +2071,8 @@ let observe_lags t =
     t.vstates
 
 let tuple_ring (t : t) tu = t.rings.(tu)
+
+let tuple_tape (t : t) tu =
+  if tu < Array.length t.tapes then Some t.tapes.(tu) else None
+
+let checkpoint_store (t : t) = t.checkpoints

@@ -99,6 +99,14 @@ type stats = {
       (** the resident zygote cache's hit/miss/rebase tallies — the
           spawn fast path's effectiveness ([misses] = distinct images
           rewritten cold, [rebases] = launches served by rebase) *)
+  checkpoints : Checkpoint.stats;
+      (** rr-style fast-rejoin tallies: snapshots taken, respawns served
+          by a restore, and the tape delta replayed instead of the full
+          stream *)
+  tapes : Tape.stats array;
+      (** per-tuple recorder footprint — with checkpointing enabled the
+          retention policy keeps [resident_bytes] bounded regardless of
+          stream length *)
 }
 
 val stats : t -> stats
@@ -134,6 +142,16 @@ val divergence_log : t -> divergence_entry list
 val tuple_ring : t -> int -> Varan_ringbuf.Event.t Varan_ringbuf.Ring.t
 (** The shared ring of the given tuple (shared-ring mode). A recorder
     registers as an extra consumer on it. *)
+
+val tuple_tape : t -> int -> Tape.t option
+(** The lifecycle manager's per-tuple catch-up tape; [None] without a
+    lifecycle policy (no tape is recorded) or for an unknown tuple. The
+    time-travel replay entry point reads it together with
+    {!checkpoint_store}. *)
+
+val checkpoint_store : t -> Checkpoint.t
+(** The session's follower checkpoint store (the resident zygote owns the
+    same object, so snapshots outlive the incarnation they captured). *)
 
 val release_payload : t -> Varan_ringbuf.Event.t -> unit
 (** Drop one reader's reference to an event's shared-memory payload,

@@ -3,13 +3,22 @@ module Event = Varan_ringbuf.Event
 (* The lifecycle recorder's retained stream: every event the leader
    publishes on a tuple is also appended here, flattened so it stays
    readable after the ring slot is overwritten and the shared-memory
-   payload freed. A respawned follower replays entries [0, splice) and
-   then switches to the live ring at sequence [splice].
+   payload freed. A respawned follower replays entries [from, splice)
+   and then switches to the live ring at sequence [splice].
 
    Entries keep the original Lamport stamp, tid and descriptor grant, so
    the ordinary follower-replay path consumes them unchanged and the
    rejoined variant's descriptor tables and clocks come out identical to
-   a follower that never left. *)
+   a follower that never left.
+
+   For a million-event stream a flat entry array is the recorder's space
+   problem, so the tape is chunked: entries land in a small open segment
+   and, once it fills, the segment is sealed — serialized to a compact
+   byte image and run-length packed (PackBits). Sealed segments below the
+   retention floor (the oldest live checkpoint, see {!Checkpoint}) are
+   retired wholesale, which keeps resident bytes bounded while absolute
+   indices stay stable: entry [i] is entry [i] forever, and reads below
+   {!base} raise {!Truncated} instead of silently shifting. *)
 
 type entry = {
   t_kind : Event.kind;
@@ -22,7 +31,55 @@ type entry = {
   t_grant : Obj.t option;
 }
 
-type t = { mutable entries : entry array; mutable len : int }
+exception Truncated of { requested : int; base : int }
+
+let () =
+  Printexc.register_printer (function
+    | Truncated { requested; base } ->
+      Some
+        (Printf.sprintf
+           "Varan_nvx.Tape.Truncated(requested=%d, oldest retained=%d)"
+           requested base)
+    | _ -> None)
+
+(* A sealed, immutable chunk of [seg_entries] consecutive entries.
+   Grants are opaque runtime handles (shared descriptor objects) and
+   cannot be serialized; the sparse side array re-attaches them on
+   decode. *)
+type seg = {
+  s_packed : Bytes.t; (* PackBits image of the serialized entries *)
+  s_raw_len : int; (* serialized length before packing *)
+  s_grants : (int * Obj.t) array; (* (index within segment, grant) *)
+}
+
+type t = {
+  seg_entries : int;
+  sealed : (int, seg) Hashtbl.t; (* segment number -> sealed image *)
+  open_buf : entry array; (* the one mutable segment, being filled *)
+  mutable open_first : int; (* absolute index of open_buf.(0) *)
+  mutable open_len : int;
+  mutable open_bytes : int; (* raw-size estimate of the open segment *)
+  mutable base : int; (* oldest retained absolute index *)
+  mutable total : int; (* next index to append = events ever seen *)
+  (* Decode cache: sequential replay touches one sealed segment many
+     times in a row (stream_peek re-reads the head index), so we keep
+     the last decoded segment around. *)
+  mutable cache_segno : int;
+  mutable cache_entries : entry array;
+  (* stats *)
+  mutable c_sealed : int;
+  mutable c_retired : int;
+  mutable c_packed_bytes : int; (* resident compressed bytes *)
+  mutable c_raw_bytes : int; (* raw bytes of currently resident seals *)
+}
+
+type stats = {
+  segments_sealed : int;
+  segments_retired : int;
+  resident_bytes : int;
+  packed_bytes : int;
+  raw_bytes : int;
+}
 
 let dummy =
   {
@@ -36,19 +93,251 @@ let dummy =
     t_grant = None;
   }
 
-let create () = { entries = Array.make 64 dummy; len = 0 }
+let default_segment_entries = 256
 
-let length t = t.len
+let create ?(segment_entries = default_segment_entries) () =
+  if segment_entries < 1 then invalid_arg "Tape.create: segment_entries";
+  {
+    seg_entries = segment_entries;
+    sealed = Hashtbl.create 32;
+    open_buf = Array.make segment_entries dummy;
+    open_first = 0;
+    open_len = 0;
+    open_bytes = 0;
+    base = 0;
+    total = 0;
+    cache_segno = -1;
+    cache_entries = [||];
+    c_sealed = 0;
+    c_retired = 0;
+    c_packed_bytes = 0;
+    c_raw_bytes = 0;
+  }
+
+let length t = t.total
+let base t = t.base
+
+(* ------------------------------------------------------------------ *)
+(* Entry wire format (within a sealed segment)                         *)
+(*   u8 kind | u8 tid | u8 nargs | i32 sysno | i32 clock | i64 ret     *)
+(*   | i64 args[nargs] | i32 outlen (-1 = no result buffer) | bytes    *)
+(* ------------------------------------------------------------------ *)
+
+let int_of_kind = function
+  | Event.Ev_syscall -> 0
+  | Event.Ev_signal -> 1
+  | Event.Ev_fork -> 2
+  | Event.Ev_exit -> 3
+
+let kind_of_int = function
+  | 0 -> Event.Ev_syscall
+  | 1 -> Event.Ev_signal
+  | 2 -> Event.Ev_fork
+  | 3 -> Event.Ev_exit
+  | n -> invalid_arg (Printf.sprintf "Tape: bad event kind %d" n)
+
+let entry_raw_size (e : entry) =
+  3 + 4 + 4 + 8
+  + (8 * Array.length e.t_args)
+  + 4
+  + (match e.t_out with None -> 0 | Some b -> Bytes.length b)
+
+let serialize_entry buf (e : entry) =
+  Buffer.add_uint8 buf (int_of_kind e.t_kind);
+  Buffer.add_uint8 buf (e.t_tid land 0xFF);
+  Buffer.add_uint8 buf (Array.length e.t_args);
+  Buffer.add_int32_le buf (Int32.of_int e.t_sysno);
+  Buffer.add_int32_le buf (Int32.of_int e.t_clock);
+  Buffer.add_int64_le buf (Int64.of_int e.t_ret);
+  Array.iter (fun a -> Buffer.add_int64_le buf (Int64.of_int a)) e.t_args;
+  match e.t_out with
+  | None -> Buffer.add_int32_le buf (-1l)
+  | Some b ->
+    Buffer.add_int32_le buf (Int32.of_int (Bytes.length b));
+    Buffer.add_bytes buf b
+
+let deserialize_entry raw pos =
+  let p = ref pos in
+  let u8 () =
+    let v = Char.code (Bytes.get raw !p) in
+    incr p;
+    v
+  in
+  let i32 () =
+    let v = Int32.to_int (Bytes.get_int32_le raw !p) in
+    p := !p + 4;
+    v
+  in
+  let i64 () =
+    let v = Int64.to_int (Bytes.get_int64_le raw !p) in
+    p := !p + 8;
+    v
+  in
+  let kind = kind_of_int (u8 ()) in
+  let tid = u8 () in
+  let nargs = u8 () in
+  let sysno = i32 () in
+  let clock = i32 () in
+  let ret = i64 () in
+  let args = Array.init nargs (fun _ -> i64 ()) in
+  let outlen = i32 () in
+  let out =
+    if outlen < 0 then None
+    else begin
+      let b = Bytes.sub raw !p outlen in
+      p := !p + outlen;
+      Some b
+    end
+  in
+  ( {
+      t_kind = kind;
+      t_sysno = sysno;
+      t_tid = tid;
+      t_args = args;
+      t_ret = ret;
+      t_clock = clock;
+      t_out = out;
+      t_grant = None;
+    },
+    !p )
+
+(* ------------------------------------------------------------------ *)
+(* PackBits run-length coding                                          *)
+(*   control byte c in 0..127: copy the next c+1 literal bytes         *)
+(*   control byte c in 129..255: repeat the next byte 257-c times      *)
+(* Worst case adds one byte per 128 of input; serialized events are    *)
+(* full of zero bytes (little-endian small ints), so runs are common.  *)
+(* ------------------------------------------------------------------ *)
+
+let pack src =
+  let n = Bytes.length src in
+  let out = Buffer.create (max 16 (n / 2)) in
+  let i = ref 0 in
+  while !i < n do
+    let c = Bytes.get src !i in
+    let run = ref 1 in
+    while !i + !run < n && !run < 128 && Bytes.get src (!i + !run) = c do
+      incr run
+    done;
+    if !run >= 3 then begin
+      Buffer.add_uint8 out (257 - !run);
+      Buffer.add_char out c;
+      i := !i + !run
+    end
+    else begin
+      (* Literal stretch: extend until the next run of >= 3 equal bytes
+         or the 128-byte control limit. *)
+      let start = !i in
+      let stop = ref (!i + !run) in
+      let continue = ref true in
+      while !continue && !stop < n && !stop - start < 128 do
+        let c' = Bytes.get src !stop in
+        let r = ref 1 in
+        while !stop + !r < n && !r < 3 && Bytes.get src (!stop + !r) = c' do
+          incr r
+        done;
+        if !r >= 3 then continue := false
+        else stop := min (!stop + !r) (start + 128)
+      done;
+      let len = !stop - start in
+      Buffer.add_uint8 out (len - 1);
+      Buffer.add_subbytes out src start len;
+      i := start + len
+    end
+  done;
+  Buffer.to_bytes out
+
+let unpack ~raw_len src =
+  let out = Bytes.create raw_len in
+  let n = Bytes.length src in
+  let i = ref 0 and o = ref 0 in
+  while !i < n do
+    let c = Char.code (Bytes.get src !i) in
+    incr i;
+    if c < 128 then begin
+      let len = c + 1 in
+      Bytes.blit src !i out !o len;
+      i := !i + len;
+      o := !o + len
+    end
+    else begin
+      let len = 257 - c in
+      Bytes.fill out !o len (Bytes.get src !i);
+      incr i;
+      o := !o + len
+    end
+  done;
+  if !o <> raw_len then invalid_arg "Tape.unpack: corrupt segment";
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Sealing and decoding                                                *)
+(* ------------------------------------------------------------------ *)
+
+let seal t =
+  let buf = Buffer.create (t.open_bytes + 64) in
+  let grants = ref [] in
+  for i = 0 to t.seg_entries - 1 do
+    let e = t.open_buf.(i) in
+    (match e.t_grant with
+    | Some g -> grants := (i, g) :: !grants
+    | None -> ());
+    serialize_entry buf e
+  done;
+  let raw = Buffer.to_bytes buf in
+  let packed = pack raw in
+  let seg =
+    {
+      s_packed = packed;
+      s_raw_len = Bytes.length raw;
+      s_grants = Array.of_list (List.rev !grants);
+    }
+  in
+  let segno = t.open_first / t.seg_entries in
+  Hashtbl.replace t.sealed segno seg;
+  t.c_sealed <- t.c_sealed + 1;
+  t.c_packed_bytes <- t.c_packed_bytes + Bytes.length packed;
+  t.c_raw_bytes <- t.c_raw_bytes + seg.s_raw_len;
+  Array.fill t.open_buf 0 t.seg_entries dummy;
+  t.open_first <- t.open_first + t.seg_entries;
+  t.open_len <- 0;
+  t.open_bytes <- 0
+
+let decode t segno =
+  if t.cache_segno = segno then t.cache_entries
+  else begin
+    let seg =
+      match Hashtbl.find_opt t.sealed segno with
+      | Some s -> s
+      | None ->
+        raise (Truncated { requested = segno * t.seg_entries; base = t.base })
+    in
+    let raw = unpack ~raw_len:seg.s_raw_len seg.s_packed in
+    let pos = ref 0 in
+    let entries =
+      Array.init t.seg_entries (fun _ ->
+          let e, p = deserialize_entry raw !pos in
+          pos := p;
+          e)
+    in
+    Array.iter
+      (fun (i, g) -> entries.(i) <- { (entries.(i)) with t_grant = Some g })
+      seg.s_grants;
+    t.cache_segno <- segno;
+    t.cache_entries <- entries;
+    entries
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public operations                                                   *)
+(* ------------------------------------------------------------------ *)
 
 (* Flatten at capture time: [out] is the leader's result buffer, handed
-   over before any pool chunk can be recycled. *)
+   over before any pool chunk can be recycled. Pure (no engine calls) —
+   runs inside Ring.publish_k. *)
 let append t (e : Event.t) ~out =
-  if t.len = Array.length t.entries then begin
-    let bigger = Array.make (2 * t.len) t.entries.(0) in
-    Array.blit t.entries 0 bigger 0 t.len;
-    t.entries <- bigger
-  end;
-  t.entries.(t.len) <-
+  if t.open_len = t.seg_entries then seal t;
+  let en =
     {
       t_kind = e.Event.kind;
       t_sysno = e.Event.sysno;
@@ -58,12 +347,18 @@ let append t (e : Event.t) ~out =
       t_clock = e.Event.clock;
       t_out = out;
       t_grant = e.Event.grant;
-    };
-  t.len <- t.len + 1
+    }
+  in
+  t.open_buf.(t.open_len) <- en;
+  t.open_len <- t.open_len + 1;
+  t.open_bytes <- t.open_bytes + entry_raw_size en;
+  t.total <- t.total + 1
 
 let get t i =
-  if i < 0 || i >= t.len then invalid_arg "Tape.get: out of range";
-  t.entries.(i)
+  if i < 0 || i >= t.total then invalid_arg "Tape.get: out of range";
+  if i < t.base then raise (Truncated { requested = i; base = t.base });
+  if i >= t.open_first then t.open_buf.(i - t.open_first)
+  else (decode t (i / t.seg_entries)).(i mod t.seg_entries)
 
 (* Reconstruct a stream event from a tape entry. The payload travels
    inline regardless of size: the pool chunk it came from is long gone. *)
@@ -84,6 +379,40 @@ let event_of_entry (en : entry) : Event.t =
 let event_at t i = event_of_entry (get t i)
 
 let iter f t =
-  for i = 0 to t.len - 1 do
-    f t.entries.(i)
+  for i = t.base to t.total - 1 do
+    f (get t i)
   done
+
+(* Drop whole sealed segments strictly below [keep_from]. Absolute
+   indices are preserved: after retiring, [base] is the first index of
+   the oldest surviving segment, and any read below it raises
+   {!Truncated}. Never touches the open segment. *)
+let retire t ~keep_from =
+  let keep_from = max 0 (min keep_from t.open_first) in
+  let keep_seg = keep_from / t.seg_entries in
+  let first_seg = t.base / t.seg_entries in
+  for segno = first_seg to keep_seg - 1 do
+    match Hashtbl.find_opt t.sealed segno with
+    | None -> ()
+    | Some seg ->
+      Hashtbl.remove t.sealed segno;
+      t.c_retired <- t.c_retired + 1;
+      t.c_packed_bytes <- t.c_packed_bytes - Bytes.length seg.s_packed;
+      t.c_raw_bytes <- t.c_raw_bytes - seg.s_raw_len;
+      if t.cache_segno = segno then begin
+        t.cache_segno <- -1;
+        t.cache_entries <- [||]
+      end
+  done;
+  if keep_seg * t.seg_entries > t.base then t.base <- keep_seg * t.seg_entries
+
+let resident_bytes t = t.c_packed_bytes + t.open_bytes
+
+let stats t =
+  {
+    segments_sealed = t.c_sealed;
+    segments_retired = t.c_retired;
+    resident_bytes = resident_bytes t;
+    packed_bytes = t.c_packed_bytes;
+    raw_bytes = t.c_raw_bytes;
+  }

@@ -1,13 +1,21 @@
-(** In-memory stream tape for follower rejoin (rr-style catch-up).
+(** Bounded in-memory stream tape for follower rejoin (rr-style
+    catch-up).
 
     When the lifecycle manager is enabled, the session appends every
     published event to a per-tuple tape, flattened: shared-memory
     payloads are copied to inline bytes at capture time (before the pool
     chunk can be recycled), while tid, args, return value, Lamport stamp
-    and descriptor grant are kept verbatim. A follower respawned from the
-    zygote replays tape entries [0, splice) through the ordinary replay
-    path and then switches to the live ring at sequence [splice] — the
-    recorded prefix is exactly what it missed.
+    and descriptor grant are kept verbatim. A follower respawned from
+    the zygote replays tape entries [restore, splice) through the
+    ordinary replay path and then switches to the live ring at sequence
+    [splice] — the recorded window is exactly what it missed.
+
+    The tape is chunked so recorder memory stays bounded on million-
+    event streams: entries fill a small open segment; full segments are
+    sealed into a run-length-packed byte image; sealed segments below
+    the retention floor (the oldest live checkpoint, see {!Checkpoint})
+    are retired with {!retire}. Absolute indices never shift — entry [i]
+    is entry [i] forever, and a read below {!base} raises {!Truncated}.
 
     {!Record_replay.serialize_tape} bridges a tape into the on-disk
     record/replay log format, which is how a degraded session's retained
@@ -26,8 +34,20 @@ type entry = {
 
 type t
 
-val create : unit -> t
+exception Truncated of { requested : int; base : int }
+(** Read below the oldest retained entry: the segment holding
+    [requested] was retired; [base] is the oldest index still
+    replayable. *)
+
+val create : ?segment_entries:int -> unit -> t
+(** [segment_entries] is the sealing granularity (default 256): a
+    segment seals — and can later be retired — only as a whole. *)
+
 val length : t -> int
+(** Events ever appended; also the next index to be written. *)
+
+val base : t -> int
+(** Oldest retained index. [0] until {!retire} drops a segment. *)
 
 val append : t -> Varan_ringbuf.Event.t -> out:Bytes.t option -> unit
 (** Capture one published event. [out] is the event's full result buffer
@@ -35,12 +55,38 @@ val append : t -> Varan_ringbuf.Event.t -> out:Bytes.t option -> unit
     Pure — callable from inside {!Varan_ringbuf.Ring.publish_k}. *)
 
 val get : t -> int -> entry
-(** @raise Invalid_argument out of range. *)
+(** @raise Invalid_argument outside [0, length).
+    @raise Truncated below {!base}. *)
 
 val event_of_entry : entry -> Varan_ringbuf.Event.t
 (** Reconstruct a stream event; the payload travels inline regardless of
     size (the pool chunk is long gone). *)
 
 val event_at : t -> int -> Varan_ringbuf.Event.t
+(** [event_of_entry (get t i)]. Sequential scans are cheap: the last
+    decoded segment is cached. *)
 
 val iter : (entry -> unit) -> t -> unit
+(** Iterate the retained window [{!base}, {!length}) in order. *)
+
+val retire : t -> keep_from:int -> unit
+(** Drop whole sealed segments strictly below [keep_from]; afterwards
+    {!base} is the first index of the oldest surviving segment (so it
+    may round down below [keep_from] — truncation happens exactly at a
+    segment boundary, never mid-segment). Monotone: never re-grows the
+    window, never touches the open segment. *)
+
+val resident_bytes : t -> int
+(** Bytes currently held: packed sealed segments plus the raw-size
+    estimate of the open segment. Bounded by retention, not by stream
+    length. *)
+
+type stats = {
+  segments_sealed : int;
+  segments_retired : int;
+  resident_bytes : int;
+  packed_bytes : int;  (** resident compressed bytes (sealed only) *)
+  raw_bytes : int;  (** same segments before packing, for the ratio *)
+}
+
+val stats : t -> stats

@@ -16,6 +16,11 @@ type t = {
      first of each distinct image — replicas, respawned incarnations —
      rebase a cached entry instead of re-running the rewriter. *)
   rcache : Rewrite_cache.t;
+  (* Same ownership argument for follower checkpoints: a respawned
+     incarnation restores state captured before it existed, so the store
+     must survive the incarnation — it lives with the zygote, next to
+     the rewrite cache it mirrors. *)
+  ckpts : Checkpoint.t;
 }
 
 let read_line api fd =
@@ -34,7 +39,7 @@ let read_line api fd =
   in
   go ()
 
-let spawn ?cache k ~launcher =
+let spawn ?cache ?checkpoints k ~launcher =
   (* The coordinator's process owns one end of each pipe; the zygote's
      process owns the other. For simplicity both pipes are created in a
      scratch process and the fds shared — the simulated kernel's
@@ -54,7 +59,12 @@ let spawn ?cache k ~launcher =
   let rcache =
     match cache with Some c -> c | None -> Rewrite_cache.create ()
   in
-  let t = { k; zproc; req_w; resp_r; coord_api = zapi; served = 0; rcache } in
+  let ckpts =
+    match checkpoints with Some c -> c | None -> Checkpoint.create ()
+  in
+  let t =
+    { k; zproc; req_w; resp_r; coord_api = zapi; served = 0; rcache; ckpts }
+  in
   let service () =
     let rec loop () =
       let line = read_line zapi req_r in
@@ -109,3 +119,4 @@ let fork_request t name =
 let shutdown t = ignore (Api.close t.coord_api t.req_w)
 let forks_served t = t.served
 let cache t = t.rcache
+let checkpoints t = t.ckpts

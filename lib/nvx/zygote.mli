@@ -13,6 +13,7 @@ type t
 
 val spawn :
   ?cache:Varan_binary.Rewrite_cache.t ->
+  ?checkpoints:Checkpoint.t ->
   Varan_kernel.Types.t ->
   launcher:(Varan_kernel.Types.proc -> name:string -> unit) ->
   t
@@ -25,7 +26,9 @@ val spawn :
     fresh one): it is the only session participant resident across
     variant incarnations, so cached rewritten images survive respawns
     and every fork after the first of a given image is served by an
-    O(sites) rebase. *)
+    O(sites) rebase. The follower checkpoint store ([checkpoints], or a
+    fresh one) lives here for the same reason — a respawned incarnation
+    restores state captured before it existed. *)
 
 val fork_request : t -> string -> int
 (** [fork_request z name] sends a fork request over the pipe and waits
@@ -38,3 +41,6 @@ val forks_served : t -> int
 
 val cache : t -> Varan_binary.Rewrite_cache.t
 (** The resident rewrite cache. *)
+
+val checkpoints : t -> Checkpoint.t
+(** The resident follower checkpoint store. *)

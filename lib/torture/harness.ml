@@ -41,6 +41,10 @@ let lifecycle_policy =
     backoff = 50_000;
     min_followers = 1;
     watchdog_period = 20_000;
+    (* Checkpointing stays off in the base policy so the long-standing
+       sweeps exercise the full-tape rejoin path unchanged; checkpointed
+       cases opt in per test. *)
+    checkpoint_interval = 0;
   }
 
 let gen_lifecycle_case seed =
@@ -110,6 +114,9 @@ type outcome = {
   lifecycle : Lifecycle.report option;
   degraded : string option;
   budget_blown : bool;
+  session : Nvx.t;
+      (* the finished session, for post-run probes (time travel, tape and
+         checkpoint introspection) *)
 }
 
 (* Generous: a healthy case finishes in well under a billion cycles, so
@@ -163,6 +170,7 @@ let run_ops case ops =
     lifecycle = Nvx.lifecycle_report session;
     degraded = Nvx.degraded session;
     budget_blown;
+    session;
   }
 
 let run_case case = run_ops case (build_program case)

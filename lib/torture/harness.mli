@@ -58,6 +58,9 @@ type outcome = {
   lifecycle : Varan_nvx.Lifecycle.report option;
   degraded : string option;
   budget_blown : bool;
+  session : Varan_nvx.Session.t;
+      (** the finished session, for post-run probes — time travel, tape
+          and checkpoint introspection *)
 }
 
 val run_case : case -> outcome

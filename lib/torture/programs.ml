@@ -101,9 +101,54 @@ let rec interpret ~(obs : observations) ~path ops api =
   let handler_hits = ref 0 in
   let payload = Bytes.make 600 'w' in
   let tmp fmt i = Printf.sprintf fmt path i in
-  List.iter
-    (fun op ->
-      match op with
+  (* Cooperative checkpoint/restore (rr-style fast rejoin). The encoder
+     captures everything a respawned incarnation needs to take over at an
+     op boundary: ops completed, the open-fd stack (the restored process
+     keeps the same descriptor numbers), and the digest prefix. Forked
+     children are never part of a snapshot — the hook is only offered
+     while [forkno = 0], so a restored delta replays any fork event and
+     recreates the child from scratch. *)
+  let done_ops = ref 0 in
+  let encode_state () =
+    let b = Buffer.create 64 in
+    let i32 v = Buffer.add_int32_le b (Int32.of_int v) in
+    i32 !done_ops;
+    i32 !forkno;
+    let fd_list = !fds in
+    i32 (List.length fd_list);
+    List.iter i32 fd_list;
+    let s = Buffer.contents buf in
+    i32 (String.length s);
+    Buffer.add_string b s;
+    Buffer.to_bytes b
+  in
+  (match api.Api.resume_state with
+  | None -> ()
+  | Some s ->
+    api.Api.resume_state <- None;
+    let pos = ref 0 in
+    let i32 () =
+      let v = Int32.to_int (Bytes.get_int32_le s !pos) in
+      pos := !pos + 4;
+      v
+    in
+    done_ops := i32 ();
+    forkno := i32 ();
+    let nfds = i32 () in
+    (* Explicit recursion: [List.init]'s evaluation order is unspecified,
+       and the reads must land in stream order. *)
+    let rec read_fds n acc =
+      if n = 0 then List.rev acc else read_fds (n - 1) (i32 () :: acc)
+    in
+    fds := read_fds nfds [];
+    let len = i32 () in
+    Buffer.clear buf;
+    Buffer.add_subbytes buf s !pos len);
+  List.iteri
+    (fun opno op ->
+      if opno < !done_ops then ()
+      else begin
+        (match op with
       | Open p -> (
         match Api.openf api p Flags.o_rdwr with
         | Ok fd ->
@@ -186,7 +231,14 @@ let rec interpret ~(obs : observations) ~path ops api =
         ignore
           (Api.fork api (fun child_api ->
                interpret ~obs ~path:child_path sub child_api));
-        o "fork;")
+        o "fork;");
+        done_ops := opno + 1;
+        (* Offer a snapshot at this syscall boundary; the monitor only
+           takes one when its watchdog armed a checkpoint. *)
+        match api.Api.checkpoint_hook with
+        | Some h when !forkno = 0 -> h encode_state
+        | _ -> ()
+      end)
     ops
 
 let run_native ~kernel_seed ops =

@@ -33,9 +33,16 @@ type t = {
   quarantined_cids : (int * int, unit) Hashtbl.t; (* (tuple, cid) *)
   splice_expect : (int * int, int) Hashtbl.t; (* (tuple, cid) -> seq *)
   respawn_counts : (int, int ref) Hashtbl.t; (* variant -> respawns *)
+  (* Checkpoint/restore bookkeeping: the stream positions each variant
+     has checkpointed — a restore must land on one of them, at or below
+     its splice point, or the rejoin skipped or re-consumed events. *)
+  checkpoint_seqs : (int * int, unit) Hashtbl.t; (* (variant, seq) *)
+  latest_checkpoint : (int, int) Hashtbl.t; (* variant -> newest seq *)
   mutable quarantines : int;
   mutable respawns : int;
   mutable rejoins : int;
+  mutable checkpoints : int;
+  mutable restores : int;
   mutable gate_waits : int;
   mutable gate_waits_on_quarantined : int;
 }
@@ -57,9 +64,13 @@ let create () =
     quarantined_cids = Hashtbl.create 4;
     splice_expect = Hashtbl.create 4;
     respawn_counts = Hashtbl.create 4;
+    checkpoint_seqs = Hashtbl.create 8;
+    latest_checkpoint = Hashtbl.create 4;
     quarantines = 0;
     respawns = 0;
     rejoins = 0;
+    checkpoints = 0;
+    restores = 0;
     gate_waits = 0;
     gate_waits_on_quarantined = 0;
   }
@@ -261,6 +272,27 @@ let note_rejoin t ~idx ~tuple ~cid ~splice_seq =
   t.rejoins <- t.rejoins + 1;
   Hashtbl.replace t.splice_expect (tuple, cid) splice_seq
 
+let note_checkpoint t ~idx ~seq =
+  t.checkpoints <- t.checkpoints + 1;
+  (match Hashtbl.find_opt t.latest_checkpoint idx with
+  | Some prev when seq < prev ->
+    violate t
+      "variant %d checkpointed at seq %d after already checkpointing seq %d"
+      idx seq prev
+  | _ -> Hashtbl.replace t.latest_checkpoint idx seq);
+  Hashtbl.replace t.checkpoint_seqs (idx, seq) ()
+
+let note_restore t ~idx ~seq ~splice_seq =
+  t.restores <- t.restores + 1;
+  if not (Hashtbl.mem t.checkpoint_seqs (idx, seq)) then
+    violate t "variant %d restored seq %d, which it never checkpointed" idx
+      seq;
+  if seq > splice_seq then
+    violate t
+      "variant %d restored checkpoint seq %d past its splice point %d \
+       (events would be skipped)"
+      idx seq splice_seq
+
 let note_gate_wait t ~tuple ~cids =
   t.gate_waits <- t.gate_waits + 1;
   List.iter
@@ -296,6 +328,8 @@ type report = {
   quarantines : int;
   respawns : int;
   rejoins : int;
+  checkpoints : int;
+  restores : int;
   gate_waits : int;
   gate_waits_on_quarantined : int;
   outstanding_payloads : int;
@@ -332,6 +366,8 @@ let report t =
     quarantines = t.quarantines;
     respawns = t.respawns;
     rejoins = t.rejoins;
+    checkpoints = t.checkpoints;
+    restores = t.restores;
     gate_waits = t.gate_waits;
     gate_waits_on_quarantined = t.gate_waits_on_quarantined;
     outstanding_payloads = outstanding;
@@ -353,6 +389,9 @@ let pp_report ppf r =
        (on quarantined: %d)@,"
       r.quarantines r.respawns r.rejoins r.gate_waits
       r.gate_waits_on_quarantined;
+  if r.checkpoints > 0 || r.restores > 0 then
+    Format.fprintf ppf "checkpoints: taken=%d restores=%d@," r.checkpoints
+      r.restores;
   List.iter
     (fun (tu, n, d) ->
       Format.fprintf ppf "tuple %d: %d events, digest %08x@," tu n

@@ -64,6 +64,19 @@ val note_gate_wait : t -> tuple:int -> cids:int list -> unit
     {!Varan_ringbuf.Ring.set_stall_hook}); any quarantined cid among
     them is a violation. *)
 
+val note_checkpoint : t -> idx:int -> seq:int -> unit
+(** Variant [idx] checkpointed at tuple-0 stream position [seq].
+    Checkpoint positions must be monotone per variant. *)
+
+val note_restore : t -> idx:int -> seq:int -> splice_seq:int -> unit
+(** A respawn of variant [idx] restored the checkpoint at [seq] and will
+    replay the tape delta up to [splice_seq]. Restoring a position the
+    variant never checkpointed, or one past the splice point (events
+    would be skipped), is a violation. Together with the splice check in
+    [note_rejoin] this pins the rejoined stream to the exact
+    checkpoint-then-delta window — which is why a checkpointed rejoin
+    digest-matches a full replay. *)
+
 (** {1 Report} *)
 
 type report = {
@@ -76,6 +89,8 @@ type report = {
   quarantines : int;  (** (tuple, cid) pairs retired by quarantines *)
   respawns : int;
   rejoins : int;  (** splice expectations registered *)
+  checkpoints : int;
+  restores : int;  (** checkpoint-based (fast) rejoins *)
   gate_waits : int;  (** leader publishes that parked on the gate *)
   gate_waits_on_quarantined : int;  (** nonzero is always a violation *)
   outstanding_payloads : int;  (** payload chunks never fully released *)

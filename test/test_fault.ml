@@ -358,6 +358,243 @@ let test_lifecycle_sweep () =
   ignore !deaths
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint/restore fast rejoin                                      *)
+(* ------------------------------------------------------------------ *)
+
+module CK = Varan_nvx.Checkpoint
+module Tape = Varan_nvx.Tape
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* A workload with compute phases long enough that the watchdog's armed
+   checkpoints land at op boundaries well before the injected stalls —
+   every respawn then has a snapshot to restore. *)
+let compute_heavy_ops n =
+  P.Open "/dev/zero"
+  :: List.concat
+       (List.init n (fun i ->
+            [
+              P.Compute 20_000;
+              P.Read_newest 600;
+              P.Write_newest 300;
+              P.Create_tmp (i mod 4);
+              P.Getuid;
+            ]))
+
+let ck_policy interval = { lc with Lifecycle.checkpoint_interval = interval }
+
+(* Satellite regression mirroring the rewrite cache's "1 cold rewrite +
+   N rebases": with checkpointing on, each of the victim's two respawns
+   restores a checkpoint instead of replaying the whole tape, and the
+   combined delta stays a fraction of two full replays. *)
+let test_respawn_reuses_checkpoints () =
+  let case =
+    directed_case
+      ~lifecycle:(ck_policy 20_000)
+      ~seed:115 ~followers:2
+      ~plan:
+        [
+          Fault.Stall_follower { idx = 1; at_seq = 8; delay = 2_000_000 };
+          Fault.Stall_follower { idx = 1; at_seq = 18; delay = 2_000_000 };
+        ]
+      ()
+  in
+  let out = H.run_ops case (compute_heavy_ops 16) in
+  check_lifecycle_exn "checkpointed respawns" case out;
+  let r = lifecycle_of out in
+  Alcotest.(check int) "two respawns" 2
+    out.H.stats.Nvx.variants.(1).Nvx.vs_incarnation;
+  (* A restore landing exactly on the splice head has no catch-up phase
+     to complete, so it shows up as a restore without a counted rejoin —
+     at least one of the two respawns replays a real delta. *)
+  Alcotest.(check bool) "at least one counted rejoin" true
+    (r.Lifecycle.rejoins >= 1);
+  let fr1 =
+    List.find (fun fr -> fr.Lifecycle.fr_idx = 1) r.Lifecycle.followers
+  in
+  Alcotest.(check bool) "victim ends healthy" true
+    (fr1.Lifecycle.fr_state = Lifecycle.Healthy);
+  Alcotest.(check int) "after both restarts" 2 fr1.Lifecycle.fr_restarts;
+  let ck = out.H.stats.Nvx.checkpoints in
+  Alcotest.(check bool) "checkpoints were taken" true (ck.CK.taken > 0);
+  Alcotest.(check int) "every respawn restored a checkpoint" 2 ck.CK.restores;
+  let tape_len =
+    match Nvx.tuple_tape out.H.session 0 with
+    | Some tape -> Tape.length tape
+    | None -> Alcotest.fail "no tape"
+  in
+  (* Two full-tape replays would cost ~2*tape_len delta events; the
+     checkpointed rejoins must replay strictly less than one tape's
+     worth combined. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "delta %d bounded by tape %d" ck.CK.delta_events tape_len)
+    true
+    (ck.CK.delta_events < tape_len);
+  Alcotest.(check string) "victim digest equals native" out.H.native
+    out.H.digests.(1)
+
+(* Satellite edge: a session whose checkpoint interval never elapses
+   takes no snapshots, and every rejoin falls back to the full-tape
+   replay — bit-identical to the pre-checkpoint behaviour. *)
+let test_zero_checkpoint_full_replay () =
+  List.iter
+    (fun interval ->
+      let case =
+        directed_case
+          ~lifecycle:(ck_policy interval)
+          ~seed:116 ~followers:2
+          ~plan:
+            [ Fault.Stall_follower { idx = 1; at_seq = 6; delay = 2_000_000 } ]
+          ()
+      in
+      let out = H.run_ops case (payload_ops 10) in
+      check_lifecycle_exn "zero-checkpoint fallback" case out;
+      let r = lifecycle_of out in
+      Alcotest.(check bool) "the victim rejoined" true
+        (r.Lifecycle.rejoins >= 1);
+      let ck = out.H.stats.Nvx.checkpoints in
+      Alcotest.(check int) "no checkpoints taken" 0 ck.CK.taken;
+      Alcotest.(check int) "no restores" 0 ck.CK.restores;
+      Alcotest.(check string) "victim digest equals native" out.H.native
+        out.H.digests.(1))
+    [ 0; (* disabled *) 100_000_000 (* never elapses *) ]
+
+(* Satellite edges on the retention window: a time-travel request below
+   the oldest retained segment fails cleanly (no exception), in-range
+   requests are served, out-of-range ones are clean errors too. *)
+let test_time_travel_retention_edges () =
+  let case =
+    directed_case
+      ~lifecycle:(ck_policy 20_000)
+      ~seed:117 ~followers:1
+      ~plan:[ Fault.Stall_follower { idx = 1; at_seq = 10; delay = 2_000_000 } ]
+      ()
+  in
+  let out = H.run_ops case (compute_heavy_ops 8) in
+  check_lifecycle_exn "time travel session" case out;
+  let session = out.H.session in
+  let tape =
+    match Nvx.tuple_tape session 0 with
+    | Some t -> t
+    | None -> Alcotest.fail "no tape"
+  in
+  let len = Tape.length tape in
+  (* In range: both a cold start and (once checkpoints exist) a restore. *)
+  (match RR.time_travel session ~at:0 with
+  | Ok tt ->
+    Alcotest.(check int) "seq 0 needs no delta" 0 (List.length tt.RR.tt_delta)
+  | Error e -> Alcotest.failf "seq 0 must be reachable: %s" e);
+  (match RR.time_travel session ~at:len with
+  | Ok tt -> Alcotest.(check int) "tape head reachable" len tt.RR.tt_at
+  | Error e -> Alcotest.failf "tape head must be reachable: %s" e);
+  (* Out of range: clean errors, never exceptions. *)
+  (match RR.time_travel session ~at:(len + 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "past the tape head must be an error");
+  (match RR.time_travel session ~at:(-1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative sequence must be an error");
+  (* Age the tape past its first segments: the same object the session
+     replays from, so time travel sees the truncation immediately. *)
+  for i = len to 699 do
+    Tape.append tape
+      (Varan_ringbuf.Event.make ~clock:(i + 1) 42)
+      ~out:None
+  done;
+  Tape.retire tape ~keep_from:512;
+  Alcotest.(check int) "tape aged" 512 (Tape.base tape);
+  (match RR.time_travel session ~at:100 with
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "names the retention cut (%s)" e)
+      true
+      (contains ~sub:"retained" e)
+  | Ok _ -> Alcotest.fail "below the retained window must be an error");
+  (* Above the cut but with every checkpoint below it, a cold start
+     would also have to cross the truncation — still a clean error. *)
+  (match RR.time_travel session ~at:600 with
+  | Error _ -> ()
+  | Ok _ ->
+    Alcotest.fail "no checkpoint covers the retained window: must error");
+  (* A checkpoint inside the retained window makes the same position
+     servable again: restore above the cut, replay only the delta. *)
+  let store = Nvx.checkpoint_store session in
+  (match CK.nearest_any store ~seq:len with
+  | None -> Alcotest.fail "the session took no checkpoint to clone"
+  | Some cp ->
+    CK.store store { cp with CK.cp_seq = 540; cp_clock = 540 };
+    (match RR.time_travel session ~at:600 with
+    | Ok tt ->
+      (match tt.RR.tt_checkpoint with
+      | Some c ->
+        Alcotest.(check int) "restores the in-window checkpoint" 540
+          c.CK.cp_seq
+      | None -> Alcotest.fail "expected a checkpoint restore");
+      Alcotest.(check int) "delta covers only [540, 600)" 60
+        (List.length tt.RR.tt_delta)
+    | Error e -> Alcotest.failf "in-window checkpoint must serve: %s" e))
+
+(* The 200-seed checkpoint property sweep (satellite 1): random lifecycle
+   cases with random checkpoint intervals and kill points; every seed
+   must pass the full lifecycle verdicts (settled followers end on the
+   native digest — whether they rejoined by checkpoint restore or by
+   full replay), and every tenth seed is re-run with checkpointing
+   disabled to pin checkpoint-restore-then-delta-replay == full-tape
+   replay == native. *)
+let checkpoint_base_seed = 0xCE5A
+let checkpoint_sweep_cases = 200
+
+let test_checkpoint_sweep () =
+  let taken = ref 0 and restores = ref 0 and deltas = ref 0 in
+  for i = 0 to checkpoint_sweep_cases - 1 do
+    let seed = checkpoint_base_seed + i in
+    let rng = Prng.create (seed lxor 0xC4EC4) in
+    let interval = 10_000 + Prng.int rng 190_000 in
+    let base_case = H.gen_lifecycle_case seed in
+    let case =
+      { base_case with H.lifecycle = Some (ck_policy interval) }
+    in
+    let out = H.run_case case in
+    (match H.check case out @ H.check_lifecycle case out with
+    | [] -> ()
+    | fs ->
+      Alcotest.failf
+        "checkpoint seed %d (interval %d) failed (reproduce: varan torture \
+         --lifecycle --checkpoint-interval %d --seed %d)\n\
+        \  %s\n\
+        \  %s" seed interval interval seed (H.describe_case case)
+        (String.concat "\n  " fs));
+    let ck = out.H.stats.Nvx.checkpoints in
+    taken := !taken + ck.CK.taken;
+    restores := !restores + ck.CK.restores;
+    deltas := !deltas + ck.CK.delta_events;
+    (* Digest tri-equality against the checkpoint-free twin. *)
+    if i mod 10 = 0 then begin
+      let twin = { base_case with H.lifecycle = Some (ck_policy 0) } in
+      let tout = H.run_case twin in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: native digest agrees across twins" seed)
+        tout.H.native out.H.native;
+      Array.iteri
+        (fun v d ->
+          if out.H.alive.(v) && tout.H.alive.(v) then
+            Alcotest.(check string)
+              (Printf.sprintf
+                 "seed %d variant %d: checkpointed rejoin == full replay" seed
+                 v)
+              tout.H.digests.(v) d)
+        out.H.digests
+    end
+  done;
+  (* The sweep must actually exercise the restore machinery. *)
+  Alcotest.(check bool) "sweep took checkpoints" true (!taken > 0);
+  Alcotest.(check bool) "sweep restored checkpoints" true (!restores > 0);
+  Alcotest.(check bool) "restores replayed bounded deltas" true (!deltas >= 0)
+
+(* ------------------------------------------------------------------ *)
 (* The randomized torture sweep                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -533,6 +770,17 @@ let () =
             test_degrade_no_leader_remains;
           Alcotest.test_case "200-seed lifecycle sweep" `Slow
             test_lifecycle_sweep;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "respawns reuse checkpoints" `Quick
+            test_respawn_reuses_checkpoints;
+          Alcotest.test_case "zero-checkpoint full-replay fallback" `Quick
+            test_zero_checkpoint_full_replay;
+          Alcotest.test_case "time-travel retention edges" `Quick
+            test_time_travel_retention_edges;
+          Alcotest.test_case "200-seed checkpoint sweep" `Slow
+            test_checkpoint_sweep;
         ] );
       ( "sweep",
         [ Alcotest.test_case "200 random fault plans" `Slow test_torture_sweep ]

@@ -935,6 +935,191 @@ let test_six_followers () =
       results.(0) results.(i)
   done
 
+(* ---- the segmented catch-up tape ----------------------------------- *)
+
+module Tape = Varan_nvx.Tape
+module Event = Varan_ringbuf.Event
+module RR = Varan_nvx.Record_replay
+
+(* A deterministic event stream mixing inline-less calls, small results
+   and large repetitive payloads (the RLE packer's best case) with
+   incompressible ones (its worst case — literal runs must round-trip
+   too). *)
+let synthetic_event i =
+  let out =
+    match i mod 4 with
+    | 0 -> None
+    | 1 -> Some (Bytes.make (1 + (i mod 600)) 'z') (* long runs *)
+    | 2 -> Some (Bytes.init (1 + (i mod 97)) (fun j -> Char.chr ((i + (j * 7)) land 0xff)))
+    | _ -> Some Bytes.empty
+  in
+  let e =
+    Event.make
+      ~kind:(match i mod 16 with 15 -> Event.Ev_signal | _ -> Event.Ev_syscall)
+      ~tid:(i mod 3)
+      ~args:(Array.init (i mod 7) (fun j -> (i * 31) + j))
+      ~ret:(i * 13)
+      ~clock:(i + 1) (i mod 300)
+  in
+  (e, out)
+
+let fill_tape tape n =
+  for i = 0 to n - 1 do
+    let e, out = synthetic_event i in
+    Tape.append tape e ~out
+  done
+
+let check_entry i (en : Tape.entry) =
+  let e, out = synthetic_event i in
+  Alcotest.(check int) (Printf.sprintf "entry %d sysno" i) e.Event.sysno
+    en.Tape.t_sysno;
+  Alcotest.(check int) (Printf.sprintf "entry %d tid" i) e.Event.tid
+    en.Tape.t_tid;
+  Alcotest.(check int) (Printf.sprintf "entry %d ret" i) e.Event.ret
+    en.Tape.t_ret;
+  Alcotest.(check int) (Printf.sprintf "entry %d clock" i) e.Event.clock
+    en.Tape.t_clock;
+  Alcotest.(check (array int)) (Printf.sprintf "entry %d args" i) e.Event.args
+    en.Tape.t_args;
+  Alcotest.(check bool) (Printf.sprintf "entry %d kind" i) true
+    (e.Event.kind = en.Tape.t_kind);
+  Alcotest.(check (option bytes)) (Printf.sprintf "entry %d out" i) out
+    en.Tape.t_out
+
+(* Entries survive sealing and run-length packing byte-for-byte, read
+   back both sequentially (cached segment) and at random (decode). *)
+let test_tape_roundtrip_across_segments () =
+  let tape = Tape.create () in
+  let n = 1000 in
+  fill_tape tape n;
+  Alcotest.(check int) "length" n (Tape.length tape);
+  Alcotest.(check int) "base" 0 (Tape.base tape);
+  for i = 0 to n - 1 do
+    check_entry i (Tape.get tape i)
+  done;
+  (* Random access order defeats the one-segment decode cache. *)
+  List.iter (fun i -> check_entry i (Tape.get tape i)) [ 999; 0; 512; 255; 256; 770; 3 ];
+  let st = Tape.stats tape in
+  Alcotest.(check int) "segments sealed" (n / 256) st.Tape.segments_sealed;
+  Alcotest.(check bool) "packing saves bytes" true
+    (st.Tape.packed_bytes < st.Tape.raw_bytes)
+
+(* Retirement truncates exactly at a segment boundary: keep_from rounds
+   down to the segment start, never mid-segment; reads below the new
+   base fail with [Truncated]; the window never re-grows. *)
+let test_tape_retire_at_boundary () =
+  let tape = Tape.create () in
+  fill_tape tape 1000;
+  (* keep_from exactly on a segment boundary *)
+  Tape.retire tape ~keep_from:512;
+  Alcotest.(check int) "base at the boundary" 512 (Tape.base tape);
+  Alcotest.(check int) "length unchanged" 1000 (Tape.length tape);
+  (match Tape.get tape 511 with
+  | exception Tape.Truncated { requested; base } ->
+    Alcotest.(check int) "reports the requested index" 511 requested;
+    Alcotest.(check int) "and the surviving base" 512 base
+  | _ -> Alcotest.fail "read below base must raise Truncated");
+  check_entry 512 (Tape.get tape 512);
+  (* keep_from mid-segment rounds down to its start *)
+  Tape.retire tape ~keep_from:700;
+  Alcotest.(check int) "mid-segment keep_from rounds down" 512
+    (Tape.base tape);
+  Tape.retire tape ~keep_from:768;
+  Alcotest.(check int) "next boundary retires" 768 (Tape.base tape);
+  (* monotone: retiring backwards is a no-op *)
+  Tape.retire tape ~keep_from:0;
+  Alcotest.(check int) "never re-grows" 768 (Tape.base tape);
+  (* the open (unsealed) segment is never retired *)
+  Tape.retire tape ~keep_from:1000;
+  Alcotest.(check int) "open segment survives" 768 (Tape.base tape);
+  check_entry 999 (Tape.get tape 999)
+
+(* The acceptance bound: a million-event stream with checkpoint-driven
+   retention holds a few recent segments, not the whole history. *)
+let test_tape_bounded_memory_million_events () =
+  let tape = Tape.create () in
+  let n = 1_000_000 in
+  for i = 0 to n - 1 do
+    let e, out = synthetic_event (i mod 4096) in
+    Tape.append tape e ~out;
+    (* The retention floor a checkpointing session would maintain: keep
+       roughly the last two thousand events. *)
+    if i mod 4096 = 0 && i > 2048 then Tape.retire tape ~keep_from:(i - 2048)
+  done;
+  Alcotest.(check int) "million events appended" n (Tape.length tape);
+  Alcotest.(check bool) "almost everything retired" true
+    (Tape.base tape > n - 8192);
+  let resident = Tape.resident_bytes tape in
+  Alcotest.(check bool)
+    (Printf.sprintf "resident bytes bounded (%d)" resident)
+    true
+    (resident < 2_000_000);
+  let st = Tape.stats tape in
+  Alcotest.(check bool) "thousands of segments retired" true
+    (st.Tape.segments_retired > 3_000)
+
+(* serialize_tape round trip (payload-bearing + retired-window cases):
+   the encoded log decodes back to exactly the retained entries, and a
+   torn log decodes to a clean [None] instead of crashing. *)
+let test_serialize_tape_roundtrip () =
+  let tape = Tape.create () in
+  fill_tape tape 700;
+  Tape.retire tape ~keep_from:256;
+  let log = RR.serialize_tape tape in
+  let cur = { RR.data = log; pos = 0 } in
+  let decoded = ref [] in
+  let rec drain () =
+    match RR.deserialize cur with
+    | Some r ->
+      decoded := r :: !decoded;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "clean end of log" (Bytes.length log) cur.RR.pos;
+  let decoded = Array.of_list (List.rev !decoded) in
+  (* Only the retained window [256, 700) is encoded. *)
+  Alcotest.(check int) "retained entries decoded" (700 - 256)
+    (Array.length decoded);
+  Array.iteri
+    (fun j (kind, tid, sysno, clock, ret, args, out) ->
+      let i = 256 + j in
+      let e, eout = synthetic_event i in
+      Alcotest.(check bool) (Printf.sprintf "rec %d kind" i) true
+        (kind = e.Event.kind);
+      Alcotest.(check int) (Printf.sprintf "rec %d tid" i) e.Event.tid tid;
+      Alcotest.(check int) (Printf.sprintf "rec %d sysno" i) e.Event.sysno sysno;
+      Alcotest.(check int) (Printf.sprintf "rec %d clock" i) e.Event.clock clock;
+      Alcotest.(check int) (Printf.sprintf "rec %d ret" i) e.Event.ret ret;
+      Alcotest.(check (array int)) (Printf.sprintf "rec %d args" i) e.Event.args
+        args;
+      Alcotest.(check bytes) (Printf.sprintf "rec %d out" i)
+        (match eout with Some b -> b | None -> Bytes.empty)
+        out)
+    decoded;
+  (* Torn logs: every truncation point decodes what is whole, then
+     returns None with the cursor parked before the torn record. *)
+  List.iter
+    (fun cut ->
+      let torn = Bytes.sub log 0 cut in
+      let cur = { RR.data = torn; pos = 0 } in
+      let rec count n = match RR.deserialize cur with
+        | Some _ -> count (n + 1)
+        | None -> n
+      in
+      let n = count 0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "cut at %d decodes a prefix" cut)
+        true
+        (n <= 700 - 256);
+      Alcotest.(check bool)
+        (Printf.sprintf "cut at %d leaves the cursor on the torn record" cut)
+        true (cur.RR.pos <= cut))
+    [ 1; 7; 23; Bytes.length log - 1; Bytes.length log - 9 ];
+  (* An empty tape serializes to an empty log. *)
+  Alcotest.(check int) "empty tape, empty log" 0
+    (Bytes.length (RR.serialize_tape (Tape.create ())))
+
 let () =
   Alcotest.run "varan_nvx"
     [
@@ -1020,5 +1205,16 @@ let () =
           Alcotest.test_case "trap only" `Quick test_trap_only_mode_equivalent;
           Alcotest.test_case "busy wait" `Quick test_busy_wait_mode_equivalent;
           Alcotest.test_case "ring size 1" `Quick test_tiny_ring_still_correct;
+        ] );
+      ( "tape",
+        [
+          Alcotest.test_case "roundtrip across sealed segments" `Quick
+            test_tape_roundtrip_across_segments;
+          Alcotest.test_case "retire truncates at segment boundary" `Quick
+            test_tape_retire_at_boundary;
+          Alcotest.test_case "bounded memory on a million events" `Slow
+            test_tape_bounded_memory_million_events;
+          Alcotest.test_case "serialize_tape round trip" `Quick
+            test_serialize_tape_roundtrip;
         ] );
     ]

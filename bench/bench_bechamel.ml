@@ -27,6 +27,7 @@ module Tape = Varan_nvx.Tape
 module Checkpoint = Varan_nvx.Checkpoint
 module Kernel = Varan_kernel.Kernel
 module Event = Varan_ringbuf.Event
+module Lanes = Varan_ringbuf.Lanes
 
 let listing1 = Asm.assemble_exn Rules.listing1
 
@@ -136,7 +137,14 @@ let ring_tests =
    every 512 events) and replays only the tape delta behind it. The
    three rows must stay flat — the delta is bounded by the checkpoint
    interval, not by [n] — which is the whole point of rr-style rejoin
-   over full-tape replay. *)
+   over full-tape replay.
+
+   Each row rejoins to a target exactly 256 events past a checkpoint,
+   so all three replay an identical delta and the rows are directly
+   comparable: any spread beyond noise is a real length-dependent cost
+   (the earlier formulation replayed [n mod 512]-ish deltas, which made
+   the 100k row look ~4x faster than the 1k row purely because its
+   target happened to fall nearer a checkpoint). *)
 let rejoin_setup n =
   let tape = Tape.create () in
   let store = Checkpoint.create () in
@@ -162,13 +170,15 @@ let rejoin_setup n =
   (tape, store)
 
 let rejoin tape store n =
+  (* Rejoin target: 256 events past the last checkpoint that fits. *)
+  let at = (((n - 256) / 512) * 512) + 256 in
   let start =
-    match Checkpoint.nearest_any store ~seq:n with
+    match Checkpoint.nearest_any store ~seq:at with
     | Some cp -> cp.Checkpoint.cp_seq
     | None -> 0
   in
   let acc = ref 0 in
-  for i = start to n - 1 do
+  for i = start to at - 1 do
     let e = Tape.get tape i in
     acc := !acc + (e.Tape.t_ret land 0xffff)
   done;
@@ -212,6 +222,72 @@ let engine_test =
                 done));
          E.run eng))
 
+(* The pure ready-ring chain: two tasks ping-pong signal/wait at a
+   constant virtual time, so every dispatch is a same-timestamp ready
+   ring hop (two array stores) rather than a heap push+pop. Together
+   with [engine-1k-task-switches] (the heap/inline consume chain) this
+   pins both halves of the scheduler hot path. *)
+let engine_chain_test =
+  Test.make ~name:"engine-ready-ring-chain-1k"
+    (Staged.stage (fun () ->
+         let eng = E.create () in
+         let ping = E.Cond.create "ping" and pong = E.Cond.create "pong" in
+         ignore
+           (E.spawn eng ~name:"echo" (fun () ->
+                for _ = 1 to 1_000 do
+                  E.Cond.wait ping;
+                  E.Cond.signal pong
+                done));
+         ignore
+           (E.spawn eng ~name:"driver" (fun () ->
+                for _ = 1 to 1_000 do
+                  E.Cond.signal ping;
+                  E.Cond.wait pong
+                done));
+         E.run eng))
+
+(* One lane revolution at 64 threads: a producer publishes 256 events
+   round-robin across 64 tids into a ring; 64 consumer tasks pump the
+   shared [Lanes] demux and drain their own lane. This is the follower
+   replay topology of a 64-thread variant reduced to its moving parts —
+   ring publish, per-tid routing, peek/advance — with the engine's task
+   switching included, as in the other ring rows. *)
+let ring_lanes_cycle () =
+  let nthreads = 64 in
+  let total = 256 in
+  let eng = E.create () in
+  let ring = Ring.create ~size:256 "bench-lanes" in
+  let h = Ring.subscribe ring in
+  let lanes =
+    Lanes.create ~consumer:h
+      ~is_sync:(fun _ -> false)
+      ~on_route:ignore ~capacity:128
+  in
+  let per = total / nthreads in
+  for tid = 0 to nthreads - 1 do
+    ignore
+      (E.spawn eng ~name:(Printf.sprintf "lane%d" tid) (fun () ->
+           let got = ref 0 in
+           while !got < per do
+             Lanes.pump lanes;
+             match Lanes.peek lanes ~tid with
+             | Some _ ->
+               if Lanes.advance lanes ~tid then Ring.poke ring;
+               incr got
+             | None -> Ring.wait_activity ring
+           done))
+  done;
+  ignore
+    (E.spawn eng ~name:"producer" (fun () ->
+         for i = 0 to total - 1 do
+           Ring.publish ring
+             (Event.make ~tid:(i mod nthreads) ~ret:i ~clock:(i + 1) 39)
+         done));
+  E.run eng
+
+let ring_lanes_test =
+  Test.make ~name:"ring-lanes-t64-cycle" (Staged.stage ring_lanes_cycle)
+
 let tests =
   [
     bpf_test;
@@ -223,9 +299,43 @@ let tests =
   ]
   @ ring_tests
   @ rejoin_tests
-  @ [ engine_test ]
+  @ [ engine_test; engine_chain_test; ring_lanes_test ]
 
 let smoke = Sys.getenv_opt "VARAN_BENCH_SMOKE" <> None
+
+(* Minor words allocated by one [Cond.broadcast] with [nwaiters] parked
+   tasks. The wake entries come from the scheduler's slab free-list, so
+   the cost must not scale with the waiter count — the old
+   implementation Queue.copy'd the waiter queue per broadcast, which a
+   64-waiter run exposes immediately. *)
+let broadcast_alloc_words nwaiters =
+  let eng = E.create () in
+  let c = E.Cond.create "bcast" in
+  for _ = 1 to nwaiters do
+    ignore (E.spawn eng (fun () -> E.Cond.wait c))
+  done;
+  let words = ref 0.0 in
+  ignore
+    (E.spawn eng (fun () ->
+         E.consume 10;
+         let before = Gc.minor_words () in
+         E.Cond.broadcast c;
+         words := Gc.minor_words () -. before));
+  E.run eng;
+  !words
+
+let check_broadcast_allocation () =
+  let w2 = broadcast_alloc_words 2 in
+  let w64 = broadcast_alloc_words 64 in
+  Printf.printf
+    "  broadcast allocation: %.0f minor words @2 waiters, %.0f @64\n" w2 w64;
+  if w64 > w2 +. 64.0 then begin
+    Printf.printf
+      "  FAIL: broadcast allocates per waiter (+%.0f words for 62 extra \
+       waiters)\n"
+      (w64 -. w2);
+    exit 1
+  end
 
 let run () =
   print_endline
@@ -268,5 +378,6 @@ let run () =
   Printf.printf "  %-28s %12.1f bytes/event (resident, retained window)\n"
     "tape-bytes-per-event" bpe;
   estimates := ("tape-bytes-per-event", bpe) :: !estimates;
+  check_broadcast_allocation ();
   Report.save_hotpath_json (List.rev !estimates);
   print_newline ()

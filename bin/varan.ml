@@ -397,9 +397,49 @@ let torture_cmd =
              only the tape delta (rr-style fast rejoin). 0 disables \
              checkpointing. Implies $(b,--lifecycle).")
   in
-  let run seed count plan_spec followers verbose lifecycle stall_timeout
+  let futex_arg =
+    Arg.(
+      value & flag
+      & info [ "futex" ]
+          ~doc:
+            "Run contended-futex cases: multi-threaded variants (4–64 \
+             threads) hammering shared futex words, replayed through the \
+             per-tid event lanes. Checks that every alive follower \
+             reproduces the leader's global lock-acquisition order, \
+             digest-for-digest.")
+  in
+  let run seed count plan_spec followers verbose lifecycle futex stall_timeout
       max_restarts min_followers lag_threshold checkpoint_interval =
     let module Lifecycle = Varan_nvx.Lifecycle in
+    if futex then begin
+      let failures = ref 0 in
+      for s = seed to seed + count - 1 do
+        let fc, out, fails = H.run_futex_seed s in
+        if fails = [] then
+          Printf.printf "PASS %s\n" (H.describe_futex_case fc)
+        else begin
+          incr failures;
+          Printf.printf "FAIL %s\n" (H.describe_futex_case fc);
+          List.iter (fun f -> Printf.printf "  %s\n" f) fails
+        end;
+        if verbose then begin
+          List.iter
+            (fun (idx, msg) ->
+              Printf.printf "  crash: variant %d: %s\n" idx msg)
+            out.H.fo_crashes;
+          Array.iteri
+            (fun i d ->
+              Printf.printf "  v%d%s: %s\n" i
+                (if out.H.fo_alive.(i) then "" else " (dead)")
+                d)
+            out.H.fo_digests;
+          Format.printf "  %a@." Oracle.pp_report out.H.fo_report
+        end
+      done;
+      if count > 1 then
+        Printf.printf "%d/%d cases passed\n" (count - !failures) count;
+      exit (if !failures > 0 then 1 else 0)
+    end;
     let lifecycle_on =
       lifecycle
       || Option.is_some stall_timeout
@@ -515,8 +555,9 @@ let torture_cmd =
           native run and the trace-invariant oracle.")
     Term.(
       const run $ seed_arg $ count_arg $ plan_arg $ followers_torture_arg
-      $ verbose_arg $ lifecycle_arg $ stall_timeout_arg $ max_restarts_arg
-      $ min_followers_arg $ lag_threshold_arg $ checkpoint_interval_arg)
+      $ verbose_arg $ lifecycle_arg $ futex_arg $ stall_timeout_arg
+      $ max_restarts_arg $ min_followers_arg $ lag_threshold_arg
+      $ checkpoint_interval_arg)
 
 let replay_cmd =
   let module H = Varan_torture.Harness in

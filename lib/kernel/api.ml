@@ -292,6 +292,14 @@ let futex_wake api uaddr n =
   ret_or_zero api Sysno.Futex
     [| Args.Int uaddr; Args.Int Flags.futex_wake; Args.Int n |]
 
+let futex_lock api uaddr =
+  ret_or_zero api Sysno.Futex
+    [| Args.Int uaddr; Args.Int Flags.futex_lock; Args.Int 0 |]
+
+let futex_unlock api uaddr =
+  ret_or_zero api Sysno.Futex
+    [| Args.Int uaddr; Args.Int Flags.futex_unlock; Args.Int 0 |]
+
 let getrandom api n =
   lift_out (api.sys Sysno.Getrandom [| Args.Buf_out n; Args.Int 0 |])
 

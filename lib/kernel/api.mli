@@ -112,6 +112,17 @@ val clock_gettime_ns : t -> int64
 val nanosleep_us : t -> int -> unit
 val futex_wait : t -> int -> unit
 val futex_wake : t -> int -> int -> int
+
+val futex_lock : t -> int -> int
+(** Acquire the futex word as a PI-style mutex; blocks while held.
+    Returns the word's acquisition index (1-based, monotonic per futex) —
+    under NVX, the streamed result that makes the leader's global
+    lock-acquisition order observable to (and replayed by) followers. *)
+
+val futex_unlock : t -> int -> int
+(** Release a futex word held via {!futex_lock}, waking the oldest
+    queued acquirer. Returns 0, or -EPERM if the word was not held. *)
+
 val getrandom : t -> int -> (Bytes.t, Errno.t) result
 val kill : t -> int -> int -> (unit, Errno.t) result
 

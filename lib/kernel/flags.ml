@@ -31,6 +31,11 @@ let epoll_ctl_mod = 3
 (* futex *)
 let futex_wait = 0
 let futex_wake = 1
+(* PI-style mutex ops (Linux FUTEX_LOCK_PI / FUTEX_UNLOCK_PI): lock
+   returns the word's acquisition index, so a recorded stream encodes
+   the global lock-acquisition order. *)
+let futex_lock = 6
+let futex_unlock = 7
 
 (* signals *)
 let sigint = 2

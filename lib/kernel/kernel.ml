@@ -986,7 +986,12 @@ let do_futex k _proc args =
     | Some s -> s
     | None ->
       let s =
-        { f_cond = Cond.create (Printf.sprintf "futex-%d" uaddr); f_waiters = 0 }
+        {
+          f_cond = Cond.create (Printf.sprintf "futex-%d" uaddr);
+          f_waiters = 0;
+          f_locked = false;
+          f_acq = 0;
+        }
       in
       Hashtbl.replace k.futexes uaddr s;
       s
@@ -1005,6 +1010,31 @@ let do_futex k _proc args =
       Cond.signal s.f_cond
     done;
     Args.ok n
+  end
+  else if op = Flags.futex_lock then begin
+    (* PI-style mutex acquire. The return value is the word's acquisition
+       index — a 1-based global sequence per futex — so a recorded event
+       stream carries the leader's lock-acquisition order explicitly, and
+       followers replaying the stream observe (and can assert) the same
+       order. Contended acquires queue FIFO on the condition variable. *)
+    let s = slot () in
+    while s.f_locked do
+      s.f_waiters <- s.f_waiters + 1;
+      Cond.wait s.f_cond;
+      s.f_waiters <- s.f_waiters - 1
+    done;
+    s.f_locked <- true;
+    s.f_acq <- s.f_acq + 1;
+    Args.ok s.f_acq
+  end
+  else if op = Flags.futex_unlock then begin
+    let s = slot () in
+    if not s.f_locked then Args.err Errno.EPERM
+    else begin
+      s.f_locked <- false;
+      if s.f_waiters > 0 then Cond.signal s.f_cond;
+      Args.ok 0
+    end
   end
   else Args.err Errno.ENOSYS
 

@@ -91,7 +91,16 @@ type proc = {
   gid : int;
 }
 
-type futex_slot = { f_cond : Cond.cond; mutable f_waiters : int }
+type futex_slot = {
+  f_cond : Cond.cond;
+  mutable f_waiters : int;
+  (* futex_lock/futex_unlock (PI-style mutex ops): whether the word is
+     held, and a monotonically increasing acquisition counter — the
+     lock-acquisition order the NVX leader streams for followers to
+     replay. *)
+  mutable f_locked : bool;
+  mutable f_acq : int;
+}
 
 type t = {
   eng : Varan_sim.Engine.t;

@@ -8,6 +8,7 @@ module Errno = Varan_syscall.Errno
 module Cost = Varan_cycles.Cost
 module Ring = Varan_ringbuf.Ring
 module Event = Varan_ringbuf.Event
+module Lanes = Varan_ringbuf.Lanes
 module Pool = Varan_shmem.Pool
 module Lamport = Varan_vclock.Lamport
 module Interp = Varan_bpf.Interp
@@ -77,6 +78,12 @@ type vstate = {
      queue in event-pump mode); [None] when not a consumer there. The
      handle is looked up once at subscription, not per stream access. *)
   mutable consumers : Event.t Ring.consumer option array;
+  (* Per-tid event lanes demultiplexing tuple 0's consumer for
+     multi-threaded variants (sharded sequencer, §3.3.3): sibling threads
+     replay concurrently instead of serializing on the ring head. [None]
+     when head-serialization applies (single unit, process-shaped,
+     event-pump or lifecycle mode, or this variant leads). *)
+  mutable lanes : Lanes.t option;
   (* Rewrite rules compiled to a closure on first divergence; the
      interpreter stays the reference semantics (identical outcome). *)
   mutable compiled_rules : (Interp.ctx -> Interp.outcome) option;
@@ -257,12 +264,25 @@ let finish_rejoin t vst =
     if Lifecycle.state en = Lifecycle.Catching_up && catchup_done vst then
       Lifecycle.transition lc en Lifecycle.Healthy
 
+(* Lanes demultiplex tuple 0 only: forked tuples are process children
+   with a single unit each, so head-serialization costs them nothing. *)
+let lanes_active vst tuple = tuple = 0 && vst.lanes <> None
+
+(* The syscall-number half of the lane sync predicate (the kind half is
+   {!Event.is_ordering_kind}): close frees a granted descriptor slot in
+   every variant, and futex results encode the leader's lock-acquisition
+   order — both are semantics only in global stream order. *)
+let lane_sync_event (e : Event.t) =
+  Event.is_ordering_kind e
+  || e.Event.sysno = Sysno.to_int Sysno.Close
+  || e.Event.sysno = Sysno.to_int Sysno.Futex
+
 let stream_peek t vst tuple =
   if in_catchup vst tuple then
     Some (Tape.event_at t.tapes.(tuple) vst.catchup_pos.(tuple))
   else Ring.peek_h (stream_consumer vst tuple)
 
-let stream_advance t vst tuple =
+let stream_advance t vst tuple ~tid =
   if in_catchup vst tuple then begin
     vst.catchup_pos.(tuple) <- vst.catchup_pos.(tuple) + 1;
     if vst.catchup_pos.(tuple) >= vst.catchup_until.(tuple) then begin
@@ -274,7 +294,18 @@ let stream_advance t vst tuple =
        the head — wake them. *)
     Ring.poke t.rings.(tuple)
   end
-  else ignore (Ring.try_consume_h (stream_consumer vst tuple))
+  else
+    match vst.lanes with
+    | Some ln when tuple = 0 ->
+      (* Consuming a lane event can unblock the demux (barrier lifted,
+         lanes emptied): poke the ring so parked siblings re-pump. *)
+      if Lanes.advance ln ~tid then Ring.poke t.rings.(tuple)
+    | _ -> ignore (Ring.try_consume_h (stream_consumer vst tuple))
+
+(* Coalescing state is per head event. With one shared cursor that means
+   per tuple; with lanes every tid has its own head, so the key shards by
+   tid (lanes imply a single tuple, so the key spaces cannot collide). *)
+let partial_key vst tuple ~tid = if lanes_active vst tuple then tid else tuple
 
 let stream_wait t vst tuple = Ring.wait_activity (follower_queue t vst tuple)
 
@@ -284,6 +315,13 @@ let wait_activity_timeout t vst tuple budget =
 let stream_lag _t vst tuple =
   let live =
     match vst.consumers.(tuple) with Some c -> Ring.lag_h c | None -> 0
+  in
+  (* Routed-but-unreplayed lane events have passed the ring cursor but
+     are still this follower's backlog. *)
+  let live =
+    match vst.lanes with
+    | Some ln when tuple = 0 -> live + Lanes.outstanding ln
+    | _ -> live
   in
   if in_catchup vst tuple then
     live + (vst.catchup_until.(tuple) - vst.catchup_pos.(tuple))
@@ -299,6 +337,13 @@ let stream_position vst tuple =
    references go away with its cursor, or the chunks leak (caught by the
    oracle's pool-balance invariant). *)
 let stream_remove t vst =
+  (* Lane events already passed the ring cursor, so [Ring.unread_h] below
+     cannot see them: release their payloads from the lanes themselves. *)
+  (match vst.lanes with
+  | Some ln ->
+    List.iter (release_payload t) (Lanes.drain ln);
+    vst.lanes <- None
+  | None -> ());
   Array.iteri
     (fun tuple c ->
       match c with
@@ -1097,54 +1142,91 @@ let charge_wait_cost t vst sysno blocked_cycles ~slept =
     Int64.add vst.st.wait_charge_cycles (Int64.of_int charge);
   E.consume charge
 
-(* Wait until the head event of this unit's stream is addressed to this
-   unit. Raises [Promote] when the variant has been elected leader and the
+(* The adaptive wait for a stream that has nothing for this unit yet:
+   spin for a short window first; only if nothing arrives does the
+   follower sleep in the futex — and only sleeping followers force the
+   leader to pay a wake on publish (§3.3.1). *)
+let follower_wait t vst tuple sysno =
+  let t0 = E.now_cycles () in
+  let uses_waitlock =
+    t.cfg.Config.follower_wait = Config.Waitlock && Sysno.is_blocking sysno
+  in
+  let slept =
+    if not uses_waitlock then begin
+      stream_wait t vst tuple;
+      false
+    end
+    else if
+      wait_activity_timeout t vst tuple t.cost.Cost.waitlock_spin_cycles
+    then false
+    else begin
+      t.waitlock_sleepers.(tuple) <- t.waitlock_sleepers.(tuple) + 1;
+      Fun.protect
+        ~finally:(fun () ->
+          t.waitlock_sleepers.(tuple) <- t.waitlock_sleepers.(tuple) - 1)
+        (fun () -> stream_wait t vst tuple);
+      true
+    end
+  in
+  let blocked = Int64.sub (E.now_cycles ()) t0 in
+  charge_wait_cost t vst sysno blocked ~slept
+
+(* Wait until this unit's stream has an event addressed to this unit.
+   Raises [Promote] when the variant has been elected leader and the
    stream is drained, and [Divergence_kill] when no leader remains. *)
 let rec await_event t vst ~unit_idx ~tuple sysno =
-  match stream_peek t vst tuple with
-  | Some e when e.Event.tid = vst.unit_tid.(unit_idx) -> e
-  | Some _ ->
-    (* Head event belongs to a sibling thread; wait for it to advance. *)
-    stream_wait t vst tuple;
-    await_event t vst ~unit_idx ~tuple sysno
-  | None ->
-    if t.leader_idx = vst.idx then raise Promote
-    else if not t.vstates.(t.leader_idx).alive && alive_followers t = 0 then begin
-      (* Nobody can feed this stream again: degrade to native execution
-         with a reported reason and unwind this unit quietly instead of
-         escaping with Divergence_kill. *)
-      degrade t "no leader remains";
-      raise E.Killed
-    end
-    else begin
-      let t0 = E.now_cycles () in
-      let uses_waitlock =
-        t.cfg.Config.follower_wait = Config.Waitlock && Sysno.is_blocking sysno
-      in
-      (* Adaptive waiting: spin for a short window first; only if nothing
-         arrives does the follower sleep in the futex — and only sleeping
-         followers force the leader to pay a wake on publish (§3.3.1). *)
-      let slept =
-        if not uses_waitlock then begin
-          stream_wait t vst tuple;
-          false
-        end
-        else if
-          wait_activity_timeout t vst tuple t.cost.Cost.waitlock_spin_cycles
-        then false
+  (* A sibling thread may have promoted the whole variant while this unit
+     was parked: take the leader path instead of reading the (gone)
+     consumer. *)
+  if vst.promoted.(unit_idx) then raise Promote;
+  match vst.lanes with
+  | Some ln when tuple = 0 -> (
+    Lanes.pump ln;
+    match Lanes.peek ln ~tid:vst.unit_tid.(unit_idx) with
+    | Some e -> e
+    | None ->
+      if t.leader_idx = vst.idx then
+        if Lanes.is_empty ln then
+          (* A just-run pump plus empty lanes means the ring is drained
+             too (a sync event would have been routed): promotion-safe. *)
+          raise Promote
         else begin
-          t.waitlock_sleepers.(tuple) <- t.waitlock_sleepers.(tuple) + 1;
-          Fun.protect
-            ~finally:(fun () ->
-              t.waitlock_sleepers.(tuple) <- t.waitlock_sleepers.(tuple) - 1)
-            (fun () -> stream_wait t vst tuple);
-          true
+          (* Elected, but siblings still hold routed events that must be
+             replayed before this variant leads; their last consume pokes
+             the ring. *)
+          stream_wait t vst tuple;
+          await_event t vst ~unit_idx ~tuple sysno
         end
-      in
-      let blocked = Int64.sub (E.now_cycles ()) t0 in
-      charge_wait_cost t vst sysno blocked ~slept;
+      else if not t.vstates.(t.leader_idx).alive && alive_followers t = 0
+      then begin
+        degrade t "no leader remains";
+        raise E.Killed
+      end
+      else begin
+        follower_wait t vst tuple sysno;
+        await_event t vst ~unit_idx ~tuple sysno
+      end)
+  | _ -> (
+    match stream_peek t vst tuple with
+    | Some e when e.Event.tid = vst.unit_tid.(unit_idx) -> e
+    | Some _ ->
+      (* Head event belongs to a sibling thread; wait for it to advance. *)
+      stream_wait t vst tuple;
       await_event t vst ~unit_idx ~tuple sysno
-    end
+    | None ->
+      if t.leader_idx = vst.idx then raise Promote
+      else if not t.vstates.(t.leader_idx).alive && alive_followers t = 0
+      then begin
+        (* Nobody can feed this stream again: degrade to native execution
+           with a reported reason and unwind this unit quietly instead of
+           escaping with Divergence_kill. *)
+        degrade t "no leader remains";
+        raise E.Killed
+      end
+      else begin
+        follower_wait t vst tuple sysno;
+        await_event t vst ~unit_idx ~tuple sysno
+      end)
 
 let decode_event_result t vst (disp : Syscall_table.disposition) proc
     (e : Event.t) : Args.result =
@@ -1253,12 +1335,18 @@ let rec follower_replay t vst ~unit_idx ~tuple proc
     (disp : Syscall_table.disposition) sysno args =
   fault_follower_hook t vst tuple;
   let e = await_event t vst ~unit_idx ~tuple sysno in
+  let tid = vst.unit_tid.(unit_idx) in
+  (* With lanes the clock check already ran at demux time (in stream
+     order); per-tid consumption order would trip it here. *)
+  let check_clock = t.cfg.Config.enforce_clock_order
+                    && not (lanes_active vst tuple) in
+  let pkey = partial_key vst tuple ~tid in
   if e.Event.kind = Event.Ev_signal then begin
     (* A signal the leader received at this point in the stream: consume
        the event and run our own handler, then resume the pending call. *)
-    if t.cfg.Config.enforce_clock_order then
+    if check_clock then
       ignore (Lamport.try_advance vst.clocks.(tuple) e.Event.clock);
-    stream_advance t vst tuple;
+    stream_advance t vst tuple ~tid;
     E.consume t.cost.Cost.consume_event;
     vst.st.events_consumed <- vst.st.events_consumed + 1;
     run_signal_handler proc e.Event.sysno;
@@ -1276,21 +1364,21 @@ let rec follower_replay t vst ~unit_idx ~tuple proc
     &&
     let requested = Args.payload_size args in
     let used =
-      Option.value ~default:0 (Hashtbl.find_opt vst.partial_consumed tuple)
+      Option.value ~default:0 (Hashtbl.find_opt vst.partial_consumed pkey)
     in
     requested > 0 && e.Event.ret - used > requested
   then begin
     let requested = Args.payload_size args in
     let used =
-      Option.value ~default:0 (Hashtbl.find_opt vst.partial_consumed tuple)
+      Option.value ~default:0 (Hashtbl.find_opt vst.partial_consumed pkey)
     in
-    Hashtbl.replace vst.partial_consumed tuple (used + requested);
+    Hashtbl.replace vst.partial_consumed pkey (used + requested);
     E.consume t.cost.Cost.consume_event;
     vst.st.divergences_coalesced <- vst.st.divergences_coalesced + 1;
     { Args.ret = requested; out = None; fd_object = None }
   end
   else if e.Event.sysno = Sysno.to_int sysno then begin
-    if t.cfg.Config.enforce_clock_order then begin
+    if check_clock then begin
       let ok = Lamport.try_advance vst.clocks.(tuple) e.Event.clock in
       (* With a shared cursor the head event always carries the next
          timestamp; a violation indicates stream corruption. *)
@@ -1304,14 +1392,14 @@ let rec follower_replay t vst ~unit_idx ~tuple proc
     (* If earlier coalesced calls took a prefix of this event, this final
        call receives only the remainder. *)
     let remainder_adjust r =
-      match Hashtbl.find_opt vst.partial_consumed tuple with
+      match Hashtbl.find_opt vst.partial_consumed pkey with
       | Some used when used > 0
                        && Sysno.transfer_class sysno = Sysno.In_buffer ->
-        Hashtbl.remove vst.partial_consumed tuple;
+        Hashtbl.remove vst.partial_consumed pkey;
         { r with Args.ret = max 0 (r.Args.ret - used) }
       | _ -> r
     in
-    stream_advance t vst tuple;
+    stream_advance t vst tuple ~tid;
     if e.Event.kind = Event.Ev_exit then begin
       (* The leader exited here: the follower's process must die too, so
          execute the exit locally (it unwinds the unit task). *)
@@ -1340,9 +1428,9 @@ let rec follower_replay t vst ~unit_idx ~tuple proc
     | Rules.Skip_leader_event ->
       log_divergence t vst e sysno "skip-leader-event";
       vst.st.divergences_skipped <- vst.st.divergences_skipped + 1;
-      if t.cfg.Config.enforce_clock_order then
+      if check_clock then
         ignore (Lamport.try_advance vst.clocks.(tuple) e.Event.clock);
-      stream_advance t vst tuple;
+      stream_advance t vst tuple ~tid;
       (* Keep descriptor tables aligned even for skipped events. *)
       (match e.Event.grant with
       | Some g -> K.install_grant t.k proc (Obj.obj g : K.fd_grant)
@@ -1366,6 +1454,14 @@ let do_promote t vst ~unit_idx ~tuple =
   | Variant.Thread ->
     Array.fill vst.promoted 0 (Array.length vst.promoted) true
   | Variant.Process -> vst.promoted.(unit_idx) <- true);
+  (* A leader does not demultiplex: lanes go away with the consumer
+     (they are empty here — promotion requires a drained stream — so the
+     drain is a safety net for the payload invariant). *)
+  (match vst.lanes with
+  | Some ln ->
+    List.iter (release_payload t) (Lanes.drain ln);
+    vst.lanes <- None
+  | None -> ());
   (match t.pump_queues with
   | None -> (
     match vst.consumers.(tuple) with
@@ -1374,6 +1470,9 @@ let do_promote t vst ~unit_idx ~tuple =
       vst.consumers.(tuple) <- None
     | None -> ())
   | Some _ -> ());
+  (* Sibling units parked on stream activity must re-examine the world:
+     they now find [promoted] set and take the leader path themselves. *)
+  Ring.poke t.rings.(tuple);
   if vst.vrole = Follower then begin
     vst.vrole <- Leader;
     vst.table <- Syscall_table.leader;
@@ -1634,9 +1733,9 @@ and nvx_fork t vst ~unit_idx parent_proc body =
         raise
           (Divergence_kill
              "follower called fork but the leader streamed another event");
-      if t.cfg.Config.enforce_clock_order then
+      if t.cfg.Config.enforce_clock_order && not (lanes_active vst tuple) then
         ignore (Lamport.try_advance vst.clocks.(tuple) e.Event.clock);
-      stream_advance t vst tuple;
+      stream_advance t vst tuple ~tid:vst.unit_tid.(unit_idx);
       E.consume t.cost.Cost.consume_event;
       vst.st.events_consumed <- vst.st.events_consumed + 1;
       let new_tu = e.Event.args.(0) in
@@ -1754,6 +1853,7 @@ let launch ?(config = Config.default) k variants =
           main_proc = None;
           unit_procs = [||];
           consumers = Array.make ntuples None;
+          lanes = None;
           compiled_rules = None;
           clocks =
             (match shape.Variant.unit_kind with
@@ -1855,12 +1955,43 @@ let launch ?(config = Config.default) k variants =
   (* Register ring consumers for followers (and pump consumers). *)
   (match pump_queues with
   | None ->
+    (* Multi-threaded variants get per-tid lanes in front of the ring;
+       catch-up replay (lifecycle mode) reads the tape through the shared
+       cursor, so lanes are reserved for the live-only configuration. *)
+    let use_lanes =
+      config.Config.lifecycle = None
+      && shape.Variant.units > 1
+      && shape.Variant.unit_kind = Variant.Thread
+    in
     Array.iter
       (fun vst ->
-        if vst.idx <> 0 then
+        if vst.idx <> 0 then begin
           for tu = 0 to ntuples - 1 do
             vst.consumers.(tu) <- Some (Ring.subscribe rings.(tu))
-          done)
+          done;
+          if use_lanes then
+            vst.lanes <-
+              Some
+                (Lanes.create
+                   ~consumer:(stream_consumer vst 0)
+                   ~is_sync:lane_sync_event
+                   ~capacity:(max 64 (2 * shape.Variant.units))
+                   ~on_route:(fun e ->
+                     (* The Lamport check runs here, at demux time, where
+                        stream order is still visible (§3.3.3). *)
+                     if config.Config.enforce_clock_order then
+                       let ok =
+                         Lamport.try_advance vst.clocks.(0) e.Event.clock
+                       in
+                       if not ok then
+                         raise
+                           (Divergence_kill
+                              (Printf.sprintf
+                                 "clock violation at demux: at %d got stamp \
+                                  %d"
+                                 (Lamport.current vst.clocks.(0))
+                                 e.Event.clock))))
+        end)
       vstates
   | Some pq ->
     (* The pump is the only consumer of the leader's queues; followers

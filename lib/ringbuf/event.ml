@@ -29,6 +29,14 @@ let make ?(kind = Ev_syscall) ?(tid = 0) ?(args = [||]) ?(ret = 0) ?payload
 
 let fits_inline e = e.payload = None
 
+(* The kind-level half of the per-tid lane sync predicate: events whose
+   replay must stay in global stream order regardless of which thread
+   consumes them. Fork/exit/signal reshape the variant; a descriptor
+   grant allocates fd numbers, which must match the leader's allocation
+   order across sibling threads. Syscall-number-based refinements (close,
+   futex) live with the layer that knows the numbering. *)
+let is_ordering_kind e = e.kind <> Ev_syscall || e.grant <> None
+
 let kind_name = function
   | Ev_syscall -> "syscall"
   | Ev_signal -> "signal"

@@ -6,37 +6,115 @@ exception Budget_exceeded of int64
 
 type task_state = Runnable | Blocked | Finished | Dead
 
+(* ------------------------------------------------------------------ *)
+(* Core types. Virtual time is int64 at the API boundary but a plain   *)
+(* (63-bit) immediate int internally: cycle counts stay far below      *)
+(* 2^62, and immediate arithmetic keeps the dispatch path free of      *)
+(* int64 boxing and write barriers. Tasks carry a reusable resumption  *)
+(* frame; dispatch entries are slab-allocated and recycled through a   *)
+(* free list.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The parked continuation of a suspended task. Exactly one entry (or
+   cond waiter) owns the right to resume it; taking the frame
+   (resetting it to [K_none]) transfers ownership to the dispatcher, so
+   a one-shot continuation can never be resumed twice. *)
+type frame_k =
+  | K_none
+  | K_unit of (unit, unit) Effect.Deep.continuation
+  | K_bool of (bool, unit) Effect.Deep.continuation
+
 type task = {
   id : task_id;
   name : string;
-  mutable time : int64; (* local virtual clock, cycles *)
+  mutable time : int; (* local virtual clock, cycles *)
   mutable state : task_state;
-  (* Set while the task is parked on a condition variable (no scheduled
-     resumption exists): given a wake time, schedule a [discontinue Killed]
-     so the fiber unwinds. Cleared on resume. *)
-  mutable on_kill : (int64 -> unit) option;
   mutable killed : bool;
+  (* Reusable resumption frame: instead of capturing the continuation in
+     a fresh closure per effect, the fast paths (consume/sleep/yield/
+     wait) park it here and schedule a plain [Ek_resume] entry pointing
+     back at the task. *)
+  mutable fr_k : frame_k;
+  (* Set while parked on a condition variable and not yet claimed by a
+     signaller: lets kill (and an expiring [wait_timeout] deadline)
+     claim the waiter in O(1). *)
+  mutable fr_waiter : cond_waiter option;
+  (* The pending [wait_timeout] deadline entry, if any: an early signal
+     or kill cancels it in O(1) instead of leaving a tombstone that
+     later dispatches as a no-op. *)
+  mutable fr_deadline : entry option;
 }
 
-type entry = {
-  etime : int64;
-  eseq : int;
-  mutable cancelled : bool;
-  run : unit -> unit;
+and entry = {
+  mutable etime : int;
+  mutable eseq : int;
+  mutable ekind : ekind;
+  mutable e_task : task; (* [dummy_task] unless [ekind = Ek_resume] *)
+  mutable e_fn : unit -> unit; (* only read when [ekind = Ek_run] *)
+  mutable e_flag : bool; (* resume value for [K_bool] frames *)
+  mutable e_free : entry; (* free-list link; self when not on the list *)
 }
+
+and ekind =
+  | Ek_cancelled (* inert: skipped (and recycled) without dispatching *)
+  | Ek_resume (* resume [e_task]'s frame *)
+  | Ek_run (* run [e_fn] — spawn bootstrap *)
+
+and cond_waiter = {
+  w_task : task;
+  w_cond : cond;
+  mutable w_claimed : bool;
+}
+
+and cond = {
+  c_name : string;
+  c_waiters : cond_waiter Queue.t;
+  (* Unclaimed waiters currently parked: kept exact at every claim site so
+     signallers can test "anyone there?" in O(1). The ring buffer's
+     targeted-wakeup policy reads this on every publish/consume, so it
+     must not degrade into a queue walk. *)
+  mutable c_nwaiters : int;
+}
+
+let rec dummy_task =
+  {
+    id = -1;
+    name = "<dummy>";
+    time = 0;
+    state = Dead;
+    killed = true;
+    fr_k = K_none;
+    fr_waiter = None;
+    fr_deadline = None;
+  }
+
+and dummy_entry =
+  {
+    etime = 0;
+    eseq = 0;
+    ekind = Ek_cancelled;
+    e_task = dummy_task;
+    e_fn = ignore;
+    e_flag = false;
+    e_free = dummy_entry;
+  }
+
+let dummy_cond =
+  { c_name = "<dummy>"; c_waiters = Queue.create (); c_nwaiters = 0 }
 
 module Heap = struct
   (* Binary min-heap on (etime, eseq); eseq breaks ties FIFO so execution
-     order is deterministic. *)
+     order is deterministic. Holds only genuinely future wakeups — due-now
+     entries go to the ready ring instead. *)
   type t = { mutable a : entry array; mutable len : int }
 
-  let dummy = { etime = 0L; eseq = 0; cancelled = true; run = ignore }
-  let create () = { a = Array.make 256 dummy; len = 0 }
+  let create () = { a = Array.make 256 dummy_entry; len = 0 }
+
   let lt x y = x.etime < y.etime || (x.etime = y.etime && x.eseq < y.eseq)
 
   let push h e =
     if h.len = Array.length h.a then begin
-      let bigger = Array.make (2 * h.len) dummy in
+      let bigger = Array.make (2 * h.len) dummy_entry in
       Array.blit h.a 0 bigger 0 h.len;
       h.a <- bigger
     end;
@@ -51,49 +129,64 @@ module Heap = struct
       i := p
     done
 
-  let peek h = if h.len = 0 then None else Some h.a.(0)
-
-  let pop h =
-    if h.len = 0 then None
-    else begin
-      let top = h.a.(0) in
-      h.len <- h.len - 1;
-      h.a.(0) <- h.a.(h.len);
-      h.a.(h.len) <- dummy;
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.len && lt h.a.(l) h.a.(!smallest) then smallest := l;
-        if r < h.len && lt h.a.(r) h.a.(!smallest) then smallest := r;
-        if !smallest = !i then continue := false
-        else begin
-          let tmp = h.a.(!smallest) in
-          h.a.(!smallest) <- h.a.(!i);
-          h.a.(!i) <- tmp;
-          i := !smallest
-        end
-      done;
-      Some top
-    end
+  (* Caller must check [len > 0]; no option allocation on the hot path. *)
+  let pop_top h =
+    let top = h.a.(0) in
+    h.len <- h.len - 1;
+    h.a.(0) <- h.a.(h.len);
+    h.a.(h.len) <- dummy_entry;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && lt h.a.(l) h.a.(!smallest) then smallest := l;
+      if r < h.len && lt h.a.(r) h.a.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.a.(!smallest) in
+        h.a.(!smallest) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
 end
 
-type cond_waiter = {
-  w_task : task;
-  mutable w_claimed : bool;
-  w_wake : int64 -> unit; (* schedule resumption at the given wake time *)
-}
+module Ready = struct
+  (* Flat FIFO ring of due-now entries. Scheduling never places an entry
+     in the past (see [enqueue]), so everything here carries
+     [etime = global_time] and FIFO order coincides with (etime, eseq)
+     order — a same-timestamp resumption chain costs two array stores
+     instead of a heap push + pop. Capacity is a power of two. *)
+  type t = { mutable a : entry array; mutable head : int; mutable len : int }
 
-type cond = {
-  c_name : string;
-  c_waiters : cond_waiter Queue.t;
-  (* Unclaimed waiters currently parked: kept exact at every claim site so
-     signallers can test "anyone there?" in O(1). The ring buffer's
-     targeted-wakeup policy reads this on every publish/consume, so it
-     must not degrade into a queue walk. *)
-  mutable c_nwaiters : int;
-}
+  let create () = { a = Array.make 256 dummy_entry; head = 0; len = 0 }
+
+  let grow r =
+    let n = Array.length r.a in
+    let bigger = Array.make (2 * n) dummy_entry in
+    for i = 0 to r.len - 1 do
+      bigger.(i) <- r.a.((r.head + i) land (n - 1))
+    done;
+    r.a <- bigger;
+    r.head <- 0
+
+  let push r e =
+    if r.len = Array.length r.a then grow r;
+    r.a.((r.head + r.len) land (Array.length r.a - 1)) <- e;
+    r.len <- r.len + 1
+
+  (* Caller must check [len > 0]. *)
+  let front r = r.a.(r.head)
+
+  let pop r =
+    let e = r.a.(r.head) in
+    r.a.(r.head) <- dummy_entry;
+    r.head <- (r.head + 1) land (Array.length r.a - 1);
+    r.len <- r.len - 1;
+    e
+end
 
 (* Every transition of [w_claimed] from false to true goes through here so
    the waiter count stays exact. *)
@@ -109,21 +202,31 @@ let claim_waiter c w =
    its watchdogs. Callbacks run outside any task and must not perform
    engine effects; they may call [spawn] to delegate work to a task. *)
 type ticker = {
-  tk_period : int64;
-  mutable tk_next : int64;
+  tk_period : int;
+  mutable tk_next : int;
   tk_fn : unit -> bool; (* [false] deactivates the ticker *)
   mutable tk_active : bool;
 }
 
 type t = {
   heap : Heap.t;
+  ready : Ready.t;
+  mutable free : entry; (* slab free list; [dummy_entry] = empty *)
   mutable seq : int;
   mutable next_id : task_id;
   tasks : (task_id, task) Hashtbl.t;
-  mutable global_time : int64;
+  mutable global_time : int;
   mutable failure_list : (task_id * exn) list; (* reversed *)
   mutable tickers : ticker list;
-  mutable switches : int; (* heap entries dispatched — task switches *)
+  (* Earliest [tk_next] over active tickers ([max_int] if none),
+     maintained at add/fire/deactivate so the dispatch loop pays one
+     compare instead of a list fold per iteration. *)
+  mutable tick_due : int;
+  (* The active [drain]'s cycle budget ([max_int] outside a budgeted
+     run): the inline dispatch fast path must divert to the slow path
+     rather than silently run past it. *)
+  mutable cur_budget : int;
+  mutable switches : int; (* entries dispatched — task switches *)
 }
 
 (* Process-wide mirror of every engine's dispatch count: the scheduler
@@ -131,42 +234,50 @@ type t = {
    of one such dispatch). *)
 let g_switches = Varan_util.Stats.counter "engine.task_switches"
 
+(* Payload side-slots for the hot effects: a constant effect constructor
+   allocates nothing at [perform], so the wrappers stash their argument
+   here and the handler reads it back synchronously (tasks are
+   cooperative and effects are handled before the wrapper returns, so a
+   slot is never live across two performs). *)
+let pending_int = ref 0
+let pending_cond = ref dummy_cond
+
 type _ Effect.t +=
-  | E_consume : int -> unit Effect.t
-  | E_sleep : int -> unit Effect.t
+  | E_consume : unit Effect.t (* cycles in [pending_int] *)
+  | E_sleep : unit Effect.t (* cycles in [pending_int] *)
   | E_now : int64 Effect.t
   | E_self : task_id Effect.t
   | E_spawn : (string option * (unit -> unit)) -> task_id Effect.t
   | E_kill : task_id -> unit Effect.t
   | E_yield : unit Effect.t
-  | E_wait : cond -> unit Effect.t
-  | E_wait_timeout : (cond * int) -> bool Effect.t
-  | E_signal : cond -> unit Effect.t
-  | E_broadcast : cond -> unit Effect.t
+  | E_wait : unit Effect.t (* cond in [pending_cond] *)
+  | E_wait_timeout : bool Effect.t (* cond + cycles in the slots *)
+  | E_signal : unit Effect.t (* cond in [pending_cond] *)
+  | E_broadcast : unit Effect.t (* cond in [pending_cond] *)
 
 let create () =
   {
     heap = Heap.create ();
+    ready = Ready.create ();
+    free = dummy_entry;
     seq = 0;
     next_id = 0;
     tasks = Hashtbl.create 64;
-    global_time = 0L;
+    global_time = 0;
     failure_list = [];
     tickers = [];
+    tick_due = max_int;
+    cur_budget = max_int;
     switches = 0;
   }
 
 let add_ticker t ~period fn =
   if period <= 0 then invalid_arg "Engine.add_ticker: period must be positive";
-  let period = Int64.of_int period in
+  let next = t.global_time + period in
   t.tickers <-
-    {
-      tk_period = period;
-      tk_next = Int64.add t.global_time period;
-      tk_fn = fn;
-      tk_active = true;
-    }
-    :: t.tickers
+    { tk_period = period; tk_next = next; tk_fn = fn; tk_active = true }
+    :: t.tickers;
+  if next < t.tick_due then t.tick_due <- next
 
 let next_due_ticker t =
   List.fold_left
@@ -178,13 +289,73 @@ let next_due_ticker t =
         | _ -> Some tk)
     None t.tickers
 
-let schedule t time run =
-  let e = { etime = time; eseq = t.seq; cancelled = false; run } in
-  t.seq <- t.seq + 1;
-  Heap.push t.heap e;
+let refresh_tick_due t =
+  t.tick_due <-
+    List.fold_left
+      (fun acc tk -> if tk.tk_active && tk.tk_next < acc then tk.tk_next else acc)
+      max_int t.tickers
+
+(* ------------------------------------------------------------------ *)
+(* Entry slab                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_entry t ~time ~kind =
+  let e = t.free in
+  if e == dummy_entry then begin
+    let e =
+      {
+        etime = time;
+        eseq = t.seq;
+        ekind = kind;
+        e_task = dummy_task;
+        e_fn = ignore;
+        e_flag = false;
+        e_free = dummy_entry;
+      }
+    in
+    t.seq <- t.seq + 1;
+    e
+  end
+  else begin
+    t.free <- e.e_free;
+    e.e_free <- dummy_entry;
+    e.etime <- time;
+    e.eseq <- t.seq;
+    t.seq <- t.seq + 1;
+    e.ekind <- kind;
+    e.e_flag <- false;
+    e
+  end
+
+let recycle t e =
+  e.ekind <- Ek_cancelled;
+  e.e_task <- dummy_task;
+  e.e_fn <- ignore;
+  e.e_free <- t.free;
+  t.free <- e
+
+(* Tasks never schedule in the past (a running task's local clock equals
+   the global clock, and cond wakes clamp with [max]), so due-now means
+   [etime = global_time] exactly and the ready ring preserves the
+   documented (etime, eseq) total order. The [<=] is defensive. *)
+let enqueue t e =
+  if e.etime <= t.global_time then Ready.push t.ready e
+  else Heap.push t.heap e
+
+let sched_resume t time task =
+  let e = alloc_entry t ~time ~kind:Ek_resume in
+  e.e_task <- task;
+  enqueue t e;
   e
 
-let now t = t.global_time
+let sched_run t time fn =
+  let e = alloc_entry t ~time ~kind:Ek_run in
+  e.e_fn <- fn;
+  enqueue t e
+
+let cancel_entry e = e.ekind <- Ek_cancelled
+
+let now t = Int64.of_int t.global_time
 
 let task_name t id =
   match Hashtbl.find_opt t.tasks id with Some task -> task.name | None -> "?"
@@ -197,10 +368,25 @@ let is_alive t id =
 let failures t = List.rev t.failure_list
 let task_switches t = t.switches
 
-let max64 a b : int64 = if a > b then a else b
+let maxi (a : int) b = if a > b then a else b
+
+(* Schedule the resumption of a claimed waiter's task: clear the park
+   bookkeeping, cancel any pending deadline, and hand the wake time to a
+   reusable [Ek_resume] entry. [e_flag = true] marks "signalled" for
+   [wait_timeout] frames; plain waits ignore it. *)
+let wake_waiter t w at =
+  let task = w.w_task in
+  task.fr_waiter <- None;
+  (match task.fr_deadline with
+  | Some d ->
+    cancel_entry d;
+    task.fr_deadline <- None
+  | None -> ());
+  let e = sched_resume t (maxi at task.time) task in
+  e.e_flag <- true
 
 (* Wake one claimable waiter of [c] at a time not before [at]. *)
-let signal_at c at =
+let signal_at t c at =
   let rec pop () =
     if not (Queue.is_empty c.c_waiters) then begin
       let w = Queue.pop c.c_waiters in
@@ -211,23 +397,46 @@ let signal_at c at =
       end
       else begin
         claim_waiter c w;
-        w.w_wake (max64 at w.w_task.time)
+        wake_waiter t w at
       end
     end
   in
   pop ()
 
-let broadcast_at c at =
-  let pending = Queue.copy c.c_waiters in
-  Queue.clear c.c_waiters;
-  Queue.iter
-    (fun w ->
-      if not w.w_claimed then begin
-        let dead = w.w_task.state = Dead in
-        claim_waiter c w;
-        if not dead then w.w_wake (max64 at w.w_task.time)
-      end)
-    pending
+(* Drain in place: tasks are cooperative and this loop performs no
+   engine effect, so no waiter can register while it runs — the
+   defensive queue copy the previous implementation paid per broadcast
+   is not needed. Claimed waiters (already woken, killed, or timed out)
+   are simply dropped. *)
+let broadcast_at t c at =
+  while not (Queue.is_empty c.c_waiters) do
+    let w = Queue.pop c.c_waiters in
+    if not w.w_claimed then begin
+      let dead = w.w_task.state = Dead in
+      claim_waiter c w;
+      if not dead then wake_waiter t w at
+    end
+  done
+
+(* Inline dispatch fast path: when the performing task's resumption at
+   [nt] would be the scheduler's very next pick — nothing due in the
+   ready ring, every heap entry strictly later, no ticker deadline to
+   cross, budget not hit — parking it and immediately dispatching it is
+   equivalent to continuing it in place. The park/resume round trip
+   through the scheduler stack costs ~4x an inline continue, so consume
+   chains (cost charging, the hottest effect in the system) skip it
+   entirely. The strict [>] on the heap top keeps (etime, eseq) order:
+   an equal-time heap entry was scheduled earlier and must run first. *)
+let[@inline] can_inline t nt =
+  t.ready.Ready.len = 0
+  && (t.heap.Heap.len = 0 || t.heap.Heap.a.(0).etime > nt)
+  && t.tick_due >= nt
+  && nt <= t.cur_budget
+
+let[@inline] note_inline_switch t nt =
+  t.global_time <- nt;
+  t.switches <- t.switches + 1;
+  Varan_util.Stats.incr_counter g_switches
 
 let rec make_fiber : t -> task -> (unit -> unit) -> unit =
  fun t task f ->
@@ -245,34 +454,40 @@ let rec make_fiber : t -> task -> (unit -> unit) -> unit =
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
-          | E_consume n ->
+          | E_consume ->
             Some
               (fun (k : (a, unit) continuation) ->
                 if task.killed then discontinue k Killed
                 else begin
-                  task.time <- Int64.add task.time (Int64.of_int n);
-                  ignore
-                    (schedule t task.time (fun () ->
-                         if task.killed then discontinue k Killed
-                         else continue k ()))
+                  let nt = task.time + !pending_int in
+                  task.time <- nt;
+                  if can_inline t nt then begin
+                    note_inline_switch t nt;
+                    continue k ()
+                  end
+                  else begin
+                    task.fr_k <- K_unit k;
+                    ignore (sched_resume t nt task)
+                  end
                 end)
-          | E_sleep n ->
+          | E_sleep ->
             Some
               (fun (k : (a, unit) continuation) ->
                 if task.killed then discontinue k Killed
                 else begin
-                  task.state <- Blocked;
-                  let wake = Int64.add task.time (Int64.of_int n) in
-                  ignore
-                    (schedule t wake (fun () ->
-                         if task.killed then discontinue k Killed
-                         else begin
-                           task.state <- Runnable;
-                           task.time <- wake;
-                           continue k ()
-                         end))
+                  let nt = task.time + !pending_int in
+                  if can_inline t nt then begin
+                    task.time <- nt;
+                    note_inline_switch t nt;
+                    continue k ()
+                  end
+                  else begin
+                    task.state <- Blocked;
+                    task.fr_k <- K_unit k;
+                    ignore (sched_resume t nt task)
+                  end
                 end)
-          | E_now -> Some (fun k -> continue k task.time)
+          | E_now -> Some (fun k -> continue k (Int64.of_int task.time))
           | E_self -> Some (fun k -> continue k task.id)
           | E_spawn (name, body) ->
             Some
@@ -291,112 +506,66 @@ let rec make_fiber : t -> task -> (unit -> unit) -> unit =
             Some
               (fun (k : (a, unit) continuation) ->
                 if task.killed then discontinue k Killed
-                else
-                  ignore
-                    (schedule t task.time (fun () ->
-                         if task.killed then discontinue k Killed
-                         else continue k ())))
-          | E_wait c ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                if task.killed then discontinue k Killed
+                else if can_inline t task.time then begin
+                  note_inline_switch t task.time;
+                  continue k ()
+                end
                 else begin
-                  task.state <- Blocked;
-                  let waiter =
-                    {
-                      w_task = task;
-                      w_claimed = false;
-                      w_wake =
-                        (fun at ->
-                          (* Disarm immediately: a kill arriving between
-                             this wake being scheduled and running must
-                             not discontinue the same continuation. *)
-                          task.on_kill <- None;
-                          ignore
-                            (schedule t at (fun () ->
-                                 if task.killed then discontinue k Killed
-                                 else begin
-                                   task.state <- Runnable;
-                                   task.time <- max64 at task.time;
-                                   continue k ()
-                                 end)));
-                    }
-                  in
-                  Queue.push waiter c.c_waiters;
-                  c.c_nwaiters <- c.c_nwaiters + 1;
-                  task.on_kill <-
-                    Some
-                      (fun at ->
-                        claim_waiter c waiter;
-                        ignore
-                          (schedule t at (fun () -> discontinue k Killed)))
+                  task.fr_k <- K_unit k;
+                  ignore (sched_resume t task.time task)
                 end)
-          | E_wait_timeout (c, cycles) ->
+          | E_wait ->
             Some
               (fun (k : (a, unit) continuation) ->
                 if task.killed then discontinue k Killed
                 else begin
+                  let c = !pending_cond in
                   task.state <- Blocked;
-                  let settled = ref false in
-                  let resume signalled at =
-                    if task.killed then discontinue k Killed
-                    else begin
-                      task.state <- Runnable;
-                      task.time <- max64 at task.time;
-                      continue k signalled
-                    end
-                  in
-                  let waiter =
-                    {
-                      w_task = task;
-                      w_claimed = false;
-                      w_wake =
-                        (fun at ->
-                          settled := true;
-                          task.on_kill <- None;
-                          ignore (schedule t at (fun () -> resume true at)));
-                    }
-                  in
-                  Queue.push waiter c.c_waiters;
+                  let w = { w_task = task; w_cond = c; w_claimed = false } in
+                  Queue.push w c.c_waiters;
                   c.c_nwaiters <- c.c_nwaiters + 1;
-                  let deadline = Int64.add task.time (Int64.of_int cycles) in
-                  ignore
-                    (schedule t deadline (fun () ->
-                         if (not !settled) && not waiter.w_claimed then begin
-                           settled := true;
-                           claim_waiter c waiter;
-                           task.on_kill <- None;
-                           resume false deadline
-                         end));
-                  task.on_kill <-
-                    Some
-                      (fun at ->
-                        settled := true;
-                        claim_waiter c waiter;
-                        ignore
-                          (schedule t at (fun () -> discontinue k Killed)))
+                  task.fr_waiter <- Some w;
+                  task.fr_k <- K_unit k
                 end)
-          | E_signal c ->
+          | E_wait_timeout ->
             Some
               (fun (k : (a, unit) continuation) ->
                 if task.killed then discontinue k Killed
                 else begin
-                  signal_at c task.time;
+                  let c = !pending_cond in
+                  let cycles = !pending_int in
+                  task.state <- Blocked;
+                  let w = { w_task = task; w_cond = c; w_claimed = false } in
+                  Queue.push w c.c_waiters;
+                  c.c_nwaiters <- c.c_nwaiters + 1;
+                  task.fr_waiter <- Some w;
+                  task.fr_k <- K_bool k;
+                  (* The deadline rides an ordinary resume entry with
+                     [e_flag = false] ("timed out"); an earlier signal or
+                     kill cancels it in O(1) via [fr_deadline]. *)
+                  let d = sched_resume t (task.time + cycles) task in
+                  task.fr_deadline <- Some d
+                end)
+          | E_signal ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if task.killed then discontinue k Killed
+                else begin
+                  signal_at t !pending_cond task.time;
                   continue k ()
                 end)
-          | E_broadcast c ->
+          | E_broadcast ->
             Some
               (fun (k : (a, unit) continuation) ->
                 if task.killed then discontinue k Killed
                 else begin
-                  broadcast_at c task.time;
+                  broadcast_at t !pending_cond task.time;
                   continue k ()
                 end)
           | _ -> None);
     }
 
-and spawn_internal : t -> ?name:string -> at:int64 -> (unit -> unit) -> task_id
-    =
+and spawn_internal : t -> ?name:string -> at:int -> (unit -> unit) -> task_id =
  fun t ?name ~at body ->
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
@@ -404,13 +573,21 @@ and spawn_internal : t -> ?name:string -> at:int64 -> (unit -> unit) -> task_id
     match name with Some n -> n | None -> Printf.sprintf "task-%d" id
   in
   let task =
-    { id; name; time = at; state = Runnable; on_kill = None; killed = false }
+    {
+      id;
+      name;
+      time = at;
+      state = Runnable;
+      killed = false;
+      fr_k = K_none;
+      fr_waiter = None;
+      fr_deadline = None;
+    }
   in
   Hashtbl.replace t.tasks id task;
-  ignore
-    (schedule t at (fun () ->
-         if task.killed || task.state = Dead then task.state <- Dead
-         else make_fiber t task body));
+  sched_run t at (fun () ->
+      if task.killed || task.state = Dead then task.state <- Dead
+      else make_fiber t task body);
   id
 
 and kill_internal t ~at victim_id =
@@ -419,11 +596,20 @@ and kill_internal t ~at victim_id =
   | Some victim ->
     if victim.state <> Finished && victim.state <> Dead then begin
       victim.killed <- true;
-      match victim.on_kill with
-      | Some disc ->
-        victim.on_kill <- None;
+      match victim.fr_waiter with
+      | Some w ->
+        (* Parked on a cond with no scheduled resumption: claim the
+           waiter, drop any deadline, and schedule the unwind. The
+           dispatcher sees [killed] and discontinues the frame. *)
+        claim_waiter w.w_cond w;
+        victim.fr_waiter <- None;
+        (match victim.fr_deadline with
+        | Some d ->
+          cancel_entry d;
+          victim.fr_deadline <- None
+        | None -> ());
         victim.state <- Dead;
-        disc (max64 at victim.time)
+        ignore (sched_resume t (maxi at victim.time) victim)
       | None ->
         (* Running, queued, or not yet started: the flag is checked at the
            next scheduled resumption / effect point. *)
@@ -440,39 +626,108 @@ let blocked_task_names t =
       | Finished | Dead -> acc)
     t.tasks []
 
+(* Fire the earliest due ticker (the cached [tick_due] told the caller
+   one is due before the next entry). The callback may [spawn] tasks at
+   the deadline, which land in the ready ring ahead of the pending entry
+   and are picked up by the next dispatch iteration. *)
+let fire_due_ticker t =
+  match next_due_ticker t with
+  | None -> t.tick_due <- max_int
+  | Some tk ->
+    let due = tk.tk_next in
+    if due > t.global_time then t.global_time <- due;
+    tk.tk_next <- due + tk.tk_period;
+    if not (tk.tk_fn ()) then tk.tk_active <- false;
+    refresh_tick_due t
+
 let drain ?cycle_budget t =
+  let budget =
+    match cycle_budget with
+    | Some b when b < Int64.of_int max_int -> Int64.to_int b
+    | _ -> max_int
+  in
+  t.cur_budget <- budget;
+  let heap = t.heap and ready = t.ready in
   let rec loop () =
-    match Heap.peek t.heap with
-    | None -> () (* tickers never outlive the work they monitor *)
-    | Some e when e.cancelled ->
-      ignore (Heap.pop t.heap);
+    (* Recycle cancelled entries at either front without dispatching. *)
+    if ready.Ready.len > 0 && (Ready.front ready).ekind == Ek_cancelled then begin
+      recycle t (Ready.pop ready);
       loop ()
-    | Some e -> (
-      match next_due_ticker t with
-      | Some tk when tk.tk_next < e.etime ->
-        (* Virtual time is about to jump past this ticker's deadline:
-           fire it first. The callback may [spawn] tasks at the deadline,
-           which land in the heap ahead of [e] and are picked up by the
-           next iteration. *)
-        let due = tk.tk_next in
-        if due > t.global_time then t.global_time <- due;
-        tk.tk_next <- Int64.add due tk.tk_period;
-        if not (tk.tk_fn ()) then tk.tk_active <- false;
-        loop ()
-      | _ ->
-        ignore (Heap.pop t.heap);
-        (* Liveness watchdog: a simulation that schedules work past the
-           budget is considered hung (livelock, missed wakeup, runaway
-           retry loop) and aborted rather than left spinning. *)
-        (match cycle_budget with
-        | Some budget when e.etime > budget ->
-          raise (Budget_exceeded t.global_time)
-        | _ -> ());
-        if e.etime > t.global_time then t.global_time <- e.etime;
-        t.switches <- t.switches + 1;
-        Varan_util.Stats.incr_counter g_switches;
-        e.run ();
-        loop ())
+    end
+    else if heap.Heap.len > 0 && heap.Heap.a.(0).ekind == Ek_cancelled then begin
+      recycle t (Heap.pop_top heap);
+      loop ()
+    end
+    else begin
+      let have_r = ready.Ready.len > 0 and have_h = heap.Heap.len > 0 in
+      if have_r || have_h then begin
+        (* The ready ring holds due-now entries; the heap can also carry
+           entries at the current timestamp (pushed as future, reached
+           since), so ties fall back to the full (etime, eseq) compare. *)
+        let from_heap =
+          have_h
+          && ((not have_r) || Heap.lt heap.Heap.a.(0) (Ready.front ready))
+        in
+        if from_heap && t.tick_due < heap.Heap.a.(0).etime then begin
+          (* Virtual time is about to jump past a ticker's deadline:
+             fire it first, then re-select. *)
+          fire_due_ticker t;
+          loop ()
+        end
+        else begin
+          let e = if from_heap then Heap.pop_top heap else Ready.pop ready in
+          (* Liveness watchdog: a simulation that schedules work past the
+             budget is considered hung (livelock, missed wakeup, runaway
+             retry loop) and aborted rather than left spinning. *)
+          if e.etime > budget then begin
+            recycle t e;
+            raise (Budget_exceeded (Int64.of_int t.global_time))
+          end;
+          if e.etime > t.global_time then t.global_time <- e.etime;
+          t.switches <- t.switches + 1;
+          Varan_util.Stats.incr_counter g_switches;
+          (match e.ekind with
+          | Ek_resume ->
+            let task = e.e_task and etime = e.etime and flag = e.e_flag in
+            (match task.fr_deadline with
+            | Some d when d == e -> task.fr_deadline <- None
+            | _ -> ());
+            recycle t e;
+            (* A still-queued waiter at resume time means the deadline
+               fired before any signal: claim it so signallers skip it. *)
+            (match task.fr_waiter with
+            | Some w ->
+              claim_waiter w.w_cond w;
+              task.fr_waiter <- None
+            | None -> ());
+            (match task.fr_k with
+            | K_none -> () (* stale: ownership already transferred *)
+            | K_unit k ->
+              task.fr_k <- K_none;
+              if task.killed then Effect.Deep.discontinue k Killed
+              else begin
+                task.state <- Runnable;
+                if etime > task.time then task.time <- etime;
+                Effect.Deep.continue k ()
+              end
+            | K_bool k ->
+              task.fr_k <- K_none;
+              if task.killed then Effect.Deep.discontinue k Killed
+              else begin
+                task.state <- Runnable;
+                if etime > task.time then task.time <- etime;
+                Effect.Deep.continue k flag
+              end)
+          | Ek_run ->
+            let fn = e.e_fn in
+            recycle t e;
+            fn ()
+          | Ek_cancelled -> recycle t e (* unreachable: pruned above *));
+          loop ()
+        end
+      end
+    end
+    (* tickers never outlive the work they monitor *)
   in
   loop ()
 
@@ -483,9 +738,18 @@ let run ?cycle_budget t =
 
 let run_until_quiescent ?cycle_budget t = drain ?cycle_budget t
 
-(* Task-context wrappers. *)
-let consume n = if n > 0 then Effect.perform (E_consume n)
-let sleep n = Effect.perform (E_sleep (max n 0))
+(* Task-context wrappers. The hot ones stash their payload in the
+   side-slots so the perform itself allocates nothing. *)
+let consume n =
+  if n > 0 then begin
+    pending_int := n;
+    Effect.perform E_consume
+  end
+
+let sleep n =
+  pending_int := maxi n 0;
+  Effect.perform E_sleep
+
 let now_cycles () = Effect.perform E_now
 let self () = Effect.perform E_self
 let spawn_here ?name body = Effect.perform (E_spawn (name, body))
@@ -497,10 +761,24 @@ module Cond = struct
   type nonrec cond = cond
 
   let create name = { c_name = name; c_waiters = Queue.create (); c_nwaiters = 0 }
-  let wait c = Effect.perform (E_wait c)
-  let wait_timeout c cycles = Effect.perform (E_wait_timeout (c, cycles))
-  let signal c = Effect.perform (E_signal c)
-  let broadcast c = Effect.perform (E_broadcast c)
+
+  let wait c =
+    pending_cond := c;
+    Effect.perform E_wait
+
+  let wait_timeout c cycles =
+    pending_cond := c;
+    pending_int := cycles;
+    Effect.perform E_wait_timeout
+
+  let signal c =
+    pending_cond := c;
+    Effect.perform E_signal
+
+  let broadcast c =
+    pending_cond := c;
+    Effect.perform E_broadcast
+
   let waiters c = c.c_nwaiters
   let has_waiters c = c.c_nwaiters > 0
 

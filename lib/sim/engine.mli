@@ -79,7 +79,7 @@ val failures : t -> (task_id * exn) list
 (** Tasks that terminated with an uncaught exception, oldest first. *)
 
 val task_switches : t -> int
-(** Heap entries dispatched so far — the engine's task-switch count.
+(** Entries dispatched so far — the engine's task-switch count.
     Also mirrored into the process-wide [engine.task_switches]
     {!Varan_util.Stats} counter, so scheduler work has a baseline to
     measure against. *)

@@ -260,3 +260,180 @@ let run_lifecycle_seed seed =
   let case = gen_lifecycle_case seed in
   let out = run_case case in
   (case, out, check case out @ check_lifecycle case out)
+
+(* ------------------------------------------------------------------ *)
+(* Contended-futex torture (per-tid lanes, lock-order replay)           *)
+(* ------------------------------------------------------------------ *)
+
+module Api = Varan_kernel.Api
+
+type futex_case = {
+  f_seed : int;
+  f_threads : int;
+  f_locks : int;
+  f_rounds : int;
+  f_followers : int;
+  f_ring_size : int;
+  f_plan : Fault.t;
+}
+
+(* Thread counts deliberately include 64: with per-tid lanes the whole
+   variant must stay digest-clean at that scale. Crashes are
+   follower-only here; leader-crash promotion at scale has a directed
+   test. *)
+let gen_futex_case seed =
+  let rng = Prng.create (seed lxor 0xF07EC) in
+  let threads = [| 4; 8; 16; 64 |].(Prng.int rng 4) in
+  let locks = 1 + Prng.int rng 4 in
+  let rounds = 3 + Prng.int rng 10 in
+  let followers = 1 + Prng.int rng 2 in
+  let plan =
+    if Prng.int rng 2 = 0 then
+      [
+        Fault.Crash_variant
+          {
+            idx = 1 + Prng.int rng followers;
+            at_seq = 1 + Prng.int rng (threads * rounds);
+          };
+      ]
+    else []
+  in
+  {
+    f_seed = seed;
+    f_threads = threads;
+    f_locks = locks;
+    f_rounds = rounds;
+    f_followers = followers;
+    f_ring_size = 16;
+    f_plan = plan;
+  }
+
+let describe_futex_case fc =
+  Printf.sprintf "seed=%d threads=%d locks=%d rounds=%d followers=%d plan=[%s]"
+    fc.f_seed fc.f_threads fc.f_locks fc.f_rounds fc.f_followers
+    (Fault.to_string fc.f_plan)
+
+type futex_outcome = {
+  fo_digests : string array;
+  fo_alive : bool array;
+  fo_leader_idx : int;
+  fo_crashes : (int * string) list;
+  fo_report : Oracle.report;
+  fo_budget_blown : bool;
+}
+
+(* Every thread loops lock → streamed getpid inside the critical section
+   → unlock over a shared lock set, logging the acquisition index each
+   lock returns. The digest is the per-thread logs concatenated in tid
+   order: equal digests mean the follower reproduced the leader's global
+   lock-acquisition order, thread by thread. *)
+let run_futex_case ?leader_crash_at fc =
+  let eng = E.create () in
+  let k = K.create ~seed:fc.f_seed eng in
+  let n = fc.f_followers + 1 in
+  let logs =
+    Array.init n (fun _ ->
+        Array.init fc.f_threads (fun _ -> Buffer.create 64))
+  in
+  let body i ~unit_idx api =
+    let b = logs.(i).(unit_idx) in
+    for r = 0 to fc.f_rounds - 1 do
+      let l = (unit_idx + r) mod fc.f_locks in
+      let acq = Api.futex_lock api (0x2000 + l) in
+      Buffer.add_string b (Printf.sprintf "%d:%d=%d;" r l acq);
+      (* A streamed, non-ordering call inside the critical section: with
+         lanes it replays concurrently, between the lock barriers. *)
+      ignore (Api.getpid api);
+      Api.compute api 150;
+      ignore (Api.futex_unlock api (0x2000 + l))
+    done
+  in
+  let plan =
+    match leader_crash_at with
+    | Some at_seq -> Fault.Crash_variant { idx = 0; at_seq } :: fc.f_plan
+    | None -> fc.f_plan
+  in
+  let variants =
+    List.init n (fun i ->
+        Variant.make
+          (Printf.sprintf "v%d" i)
+          {
+            Variant.units = fc.f_threads;
+            unit_kind = Variant.Thread;
+            body = body i;
+          })
+  in
+  let oracle = Oracle.create () in
+  let config =
+    {
+      Config.default with
+      Config.ring_size = fc.f_ring_size;
+      fault_plan = plan;
+      oracle = Some oracle;
+    }
+  in
+  let session = Nvx.launch ~config k variants in
+  let fo_budget_blown =
+    try
+      E.run_until_quiescent ~cycle_budget eng;
+      false
+    with E.Budget_exceeded _ -> true
+  in
+  let digest i =
+    let all = Buffer.create 256 in
+    Array.iter
+      (fun b ->
+        Buffer.add_buffer all b;
+        Buffer.add_char all '|')
+      logs.(i);
+    Digest.to_hex (Digest.string (Buffer.contents all))
+  in
+  {
+    fo_digests = Array.init n digest;
+    fo_alive = Array.init n (Nvx.is_alive session);
+    fo_leader_idx = Nvx.leader_index session;
+    fo_crashes = Nvx.crashes session;
+    fo_report = Oracle.report oracle;
+    fo_budget_blown;
+  }
+
+(* The futex verdicts: every alive variant carries the (current)
+   leader's digest — native is no yardstick here, because the monitor's
+   costs reshuffle the native lock order. *)
+let check_futex ?(planned_leader_crash = false) (fc : futex_case)
+    (out : futex_outcome) =
+  let fails = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> fails := s :: !fails) fmt in
+  if out.fo_budget_blown then fail "liveness: cycle budget exceeded";
+  let planned_crash idx =
+    (planned_leader_crash && idx = 0)
+    || List.exists
+         (function Fault.Crash_variant c -> c.idx = idx | _ -> false)
+         fc.f_plan
+  in
+  List.iter
+    (fun (idx, msg) ->
+      if not (planned_crash idx) then
+        fail "unplanned crash of variant %d: %s" idx msg
+      else if not (contains ~sub:"fault:" msg) then
+        fail "variant %d died of %s, not its injection" idx msg)
+    out.fo_crashes;
+  if Array.exists Fun.id out.fo_alive then begin
+    if not out.fo_alive.(out.fo_leader_idx) then
+      fail "leader role held by dead variant %d" out.fo_leader_idx;
+    let leader_digest = out.fo_digests.(out.fo_leader_idx) in
+    Array.iteri
+      (fun i alive ->
+        if alive && out.fo_digests.(i) <> leader_digest then
+          fail "variant %d diverged from the leader's lock order: %S <> %S" i
+            out.fo_digests.(i) leader_digest)
+      out.fo_alive
+  end;
+  if not (Oracle.ok out.fo_report) then
+    List.iter (fail "oracle: %s") out.fo_report.Oracle.violations;
+  List.rev !fails
+
+let run_futex_seed seed =
+  let fc = gen_futex_case seed in
+  let out = run_futex_case fc in
+  (fc, out, check_futex fc out)

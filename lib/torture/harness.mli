@@ -86,3 +86,49 @@ val check_lifecycle : case -> outcome -> string list
 val run_lifecycle_seed : int -> case * outcome * string list
 (** [gen_lifecycle_case], [run_case], then [check] plus
     [check_lifecycle]. *)
+
+(** {1 Contended-futex torture (per-tid lanes, lock-order replay)} *)
+
+type futex_case = {
+  f_seed : int;
+  f_threads : int;  (** sibling threads per variant (up to 64) *)
+  f_locks : int;  (** contended futex words *)
+  f_rounds : int;  (** lock/unlock rounds per thread *)
+  f_followers : int;
+  f_ring_size : int;
+  f_plan : Varan_fault.Plan.t;  (** follower-only crashes *)
+}
+
+val gen_futex_case : int -> futex_case
+(** Derive a contended-futex case deterministically from the seed;
+    thread counts are drawn from [{4, 8, 16, 64}]. *)
+
+val describe_futex_case : futex_case -> string
+
+type futex_outcome = {
+  fo_digests : string array;
+      (** per-variant digest of the per-thread lock-acquisition logs,
+          concatenated in tid order *)
+  fo_alive : bool array;
+  fo_leader_idx : int;
+  fo_crashes : (int * string) list;
+  fo_report : Varan_trace.Oracle.report;
+  fo_budget_blown : bool;
+}
+
+val run_futex_case : ?leader_crash_at:int -> futex_case -> futex_outcome
+(** Every thread loops futex_lock → streamed getpid → futex_unlock over
+    the shared lock set, logging each acquisition index.
+    [leader_crash_at] adds a leader crash at that stream sequence (the
+    directed promotion scenario). *)
+
+val check_futex :
+  ?planned_leader_crash:bool -> futex_case -> futex_outcome -> string list
+(** Every alive variant's digest equals the (current) leader's — the
+    follower reproduced the leader's global lock-acquisition order —
+    plus the usual liveness, crash-provenance and oracle verdicts.
+    Native is no yardstick here: monitor costs reshuffle the native lock
+    order. *)
+
+val run_futex_seed : int -> futex_case * futex_outcome * string list
+(** [gen_futex_case], [run_futex_case], [check_futex] in one step. *)

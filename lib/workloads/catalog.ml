@@ -1,5 +1,6 @@
 module Variant = Varan_nvx.Variant
 module Vfs = Varan_kernel.Vfs
+module Api = Varan_kernel.Api
 module Prng = Varan_util.Prng
 
 let page_4k = String.make 4096 'p'
@@ -288,6 +289,53 @@ let lighttpd_ab =
         warmup_requests = 10;
       };
   }
+
+(* --- Thread-scale grids (scheduler + per-tid lane stress) --------------- *)
+
+(* A server-less workload: [threads] sibling threads hammer a small set
+   of contended futex words. The acquisition index {!Api.futex_lock}
+   returns is the leader's global lock order — exactly the event stream
+   the per-tid lanes must replay in order while everything else runs
+   concurrently. No client load; the run is done when every thread has
+   finished its rounds. *)
+let thread_grid ~name ~threads ~locks ~rounds ~code_seed =
+  {
+    Workload.w_name = name;
+    units = threads;
+    unit_kind = Variant.Thread;
+    make_body =
+      (fun () ~unit_idx api ->
+        for r = 0 to rounds - 1 do
+          let word = 0x1000 + ((unit_idx + r) mod locks) in
+          let _acq = Api.futex_lock api word in
+          Api.compute api 200;
+          ignore (Api.futex_unlock api word);
+          Api.compute api 100
+        done);
+    profile = { Variant.code_bytes = 6_000; syscall_share = 0.05; code_seed };
+    mem_intensity_c1000 = 10;
+    port_base = 0;
+    load =
+      {
+        Clients.connections = 0;
+        requests_per_conn = 0;
+        request_of = (fun ~conn:_ ~seq:_ -> Bytes.empty);
+        think_cycles = 0;
+        warmup_requests = 0;
+      };
+    setup_fs = (fun _ -> ());
+    rules = None;
+  }
+
+let thread_grid_64 =
+  thread_grid ~name:"Thread grid (64)" ~threads:64 ~locks:8 ~rounds:24
+    ~code_seed:18
+
+let thread_grid_256 =
+  thread_grid ~name:"Thread grid (256)" ~threads:256 ~locks:16 ~rounds:8
+    ~code_seed:19
+
+let thread_grids = [ thread_grid_64; thread_grid_256 ]
 
 let c10k_servers = [ beanstalkd; lighttpd_wrk; memcached; nginx; redis ]
 

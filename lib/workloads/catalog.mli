@@ -34,6 +34,23 @@ val lighttpd_http_load : Workload.t
 val lighttpd_ab : Workload.t
 (** ApacheBench variant of the lighttpd benchmark (Tachyon's). *)
 
+val thread_grid :
+  name:string -> threads:int -> locks:int -> rounds:int -> code_seed:int ->
+  Workload.t
+(** A server-less thread-scale stressor: [threads] sibling threads
+    contend on [locks] futex words for [rounds] lock/unlock rounds each.
+    The streamed acquisition indices encode the leader's global lock
+    order; everything else replays concurrently through the per-tid
+    lanes. *)
+
+val thread_grid_64 : Workload.t
+(** 64 threads over 8 contended locks. *)
+
+val thread_grid_256 : Workload.t
+(** 256 threads over 16 contended locks. *)
+
+val thread_grids : Workload.t list
+
 val c10k_servers : Workload.t list
 (** The Figure 5 set, in the paper's order. *)
 

@@ -645,6 +645,90 @@ let test_torture_sweep () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Contended-futex sweep (per-tid lanes, lock-order replay)            *)
+(* ------------------------------------------------------------------ *)
+
+(* 200 cases of multi-threaded variants (4–64 threads) hammering shared
+   futex words: every alive follower must reproduce the leader's global
+   lock-acquisition order digest-for-digest, with everything else
+   replaying concurrently through the per-tid lanes. Reproduce failures
+   with `varan torture --futex --seed N`. *)
+let futex_sweep_cases = 200
+
+let test_futex_sweep () =
+  let threads_seen = Hashtbl.create 4 in
+  for i = 0 to futex_sweep_cases - 1 do
+    let seed = base_seed + i in
+    let fc, _out, fails = H.run_futex_seed seed in
+    Hashtbl.replace threads_seen fc.H.f_threads ();
+    match fails with
+    | [] -> ()
+    | fs ->
+      Alcotest.failf
+        "futex seed %d failed (reproduce: varan torture --futex --seed %d)\n\
+        \  %s\n\
+        \  %s" seed seed
+        (H.describe_futex_case fc)
+        (String.concat "\n  " fs)
+  done;
+  (* The sweep must reach the lane-stress scale. *)
+  Alcotest.(check bool) "sweep ran 64-thread cases" true
+    (Hashtbl.mem threads_seen 64)
+
+(* Directed: the leader of a 64-thread session crashes mid-stream; a
+   follower promotes and keeps publishing, and every survivor ends with
+   the same lock-order digest. *)
+let test_futex_leader_crash_promotes () =
+  let fc =
+    {
+      H.f_seed = 0x64F07;
+      f_threads = 64;
+      f_locks = 8;
+      f_rounds = 6;
+      f_followers = 2;
+      f_ring_size = 16;
+      f_plan = [];
+    }
+  in
+  let out = H.run_futex_case ~leader_crash_at:150 fc in
+  (match H.check_futex ~planned_leader_crash:true fc out with
+  | [] -> ()
+  | fs -> Alcotest.failf "directed futex promotion:\n  %s"
+            (String.concat "\n  " fs));
+  Alcotest.(check bool) "old leader dead" false out.H.fo_alive.(0);
+  Alcotest.(check bool) "a follower leads" true (out.H.fo_leader_idx <> 0);
+  Alcotest.(check bool)
+    "survivors share the new leader's lock order" true
+    (out.H.fo_digests.(1) = out.H.fo_digests.(2))
+
+(* The catalog's 64-thread grid runs digest-clean under a full NVX
+   session: no crashes, no degradation, every thread finished its
+   rounds. *)
+let test_thread_grid_64_workload () =
+  let w = Varan_workloads.Catalog.thread_grid_64 in
+  let eng = E.create () in
+  let k = K.create ~seed:7 eng in
+  let variants =
+    List.init 3 (fun i ->
+        Varan_workloads.Workload.fresh_variant w (Printf.sprintf "g%d" i))
+  in
+  let oracle = Oracle.create () in
+  let config =
+    { Config.default with Config.ring_size = 64; oracle = Some oracle }
+  in
+  let session = Nvx.launch ~config k variants in
+  E.run_until_quiescent eng;
+  Alcotest.(check (list (pair int string))) "no crashes" []
+    (Nvx.crashes session);
+  Alcotest.(check (option string)) "not degraded" None
+    (Nvx.degraded session);
+  Alcotest.(check int) "all variants alive" 3 (Nvx.alive_count session);
+  let report = Oracle.report oracle in
+  if not (Oracle.ok report) then
+    Alcotest.failf "oracle: %s"
+      (String.concat "; " report.Oracle.violations)
+
+(* ------------------------------------------------------------------ *)
 (* Record/replay round trips under fault plans                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -785,6 +869,15 @@ let () =
       ( "sweep",
         [ Alcotest.test_case "200 random fault plans" `Slow test_torture_sweep ]
       );
+      ( "futex",
+        [
+          Alcotest.test_case "200-seed contended-futex sweep" `Slow
+            test_futex_sweep;
+          Alcotest.test_case "64-thread leader crash promotes" `Quick
+            test_futex_leader_crash_promotes;
+          Alcotest.test_case "thread-grid-64 workload digest-clean" `Quick
+            test_thread_grid_64_workload;
+        ] );
       ( "record-replay",
         [
           Alcotest.test_case "round trip under fault plans" `Slow

@@ -28,6 +28,8 @@ module Checkpoint = Varan_nvx.Checkpoint
 module Kernel = Varan_kernel.Kernel
 module Event = Varan_ringbuf.Event
 module Lanes = Varan_ringbuf.Lanes
+module Node = Varan_net.Node
+module Bridge = Varan_net.Bridge
 
 let listing1 = Asm.assemble_exn Rules.listing1
 
@@ -288,6 +290,46 @@ let ring_lanes_cycle () =
 let ring_lanes_test =
   Test.make ~name:"ring-lanes-t64-cycle" (Staged.stage ring_lanes_cycle)
 
+(* One cross-node ring revolution: 256 events published into a local
+   ring whose only consumer is the ring bridge, coalesced into 64-event
+   batch frames, shipped over the simulated link, republished into the
+   mirror ring and drained by one remote consumer. The measured unit is
+   the whole simulation, as in the ring rows; the ratio of this row to
+   [ring-256-c1-b64] (reported as [bridge-cycle-local-ratio]) is the
+   real-cost multiplier of crossing a node boundary. The bridge's
+   sender/receiver/ack tasks block forever by design, so the cycle ends
+   with [run_until_quiescent], not [run]. *)
+let bridge_cycle () =
+  let eng = E.create () in
+  let local_node = Node.create ~eng "leader-node" in
+  let remote_node = Node.create ~eng "remote-node" in
+  let ring = Ring.create ~size:256 "bench-local" in
+  let mirror = Ring.create ~size:256 "bench-mirror" in
+  let _bridge =
+    Bridge.create ~local_node ~remote_node ~local:ring ~mirror
+      ~cfg:{ Bridge.default_config with Bridge.batch_max = 64 }
+      ~latency:500
+      ~materialize:(fun e -> e)
+      ~discard:ignore
+      ~must_replicate:(fun _ -> true)
+      ()
+  in
+  let h = Ring.subscribe mirror in
+  ignore
+    (E.spawn eng ~name:"remote-consumer" (fun () ->
+         for _ = 1 to 256 do
+           ignore (Ring.consume_h h)
+         done));
+  ignore
+    (E.spawn eng ~name:"producer" (fun () ->
+         for i = 1 to 256 do
+           Ring.publish ring (Event.make ~clock:i ~ret:i 39)
+         done));
+  E.run_until_quiescent eng
+
+let bridge_test =
+  Test.make ~name:"bridge-cycle-b64" (Staged.stage bridge_cycle)
+
 let tests =
   [
     bpf_test;
@@ -299,7 +341,7 @@ let tests =
   ]
   @ ring_tests
   @ rejoin_tests
-  @ [ engine_test; engine_chain_test; ring_lanes_test ]
+  @ [ engine_test; engine_chain_test; ring_lanes_test; bridge_test ]
 
 let smoke = Sys.getenv_opt "VARAN_BENCH_SMOKE" <> None
 
@@ -378,6 +420,19 @@ let run () =
   Printf.printf "  %-28s %12.1f bytes/event (resident, retained window)\n"
     "tape-bytes-per-event" bpe;
   estimates := ("tape-bytes-per-event", bpe) :: !estimates;
+  (* Derived: how much more a cross-node revolution costs than the same
+     revolution on a local ring. Batching should keep this a small
+     constant; a blowup means the bridge is doing per-event work. *)
+  (match
+     ( List.assoc_opt "bridge-cycle-b64" !estimates,
+       List.assoc_opt "ring-256-c1-b64" !estimates )
+   with
+  | Some bridge_ns, Some ring_ns when ring_ns > 0.0 ->
+    let ratio = bridge_ns /. ring_ns in
+    Printf.printf "  %-28s %12.1f x (vs ring-256-c1-b64)\n"
+      "bridge-cycle-local-ratio" ratio;
+    estimates := ("bridge-cycle-local-ratio", ratio) :: !estimates
+  | _ -> ());
   check_broadcast_allocation ();
   Report.save_hotpath_json (List.rev !estimates);
   print_newline ()

@@ -309,6 +309,7 @@ let torture_cmd =
   let module H = Varan_torture.Harness in
   let module Fault = Varan_fault.Plan in
   let module Oracle = Varan_trace.Oracle in
+  let module Nvx_config = Varan_nvx.Config in
   let seed_arg =
     Arg.(
       value & opt int 0xBEEF
@@ -397,6 +398,46 @@ let torture_cmd =
              only the tape delta (rr-style fast rejoin). 0 disables \
              checkpointing. Implies $(b,--lifecycle).")
   in
+  let net_arg =
+    Arg.(
+      value & flag
+      & info [ "net" ]
+          ~doc:
+            "Run distributed cases: the last followers of each case sit \
+             behind the cross-node ring bridge on a simulated remote \
+             node, under a random link-fault plan (partitions, delays, \
+             reorders, drops, duplicates). Checks that the bridge ships \
+             checksummed batches, that partitions end in a healed rejoin \
+             or a clean death — never a leader gate on an unreachable \
+             node — and that every surviving digest still matches \
+             native.")
+  in
+  let link_latency_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "link-latency" ] ~docv:"CYCLES"
+          ~doc:
+            "Distributed-mode override: one-way link latency in cycles. \
+             Implies $(b,--net).")
+  in
+  let partition_every_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "partition-every" ] ~docv:"N"
+          ~doc:
+            "Distributed-mode override: add a link partition at every \
+             Nth batch frame on top of the case's plan. Implies \
+             $(b,--net).")
+  in
+  let drop_rate_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "drop-rate" ] ~docv:"P"
+          ~doc:
+            "Distributed-mode override: drop roughly this fraction of \
+             batch frames (deterministically, every 1/P-th frame) on top \
+             of the case's plan. Implies $(b,--net).")
+  in
   let futex_arg =
     Arg.(
       value & flag
@@ -409,7 +450,8 @@ let torture_cmd =
              digest-for-digest.")
   in
   let run seed count plan_spec followers verbose lifecycle futex stall_timeout
-      max_restarts min_followers lag_threshold checkpoint_interval =
+      max_restarts min_followers lag_threshold checkpoint_interval net
+      link_latency partition_every drop_rate =
     let module Lifecycle = Varan_nvx.Lifecycle in
     if futex then begin
       let failures = ref 0 in
@@ -440,6 +482,12 @@ let torture_cmd =
         Printf.printf "%d/%d cases passed\n" (count - !failures) count;
       exit (if !failures > 0 then 1 else 0)
     end;
+    let net_on =
+      net
+      || Option.is_some link_latency
+      || Option.is_some partition_every
+      || Option.is_some drop_rate
+    in
     let lifecycle_on =
       lifecycle
       || Option.is_some stall_timeout
@@ -448,8 +496,10 @@ let torture_cmd =
       || Option.is_some lag_threshold
       || Option.is_some checkpoint_interval
     in
-    let policy =
-      let p = H.lifecycle_policy in
+    (* Explicit overrides layered on whatever policy the case mode picked
+       — the net generator varies checkpointing per seed, so start from
+       the case's own policy rather than the sweep default. *)
+    let apply_policy p =
       {
         p with
         Lifecycle.stall_timeout =
@@ -466,9 +516,54 @@ let torture_cmd =
     in
     let failures = ref 0 in
     for s = seed to seed + count - 1 do
-      let case = if lifecycle_on then H.gen_lifecycle_case s else H.gen_case s in
       let case =
-        if lifecycle_on then { case with H.lifecycle = Some policy } else case
+        if net_on then H.gen_net_case s
+        else if lifecycle_on then H.gen_lifecycle_case s
+        else H.gen_case s
+      in
+      let case =
+        if net_on || lifecycle_on then
+          {
+            case with
+            H.lifecycle =
+              Some
+                (apply_policy
+                   (Option.value case.H.lifecycle ~default:H.lifecycle_policy));
+          }
+        else case
+      in
+      let case =
+        if not net_on then case
+        else begin
+          let n = Option.get case.H.net in
+          let n =
+            match link_latency with
+            | Some l -> { n with Nvx_config.link_latency = max 0 l }
+            | None -> n
+          in
+          (* CLI link faults ride on top of the case's plan. Both are
+             deterministic in (seed, flag value): partitions at every
+             k*N-th frame, drops at every (1/P)-th. *)
+          let extra =
+            (match partition_every with
+            | Some every when every > 0 ->
+              List.init
+                (min 8 (case.H.prog_len / every))
+                (fun k ->
+                  Fault.Link_partition
+                    { from_seq = (k + 1) * every; duration = 80_000 })
+            | _ -> [])
+            @
+            match drop_rate with
+            | Some r when r > 0.0 ->
+              let stride = max 1 (int_of_float (1.0 /. min 1.0 r)) in
+              List.init
+                (min 32 (case.H.prog_len / stride))
+                (fun k -> Fault.Link_drop { at_seq = (k + 1) * stride })
+            | _ -> []
+          in
+          { case with H.net = Some n; H.plan = case.H.plan @ extra }
+        end
       in
       let case =
         match followers with
@@ -488,7 +583,8 @@ let torture_cmd =
       let out = H.run_case case in
       let fails =
         H.check case out
-        @ (if lifecycle_on then H.check_lifecycle case out else [])
+        @ (if net_on || lifecycle_on then H.check_lifecycle case out else [])
+        @ (if net_on then H.check_net case out else [])
       in
       if fails = [] then Printf.printf "PASS %s\n" (H.describe_case case)
       else begin
@@ -522,6 +618,21 @@ let torture_cmd =
             "  checkpoints: taken=%d restores=%d delta-events=%d \
              resident=%dB\n"
             ck.CK.taken ck.CK.restores ck.CK.delta_events ck.CK.resident_bytes
+      | None -> ());
+      (match out.H.stats.Varan_nvx.Session.bridge with
+      | Some b ->
+        Format.printf "  bridge: %a@." Varan_net.Bridge.pp_stats b;
+        if verbose then
+          (match out.H.stats.Varan_nvx.Session.link with
+          | Some l ->
+            let module L = Varan_net.Link in
+            Printf.printf
+              "  link: sent=%d delivered=%d lost=%d dup=%d reorder=%d \
+               wire=%dB partitions=%d\n"
+              l.L.frames_sent l.L.frames_delivered l.L.frames_lost
+              l.L.frames_duplicated l.L.frames_reordered l.L.bytes_sent
+              l.L.partitions
+          | None -> ())
       | None -> ());
       if verbose then begin
         (match out.H.lifecycle with
@@ -557,7 +668,8 @@ let torture_cmd =
       const run $ seed_arg $ count_arg $ plan_arg $ followers_torture_arg
       $ verbose_arg $ lifecycle_arg $ futex_arg $ stall_timeout_arg
       $ max_restarts_arg $ min_followers_arg $ lag_threshold_arg
-      $ checkpoint_interval_arg)
+      $ checkpoint_interval_arg $ net_arg $ link_latency_arg
+      $ partition_every_arg $ drop_rate_arg)
 
 let replay_cmd =
   let module H = Varan_torture.Harness in

@@ -7,6 +7,13 @@ type injection =
   | Signal_burst of { at_seq : int; signo : int; count : int }
   | Fork_at of { at_op : int }
   | Drop_payload_grant of { idx : int; at_seq : int }
+  (* Link faults fire on the cross-node bridge's link-global frame
+     sequence (data and acks share one counter), not on stream seqs. *)
+  | Link_partition of { from_seq : int; duration : int }
+  | Link_delay of { at_seq : int; extra : int }
+  | Link_reorder of { at_seq : int }
+  | Link_drop of { at_seq : int }
+  | Link_dup of { at_seq : int }
 
 type t = injection list
 
@@ -51,6 +58,36 @@ let random rng ~variants ~max_seq ~max_op =
   if Prng.int rng 4 = 0 then add (Fork_at { at_op = Prng.int rng (max 1 max_op) });
   List.rev !acc
 
+let random_link rng ~max_frame =
+  let seq () = Prng.int rng (max 1 max_frame) in
+  let acc = ref [] in
+  let add i = acc := i :: !acc in
+  (* Durations span both regimes: short cuts the retransmit timers ride
+     out, long ones that must trip the watchdog into [Unreachable]. *)
+  let nparts = 1 + Prng.int rng 2 in
+  for _ = 1 to nparts do
+    add
+      (Link_partition
+         { from_seq = seq (); duration = 60_000 + Prng.int rng 940_000 })
+  done;
+  if Prng.int rng 2 = 0 then
+    add (Link_delay { at_seq = seq (); extra = 5_000 + Prng.int rng 50_000 });
+  for _ = 1 to Prng.int rng 3 do
+    add (Link_drop { at_seq = seq () })
+  done;
+  if Prng.int rng 2 = 0 then add (Link_reorder { at_seq = seq () });
+  if Prng.int rng 3 = 0 then add (Link_dup { at_seq = seq () });
+  List.rev !acc
+
+let has_link_faults t =
+  List.exists
+    (function
+      | Link_partition _ | Link_delay _ | Link_reorder _ | Link_drop _
+      | Link_dup _ ->
+        true
+      | _ -> false)
+    t
+
 let ring_shrink t =
   List.fold_left
     (fun acc i ->
@@ -80,6 +117,15 @@ let describe = function
   | Drop_payload_grant { idx; at_seq } ->
     Printf.sprintf "follower %d leaks the payload of stream seq %d" idx
       at_seq
+  | Link_partition { from_seq; duration } ->
+    Printf.sprintf "partition the link for %d cycles at frame %d" duration
+      from_seq
+  | Link_delay { at_seq; extra } ->
+    Printf.sprintf "delay link frame %d by %d cycles" at_seq extra
+  | Link_reorder { at_seq } ->
+    Printf.sprintf "reorder link frame %d behind its successor" at_seq
+  | Link_drop { at_seq } -> Printf.sprintf "drop link frame %d" at_seq
+  | Link_dup { at_seq } -> Printf.sprintf "duplicate link frame %d" at_seq
 
 let injection_to_string = function
   | Crash_variant { idx; at_seq } -> Printf.sprintf "crash:%d@%d" idx at_seq
@@ -91,6 +137,12 @@ let injection_to_string = function
   | Fork_at { at_op } -> Printf.sprintf "fork@%d" at_op
   | Drop_payload_grant { idx; at_seq } ->
     Printf.sprintf "drop:%d@%d" idx at_seq
+  | Link_partition { from_seq; duration } ->
+    Printf.sprintf "part@%d+%d" from_seq duration
+  | Link_delay { at_seq; extra } -> Printf.sprintf "delay@%d+%d" at_seq extra
+  | Link_reorder { at_seq } -> Printf.sprintf "reorder@%d" at_seq
+  | Link_drop { at_seq } -> Printf.sprintf "ldrop@%d" at_seq
+  | Link_dup { at_seq } -> Printf.sprintf "dup@%d" at_seq
 
 let to_string t = String.concat "," (List.map injection_to_string t)
 
@@ -114,6 +166,15 @@ let injection_of_string s =
       (fun () ->
         try_scan "drop:%d@%d%!" (fun idx at_seq ->
             Drop_payload_grant { idx; at_seq }));
+      (fun () ->
+        try_scan "part@%d+%d%!" (fun from_seq duration ->
+            Link_partition { from_seq; duration }));
+      (fun () ->
+        try_scan "delay@%d+%d%!" (fun at_seq extra ->
+            Link_delay { at_seq; extra }));
+      (fun () -> try_scan "reorder@%d%!" (fun at_seq -> Link_reorder { at_seq }));
+      (fun () -> try_scan "ldrop@%d%!" (fun at_seq -> Link_drop { at_seq }));
+      (fun () -> try_scan "dup@%d%!" (fun at_seq -> Link_dup { at_seq }));
     ]
 
 let of_string s =
@@ -139,6 +200,13 @@ type action =
   | Stall of int
   | Signals of { signo : int; count : int }
   | Drop_payload
+
+type link_action =
+  | L_partition of int
+  | L_delay of int
+  | L_reorder
+  | L_drop
+  | L_duplicate
 
 type slot = { inj : injection; mutable fired : bool }
 type armed = slot list
@@ -197,6 +265,30 @@ let at_follower_consume armed ~idx ~seq =
       | _ -> None)
   in
   stalls @ drops @ crashes
+
+let at_link_send armed ~seq =
+  List.filter_map
+    (fun s ->
+      if s.fired then None
+      else
+        match s.inj with
+        | Link_partition p when seq >= p.from_seq ->
+          s.fired <- true;
+          Some (L_partition p.duration)
+        | Link_delay d when seq >= d.at_seq ->
+          s.fired <- true;
+          Some (L_delay d.extra)
+        | Link_reorder r when seq >= r.at_seq ->
+          s.fired <- true;
+          Some L_reorder
+        | Link_drop d when seq >= d.at_seq ->
+          s.fired <- true;
+          Some L_drop
+        | Link_dup d when seq >= d.at_seq ->
+          s.fired <- true;
+          Some L_duplicate
+        | _ -> None)
+    armed
 
 let unfired armed =
   List.filter_map (fun s -> if s.fired then None else Some s.inj) armed

@@ -38,6 +38,17 @@ type injection =
           event at [at_seq] — a deliberate refcount leak used as the
           negative control proving the oracle's pool-balance check is not
           vacuous. Never part of random plans. *)
+  | Link_partition of { from_seq : int; duration : int }
+      (** Cut the cross-node bridge link (both directions) for [duration]
+          cycles, starting at link frame [from_seq]. Link faults key on
+          the bridge's link-global frame sequence — data batches and acks
+          share one counter, so a plan can hit either. *)
+  | Link_delay of { at_seq : int; extra : int }
+      (** Add [extra] cycles to frame [at_seq]'s transit time. *)
+  | Link_reorder of { at_seq : int }
+      (** Deliver frame [at_seq] just after its successor. *)
+  | Link_drop of { at_seq : int }  (** Lose frame [at_seq]. *)
+  | Link_dup of { at_seq : int }  (** Deliver frame [at_seq] twice. *)
 
 type t = injection list
 
@@ -51,6 +62,16 @@ val random : Varan_util.Prng.t -> variants:int -> max_seq:int -> max_op:int -> t
     crashes of at most [variants - 1] distinct variants (at least one
     survivor always remains), follower stalls, signal bursts and fork
     splices. Deterministic in the generator state. *)
+
+val random_link : Varan_util.Prng.t -> max_frame:int -> t
+(** A randomized link-fault plan for distributed-mode cases: one or two
+    partitions (durations spanning both the retransmit-recoverable and
+    the watchdog-parking regimes), plus delays, drops, reorders and
+    duplicates at random frame sequences. Deterministic in the generator
+    state; composes with {!random}'s process-level injections by list
+    concatenation. *)
+
+val has_link_faults : t -> bool
 
 val ring_shrink : t -> int option
 (** Smallest [Ring_pressure] cap in the plan, if any. *)
@@ -79,6 +100,14 @@ type action =
   | Signals of { signo : int; count : int }
   | Drop_payload
 
+(** What the channel layer should do to the frame being sent. *)
+type link_action =
+  | L_partition of int  (** cut both directions for this many cycles *)
+  | L_delay of int
+  | L_reorder
+  | L_drop
+  | L_duplicate
+
 val arm : t -> armed
 
 val at_leader_publish : armed -> idx:int -> seq:int -> action list
@@ -89,6 +118,10 @@ val at_follower_consume : armed -> idx:int -> seq:int -> action list
 (** Actions due on the follower path of variant [idx] about to consume
     stream event [seq]: stalls, payload drops and crashes, in that
     order. *)
+
+val at_link_send : armed -> seq:int -> link_action list
+(** Link faults due as the bridge's channel sends frame [seq]; one-shot,
+    [>=] triggered like every other injection. *)
 
 val unfired : armed -> injection list
 (** Injections that never fired (stream ended before their sequence

@@ -1,0 +1,31 @@
+(** A simulated machine: a named home for tasks and a traffic ledger.
+
+    Distributed NVX keeps everything on one {!Varan_sim.Engine} — virtual
+    time is global, exactly as in a single-box simulation — but tasks and
+    link endpoints are owned by nodes so the topology is explicit: the
+    leader and its local followers live on one node, remote followers and
+    the mirror ring on another, and every byte that crosses between them
+    must go through a {!Link}. *)
+
+type t
+
+val create : eng:Varan_sim.Engine.t -> string -> t
+val name : t -> string
+val engine : t -> Varan_sim.Engine.t
+
+val spawn : t -> name:string -> (unit -> unit) -> Varan_sim.Engine.task_id
+(** Spawn a task owned by this node (named ["<node>/<name>"]), runnable
+    at the current global virtual time. *)
+
+val spawn_here : t -> name:string -> (unit -> unit) -> Varan_sim.Engine.task_id
+(** Like {!spawn} but from task context, runnable at the caller's local
+    time. *)
+
+val note_tx : t -> int -> unit
+(** Record bytes leaving this node on some link. *)
+
+val note_rx : t -> int -> unit
+
+type stats = { tasks : int; bytes_tx : int; bytes_rx : int }
+
+val stats : t -> stats

@@ -2,6 +2,27 @@ type interception = Rewrite | Trap_only | Jump_only
 type follower_wait = Waitlock | Busy_wait
 type streaming = Shared_ring | Event_pump
 
+type net = {
+  remote_followers : int;
+  link_latency : int;
+  link_cycles_per_kb : int;
+  bridge_batch : int;
+  bridge_window : int;
+  bridge_rto : int;
+  unreachable_after : int;
+}
+
+let default_net =
+  {
+    remote_followers = 1;
+    link_latency = 2000;
+    link_cycles_per_kb = 800;
+    bridge_batch = 16;
+    bridge_window = 4;
+    bridge_rto = 20_000;
+    unreachable_after = 300_000;
+  }
+
 type t = {
   ring_size : int;
   interception : interception;
@@ -14,6 +35,7 @@ type t = {
   fault_plan : Varan_fault.Plan.t;
   oracle : Varan_trace.Oracle.t option;
   lifecycle : Lifecycle.policy option;
+  net : net option;
 }
 
 let default =
@@ -29,6 +51,7 @@ let default =
     fault_plan = Varan_fault.Plan.empty;
     oracle = None;
     lifecycle = None;
+    net = None;
   }
 
 let with_ring_size t n = { t with ring_size = n }

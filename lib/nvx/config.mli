@@ -23,6 +23,26 @@ type streaming =
       (** one queue per follower plus a pump task dispatching events —
           the design the paper discarded as a bottleneck (ablation) *)
 
+type net = {
+  remote_followers : int;
+      (** how many followers (the highest-indexed ones) live on the
+          remote node and consume the bridge's mirror ring; the leader is
+          always local *)
+  link_latency : int;  (** per-frame link latency, cycles *)
+  link_cycles_per_kb : int;  (** bandwidth model: cycles per KiB *)
+  bridge_batch : int;  (** events coalesced per bridge frame *)
+  bridge_window : int;  (** max unacked frames in flight *)
+  bridge_rto : int;  (** initial retransmit timeout, cycles *)
+  unreachable_after : int;
+      (** cycles of bridge window stall before the watchdog parks the
+          remote followers in [Unreachable]. Keep this above the
+          lifecycle [stall_timeout] so an individually-stuck remote
+          follower is quarantined (its problem) before the link is
+          declared down (everyone's problem). *)
+}
+
+val default_net : net
+
 type t = {
   ring_size : int;  (** default 256 events *)
   interception : interception;
@@ -51,6 +71,12 @@ type t = {
           ring; below [min_followers] the session degrades gracefully to
           native-speed leader-only execution. [None] (the default) keeps
           the original terminal-removal behaviour *)
+  net : net option;
+      (** when set, the last [remote_followers] variants run on a
+          simulated remote node fed by the cross-node ring bridge
+          (latency, bandwidth, partitions, the [Unreachable] lifecycle
+          state). Requires [lifecycle] and [Shared_ring]. [None] keeps
+          everything on one node *)
 }
 
 val default : t

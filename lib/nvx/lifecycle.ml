@@ -41,6 +41,7 @@ type state =
   | Quarantined
   | Respawning
   | Catching_up
+  | Unreachable
   | Dead
 
 let state_name = function
@@ -49,6 +50,7 @@ let state_name = function
   | Quarantined -> "quarantined"
   | Respawning -> "respawning"
   | Catching_up -> "catching-up"
+  | Unreachable -> "unreachable"
   | Dead -> "dead"
 
 (* The legal transition graph:
@@ -58,6 +60,13 @@ let state_name = function
    plus the crash edges: a crash quarantines from Healthy or Catching_up
    directly (no lag preceded it), and a variant that crashes while
    leading goes terminal at once — a dead leader never rejoins.
+
+   Unreachable is the link-degraded sibling of Quarantined: the follower
+   itself is presumed fine but the node hosting it is partitioned away,
+   so it parks without burning restart budget. It leaves through the
+   same respawn door when the partition heals, or to Dead when its tape
+   prefix was retired while it was away (clean [Truncated] death) or the
+   session degraded in the meantime.
    Anything else is a lifecycle-manager bug and is recorded. *)
 let legal_transition a b =
   match (a, b) with
@@ -67,6 +76,8 @@ let legal_transition a b =
   | Quarantined, (Respawning | Dead)
   | Respawning, Catching_up
   | Catching_up, Healthy
+  | (Healthy | Lagging | Catching_up), Unreachable
+  | Unreachable, (Respawning | Dead)
   | (Healthy | Lagging | Catching_up), Dead -> true
   | _ -> false
 
@@ -87,6 +98,7 @@ type counters = {
   mutable c_quarantines : int;
   mutable c_respawns : int;
   mutable c_rejoins : int;
+  mutable c_unreachable : int;
   mutable c_deaths : int;
   mutable c_illegal : int;
 }
@@ -104,6 +116,7 @@ let g_respawns = Stats.counter "lifecycle.respawns"
 let g_rejoins = Stats.counter "lifecycle.rejoins"
 let g_deaths = Stats.counter "lifecycle.deaths"
 let g_degradations = Stats.counter "lifecycle.degradations"
+let g_unreachable = Stats.counter "lifecycle.unreachable"
 
 let create policy ~variants =
   {
@@ -127,6 +140,7 @@ let create policy ~variants =
         c_quarantines = 0;
         c_respawns = 0;
         c_rejoins = 0;
+        c_unreachable = 0;
         c_deaths = 0;
         c_illegal = 0;
       };
@@ -155,6 +169,9 @@ let transition t e next =
     t.c.c_respawns <- t.c.c_respawns + 1;
     Stats.incr_counter g_respawns
   | Catching_up -> ()
+  | Unreachable ->
+    t.c.c_unreachable <- t.c.c_unreachable + 1;
+    Stats.incr_counter g_unreachable
   | Dead ->
     t.c.c_deaths <- t.c.c_deaths + 1;
     Stats.incr_counter g_deaths);
@@ -171,11 +188,16 @@ let degraded t = t.degraded
 
 (* Followers that are not permanently gone: anything short of [Dead]
    either consumes the stream or will after a respawn. The degradation
-   test compares this count against [min_followers]. *)
+   test compares this count against [min_followers]. [Unreachable]
+   followers don't count — a partition has no deadline, so a session
+   whose reachable follower set falls below the floor runs local-only
+   rather than betting on a heal. *)
 let recoverable_followers t ~leader_idx =
   Array.fold_left
     (fun n e ->
-      if e.e_idx <> leader_idx && e.e_state <> Dead then n + 1 else n)
+      if e.e_idx <> leader_idx && e.e_state <> Dead && e.e_state <> Unreachable
+      then n + 1
+      else n)
     0 t.entries
 
 (* ------------------------------------------------------------------ *)
@@ -196,6 +218,7 @@ type report = {
   quarantines : int;
   respawns : int;
   rejoins : int;
+  unreachable : int;
   deaths : int;
   illegal_transitions : int;
   degraded_reason : string option;
@@ -220,6 +243,7 @@ let report t ~leader_idx =
     quarantines = t.c.c_quarantines;
     respawns = t.c.c_respawns;
     rejoins = t.c.c_rejoins;
+    unreachable = t.c.c_unreachable;
     deaths = t.c.c_deaths;
     illegal_transitions = t.c.c_illegal;
     degraded_reason = t.degraded;
@@ -227,9 +251,10 @@ let report t ~leader_idx =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>lifecycle: quarantines=%d respawns=%d rejoins=%d deaths=%d \
-     lagging=%d recovered=%d%s@,"
-    r.quarantines r.respawns r.rejoins r.deaths r.lagging r.recovered
+    "@[<v>lifecycle: quarantines=%d respawns=%d rejoins=%d unreachable=%d \
+     deaths=%d lagging=%d recovered=%d%s@,"
+    r.quarantines r.respawns r.rejoins r.unreachable r.deaths r.lagging
+    r.recovered
     (if r.illegal_transitions > 0 then
        Printf.sprintf " ILLEGAL-TRANSITIONS=%d" r.illegal_transitions
      else "");

@@ -15,6 +15,15 @@
     variant that crashes while {e leading} goes straight to [Dead] — a
     dead leader never rejoins.
 
+    Distributed sessions add [Unreachable], the link-degraded sibling of
+    [Quarantined]: when the cross-node bridge reports the remote node
+    partitioned away, its followers park there — the bridge detaches so
+    the leader's gate is freed, exactly the quarantine invariant — but
+    no restart budget burns, because the follower is presumed healthy
+    behind a broken wire. A healed partition re-enters through the same
+    [Respawning -> Catching_up] checkpoint + tape-delta door; a retired
+    tape prefix or a degraded session ends it at [Dead] instead.
+
     A watchdog in the engine tick measures each follower's ring lag and
     cycles-since-progress against the {!policy}; a tripped follower is
     {e quarantined} (its ring consumers removed so the leader's gate can
@@ -52,7 +61,14 @@ val backoff_delay : policy -> restarts:int -> int
 (** Delay before the next respawn of a follower already respawned
     [restarts] times. *)
 
-type state = Healthy | Lagging | Quarantined | Respawning | Catching_up | Dead
+type state =
+  | Healthy
+  | Lagging
+  | Quarantined
+  | Respawning
+  | Catching_up
+  | Unreachable
+  | Dead
 
 val state_name : state -> string
 
@@ -90,8 +106,9 @@ val note_degraded : t -> string -> unit
 val degraded : t -> string option
 
 val recoverable_followers : t -> leader_idx:int -> int
-(** Followers not permanently [Dead] — the count compared against
-    [min_followers]. *)
+(** Followers neither permanently [Dead] nor parked [Unreachable] — the
+    count compared against [min_followers]. A partition has no deadline,
+    so unreachable followers don't keep the session hopeful. *)
 
 (** {1 Report} *)
 
@@ -109,6 +126,7 @@ type report = {
   quarantines : int;
   respawns : int;
   rejoins : int;  (** Catching_up -> Healthy transitions *)
+  unreachable : int;  (** transitions into [Unreachable] *)
   deaths : int;
   illegal_transitions : int;  (** nonzero means a lifecycle bug *)
   degraded_reason : string option;

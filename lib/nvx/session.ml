@@ -21,6 +21,9 @@ module Vdso = Varan_binary.Vdso
 module Prng = Varan_util.Prng
 module Fault = Varan_fault.Plan
 module Oracle = Varan_trace.Oracle
+module Net_node = Varan_net.Node
+module Link = Varan_net.Link
+module Bridge = Varan_net.Bridge
 
 type role = Leader | Follower
 
@@ -179,6 +182,9 @@ type t = {
   mutable tracer : Varan_kernel.Strace.t option;
   fault : Fault.armed option;
   oracle : Oracle.t option;
+  (* Distributed mode (config.net): the cross-node ring bridge and its
+     bookkeeping. [None] keeps everything on one node. *)
+  mutable net : net_state option;
 }
 
 and divergence_record = {
@@ -186,6 +192,22 @@ and divergence_record = {
   dv_follower_call : string;
   dv_leader_event : string;
   dv_verdict : string;
+}
+
+and net_state = {
+  n_cfg : Config.net;
+  n_local_node : Net_node.t;
+  n_remote_node : Net_node.t;
+  n_bridge : Bridge.t;
+  (* The remote node's mirror of ring 0; replaced wholesale (fresh ring,
+     new bridge epoch) each time a healed partition reattaches. *)
+  mutable n_mirror : Event.t Ring.t;
+  (* Global tuple-0 stream sequence of the mirror's sequence 0. *)
+  mutable n_base : int;
+  mutable n_epoch : int;
+  (* Per variant index: lives on the remote node (consumes the mirror
+     for tuple 0). The leader is always local. *)
+  n_remote : bool array;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -227,10 +249,19 @@ let release_payload t (e : Event.t) =
 
 let tuple_of_unit vst u = vst.unit_tuple.(u)
 
+let is_remote t idx =
+  match t.net with Some ns -> ns.n_remote.(idx) | None -> false
+
+(* Remote followers consume tuple 0 from the bridge's mirror ring, not
+   the leader's ring; forked tuples are consumed directly (same-process
+   license — the model is the bridge shipping their deltas too). *)
 let follower_queue t vst tuple =
   match t.pump_queues with
-  | None -> t.rings.(tuple)
   | Some pq -> pq.(tuple).(vst.idx)
+  | None -> (
+    match t.net with
+    | Some ns when tuple = 0 && ns.n_remote.(vst.idx) -> ns.n_mirror
+    | _ -> t.rings.(tuple))
 
 let stream_publish_k t tuple make = Ring.publish_k t.rings.(tuple) make
 
@@ -292,7 +323,7 @@ let stream_advance t vst tuple ~tid =
     (* Tape progress is invisible to the ring, but sibling units of this
        variant park on ring activity while waiting for their tid to reach
        the head — wake them. *)
-    Ring.poke t.rings.(tuple)
+    Ring.poke (follower_queue t vst tuple)
   end
   else
     match vst.lanes with
@@ -327,11 +358,36 @@ let stream_lag _t vst tuple =
     live + (vst.catchup_until.(tuple) - vst.catchup_pos.(tuple))
   else live
 
-(* The consumer's stream position, tape mode included (used by the fault
-   hooks and the watchdog's progress ledger). *)
-let stream_position vst tuple =
+(* The consumer's stream position in global tuple-stream coordinates,
+   tape mode included (used by the fault hooks, the checkpoint capture
+   and the watchdog's progress ledger). A remote follower's mirror
+   cursor is rebased by the mirror's global offset. *)
+let stream_position t vst tuple =
   if in_catchup vst tuple then Some vst.catchup_pos.(tuple)
-  else Option.map Ring.cursor_h vst.consumers.(tuple)
+  else
+    match vst.consumers.(tuple) with
+    | None -> None
+    | Some c ->
+      let base =
+        match t.net with
+        | Some ns when tuple = 0 && ns.n_remote.(vst.idx) -> ns.n_base
+        | _ -> 0
+      in
+      Some (base + Ring.cursor_h c)
+
+(* Total backlog including events still upstream of the bridge — what
+   the Healthy <-> Lagging report should see; for local followers this
+   is exactly {!stream_lag}. The stall quarantine must NOT use it:
+   during a partition the backlog is the link's fault, not the
+   follower's (the bridge watchdog owns that case). *)
+let stream_total_lag t vst tuple =
+  let consumable = stream_lag t vst tuple in
+  match t.net with
+  | Some ns when tuple = 0 && ns.n_remote.(vst.idx) -> (
+    match stream_position t vst tuple with
+    | Some pos -> max consumable (Ring.published t.rings.(0) - pos)
+    | None -> consumable)
+  | _ -> consumable
 
 (* A crashed follower dies with events still unread; its payload
    references go away with its cursor, or the chunks leak (caught by the
@@ -377,9 +433,15 @@ let checkpoint_floor t =
     let floor = ref max_int in
     Array.iter
       (fun vst ->
+        let st = Lifecycle.state (Lifecycle.entry lc vst.idx) in
         if
           vst.idx <> t.leader_idx
-          && Lifecycle.state (Lifecycle.entry lc vst.idx) <> Lifecycle.Dead
+          && st <> Lifecycle.Dead
+          (* A partition has no deadline: an [Unreachable] follower must
+             not pin the tape floor forever. If it outlives the retained
+             prefix it dies clean at respawn time ([Truncated] path),
+             never replays a wrong prefix. *)
+          && st <> Lifecycle.Unreachable
         then begin
           let c =
             match Checkpoint.latest_seq t.checkpoints ~idx:vst.idx with
@@ -409,7 +471,7 @@ let maybe_capture_checkpoint t vst ~unit_idx ~incarnation proc encode =
     && (not vst.promoted.(unit_idx))
     && Hashtbl.length vst.partial_consumed = 0
   then begin
-    match stream_position vst 0 with
+    match stream_position t vst 0 with
     | None -> ()
     | Some seq ->
       (match Checkpoint.latest_seq t.checkpoints ~idx:vst.idx with
@@ -511,6 +573,7 @@ let new_unit vst ~tuple ~tid ~promoted =
 
 let poke_all t =
   Array.iter Ring.poke t.rings;
+  (match t.net with Some ns -> Ring.poke ns.n_mirror | None -> ());
   match t.pump_queues with
   | None -> ()
   | Some pq -> Array.iter (fun per_tuple -> Array.iter Ring.poke per_tuple) pq
@@ -582,10 +645,11 @@ let begin_quarantine t vst ~reason =
   | Some lc ->
     let en = Lifecycle.entry lc vst.idx in
     (match Lifecycle.state en with
-    | Lifecycle.Quarantined | Lifecycle.Respawning | Lifecycle.Dead -> false
+    | Lifecycle.Quarantined | Lifecycle.Respawning | Lifecycle.Unreachable
+    | Lifecycle.Dead -> false
     | Lifecycle.Healthy | Lifecycle.Lagging | Lifecycle.Catching_up ->
       en.Lifecycle.e_reason <- reason;
-      (match stream_position vst 0 with
+      (match stream_position t vst 0 with
       | Some s -> en.Lifecycle.e_quarantine_seq <- s
       | None -> ());
       Lifecycle.transition lc en Lifecycle.Quarantined;
@@ -609,23 +673,78 @@ let respawn t vst =
   | None -> ()
   | Some lc ->
     let en = Lifecycle.entry lc vst.idx in
-    if Lifecycle.state en <> Lifecycle.Quarantined then ()
+    let from_unreachable = Lifecycle.state en = Lifecycle.Unreachable in
+    if not (from_unreachable || Lifecycle.state en = Lifecycle.Quarantined)
+    then ()
     else if Lifecycle.degraded lc <> None then begin
-      (* The session degraded while this respawn was backing off; a late
-         rejoin would resurrect NVX behind the report's back. *)
+      (* The session degraded while this respawn was backing off (or the
+         partition was healing); a late rejoin would resurrect NVX behind
+         the report's back. *)
       en.Lifecycle.e_reason <- "respawn cancelled: session degraded";
       Lifecycle.transition lc en Lifecycle.Dead
     end
     else begin
-      Lifecycle.transition lc en Lifecycle.Respawning;
-      en.Lifecycle.e_restarts <- en.Lifecycle.e_restarts + 1;
-      (match t.oracle with
-      | Some o ->
-        Oracle.note_respawn o ~idx:vst.idx
-          ~max_restarts:(Lifecycle.policy lc).Lifecycle.max_restarts
-      | None -> ());
+      let remote = is_remote t vst.idx in
+      (* The global tuple-0 sequence this rejoin will splice at: for a
+         remote follower that is the mirror's head in global coordinates
+         (the bridge was reattached at [n_base] before any heal-respawn
+         runs), never the local ring's head — a checkpoint above the
+         mirror head would leave the restored state ahead of the splice. *)
+      let rejoin_head =
+        match t.net with
+        | Some ns when remote -> ns.n_base + Ring.published ns.n_mirror
+        | _ -> Ring.published t.rings.(0)
+      in
       let shape = vst.variant.Variant.program in
       let nunits = shape.Variant.units in
+      (* rr-style fast rejoin: restore the newest retained checkpoint and
+         replay only the tape delta behind it. Only single-unit variants
+         are restorable — the snapshot covers exactly unit 0's program
+         state; anything else replays the full tape. A checkpoint below
+         [Tape.base] was retired and is unusable. *)
+      let restore =
+        if nunits = 1 && Array.length t.tapes > 0 then
+          match
+            Checkpoint.latest_at_most t.checkpoints ~idx:vst.idx
+              ~seq:rejoin_head
+          with
+          | Some cp when cp.Checkpoint.cp_seq >= Tape.base t.tapes.(0) ->
+            Some cp
+          | _ -> None
+        else None
+      in
+      let start0 =
+        match restore with Some cp -> cp.Checkpoint.cp_seq | None -> 0
+      in
+      if
+        Array.length t.tapes > 0
+        && rejoin_head > start0
+        && start0 < Tape.base t.tapes.(0)
+      then begin
+        (* The recorded prefix this follower needs was retired while it
+           was away (e.g. a partition outliving the retention floor — the
+           floor deliberately ignores [Unreachable] parks). A truncated
+           replay would be a wrong prefix; die clean instead. *)
+        en.Lifecycle.e_reason <-
+          Printf.sprintf
+            "tape truncated below rejoin: need seq %d, retained base %d"
+            start0
+            (Tape.base t.tapes.(0));
+        Lifecycle.transition lc en Lifecycle.Dead;
+        check_degraded_floor t
+      end
+      else begin
+      Lifecycle.transition lc en Lifecycle.Respawning;
+      (* An [Unreachable] park burns no restart budget: the follower was
+         presumed healthy behind a broken wire. *)
+      if not from_unreachable then begin
+        en.Lifecycle.e_restarts <- en.Lifecycle.e_restarts + 1;
+        match t.oracle with
+        | Some o ->
+          Oracle.note_respawn o ~idx:vst.idx
+            ~max_restarts:(Lifecycle.policy lc).Lifecycle.max_restarts
+        | None -> ()
+      end;
       vst.vrole <- Follower;
       vst.table <- Syscall_table.follower;
       vst.main_proc <- None;
@@ -646,24 +765,6 @@ let respawn t vst =
       vst.catchup_pos <- Array.make t.ntuples 0;
       vst.catchup_until <- Array.make t.ntuples (-1);
       vst.alive <- true;
-      (* rr-style fast rejoin: restore the newest retained checkpoint and
-         replay only the tape delta behind it. Only single-unit variants
-         are restorable — the snapshot covers exactly unit 0's program
-         state; anything else replays the full tape. A checkpoint below
-         [Tape.base] was retired (possible only if this variant was not
-         counted in the retention floor, e.g. a last-restart race) and is
-         unusable. *)
-      let restore =
-        if nunits = 1 && Array.length t.tapes > 0 then
-          match
-            Checkpoint.latest_at_most t.checkpoints ~idx:vst.idx
-              ~seq:(Ring.published t.rings.(0))
-          with
-          | Some cp when cp.Checkpoint.cp_seq >= Tape.base t.tapes.(0) ->
-            Some cp
-          | _ -> None
-        else None
-      in
       vst.pending_restore <- None;
       (* The live consumer's cursor parks at the ring head; the recorded
          prefix [start, head) replays from the tape — [start] is 0 or the
@@ -672,8 +773,18 @@ let respawn t vst =
          stream's stamp. *)
       List.iter
         (fun tu ->
-          let ring = t.rings.(tu) in
-          let head = Ring.published ring in
+          let remote_tu = remote && tu = 0 in
+          let ring =
+            match t.net with
+            | Some ns when remote_tu -> ns.n_mirror
+            | _ -> t.rings.(tu)
+          in
+          let base =
+            match t.net with
+            | Some ns when remote_tu -> ns.n_base
+            | _ -> 0
+          in
+          let head = base + Ring.published ring in
           let c = Ring.subscribe ring in
           vst.consumers.(tu) <- Some c;
           let start =
@@ -695,11 +806,14 @@ let respawn t vst =
             vst.catchup_pos.(tu) <- start;
             vst.catchup_until.(tu) <- head
           end;
+          (* The mirror ring is outside the oracle's tuple map (its cids
+             collide with the local ring's); remote rejoins are audited
+             end to end by the harness digests instead. *)
           match t.oracle with
-          | Some o ->
+          | Some o when not remote_tu ->
             Oracle.note_rejoin o ~idx:vst.idx ~tuple:tu
               ~cid:(Ring.consumer_cid c) ~splice_seq:head
-          | None -> ())
+          | _ -> ())
         (initial_tuples vst);
       (* Restart the watchdog's progress ledger: the fresh incarnation
          gets a full stall timeout before its first consume, instead of
@@ -712,11 +826,14 @@ let respawn t vst =
       finish_rejoin t vst;
       (* If the leader died while this follower was out, adopt the role:
          the catch-up still replays the recorded prefix, and the variant
-         promotes itself once the stream drains. *)
-      if not t.vstates.(t.leader_idx).alive then t.leader_idx <- vst.idx;
-      match t.zygote with
+         promotes itself once the stream drains. A remote follower never
+         leads — it cannot publish into the local ring. *)
+      if (not t.vstates.(t.leader_idx).alive) && not remote then
+        t.leader_idx <- vst.idx;
+      (match t.zygote with
       | Some z -> ignore (Zygote.fork_request z vst.variant.Variant.v_name)
-      | None -> ()
+      | None -> ())
+      end
     end
 
 (* The effectful half of a quarantine; the entry is already in state
@@ -736,10 +853,12 @@ let quarantine_work t vst =
       Array.iteri
         (fun tu c ->
           match c with
-          | Some c ->
+          | Some c when not (is_remote t vst.idx && tu = 0) ->
+            (* Mirror-ring consumers live outside the oracle's tuple
+               map; noting their cids would collide with ring 0's. *)
             Oracle.note_quarantine o ~idx:vst.idx ~tuple:tu
               ~cid:(Ring.consumer_cid c)
-          | None -> ())
+          | _ -> ())
         vst.consumers
     | None -> ());
     vst.alive <- false;
@@ -771,6 +890,102 @@ let quarantine_work t vst =
              respawn t vst))
     end
 
+(* ------------------------------------------------------------------ *)
+(* Link degradation: Unreachable park and healed-partition rejoin       *)
+(* ------------------------------------------------------------------ *)
+
+(* Park every live remote follower in [Unreachable] (pure bookkeeping,
+   callable from the watchdog's scheduler context). No restart budget
+   burns — the follower is presumed healthy behind a broken wire.
+   Returns the parked vstates for {!unreachable_work}. *)
+let begin_unreachable t ~reason =
+  match (t.net, t.lifecycle) with
+  | Some ns, Some lc ->
+    Array.fold_left
+      (fun acc vst ->
+        if ns.n_remote.(vst.idx) && vst.idx <> t.leader_idx && vst.alive
+        then begin
+          let en = Lifecycle.entry lc vst.idx in
+          match Lifecycle.state en with
+          | Lifecycle.Healthy | Lifecycle.Lagging | Lifecycle.Catching_up ->
+            en.Lifecycle.e_reason <- reason;
+            (match stream_position t vst 0 with
+            | Some s -> en.Lifecycle.e_quarantine_seq <- s
+            | None -> ());
+            Lifecycle.transition lc en Lifecycle.Unreachable;
+            vst :: acc
+          | _ -> acc
+        end
+        else acc)
+      [] t.vstates
+  | _ -> []
+
+(* The effectful half of a link-degradation park: detach the bridge —
+   its local consumer unsubscribes, so the leader's gate is freed even
+   when no follower was left to park — then remove the parked followers'
+   consumers and kill their processes. The oracle is not told: an
+   [Unreachable] park is not a quarantine, and mirror-ring cids live
+   outside its tuple map. Task context. *)
+let unreachable_work t parked =
+  match t.net with
+  | None -> ()
+  | Some ns ->
+    Bridge.detach ns.n_bridge;
+    List.iter
+      (fun vst ->
+        vst.alive <- false;
+        stream_remove t vst;
+        Array.fill vst.catchup_until 0 (Array.length vst.catchup_until) (-1);
+        kill_variant t vst Varan_kernel.Flags.sigkill)
+      parked;
+    poke_all t;
+    E.Cond.broadcast t.ready_cond;
+    check_degraded_floor t
+
+(* A partition healed: the first ack to reach the detached bridge fires
+   this (via [on_heal], at most once per detached period). Start a new
+   bridge epoch on a fresh mirror ring and walk every parked follower
+   back in through the checkpoint + tape-delta door. A degraded session
+   skips the heal: the parked followers stay [Unreachable] terminally
+   rather than resurrecting NVX behind the report's back. Task context. *)
+let heal_work t =
+  match (t.net, t.lifecycle) with
+  | Some ns, Some lc when Bridge.detached ns.n_bridge ->
+    let remote_future vst =
+      ns.n_remote.(vst.idx)
+      && vst.idx <> t.leader_idx
+      && Lifecycle.state (Lifecycle.entry lc vst.idx) <> Lifecycle.Dead
+    in
+    if t.degraded <> None || not (Array.exists remote_future t.vstates)
+    then
+      (* Nobody will ever rejoin through this bridge (degraded session,
+         or every remote follower is terminally dead): kill the probe
+         timers so the engine can go quiescent. Parked followers stay
+         [Unreachable] terminally — never a hang, never a wrong rejoin. *)
+      Bridge.abandon ns.n_bridge
+    else begin
+      ns.n_epoch <- ns.n_epoch + 1;
+      let head = Ring.published t.rings.(0) in
+      let mirror =
+        Ring.create ~size:(effective_ring_size t.cfg)
+          (Printf.sprintf "mirror%d" ns.n_epoch)
+      in
+      ns.n_mirror <- mirror;
+      ns.n_base <- head;
+      (* No engine effects between reading [head] and reattaching: the
+         new mirror's sequence 0 must be exactly the sequence the new
+         local consumer subscribes at. *)
+      Bridge.reattach ns.n_bridge ~mirror ~remote_base:head;
+      Array.iter
+        (fun vst ->
+          if ns.n_remote.(vst.idx) && vst.idx <> t.leader_idx then begin
+            let en = Lifecycle.entry lc vst.idx in
+            if Lifecycle.state en = Lifecycle.Unreachable then respawn t vst
+          end)
+        t.vstates
+    end
+  | _ -> ()
+
 (* The watchdog: runs in scheduler context from the engine ticker. Pure
    reads and state transitions only; the effectful quarantine is
    delegated to a spawned task. *)
@@ -780,12 +995,37 @@ let watchdog_tick t =
   | Some lc ->
     let p = Lifecycle.policy lc in
     let now = E.now t.k.Types.eng in
+    (* Link health first: a bridge whose in-flight window has not moved
+       for [unreachable_after] means the remote node is partitioned
+       away. Park its followers in [Unreachable] — distinct from a sick
+       follower's quarantine: no restart budget burns, and the respawn
+       waits for a heal probe instead of a backoff timer. The threshold
+       sits above [stall_timeout] so an individually-stuck remote
+       follower is quarantined (its problem) before the link is declared
+       down (everyone's problem). *)
+    (match t.net with
+    | Some ns when not (Bridge.detached ns.n_bridge) -> (
+      match Bridge.stalled_since ns.n_bridge with
+      | Some t0
+        when Int64.sub now t0
+             >= Int64.of_int ns.n_cfg.Config.unreachable_after ->
+        let reason =
+          Printf.sprintf "link degraded: no ack for %Ld cycles"
+            (Int64.sub now t0)
+        in
+        let parked = begin_unreachable t ~reason in
+        ignore
+          (E.spawn t.k.Types.eng ~name:"lifecycle-unreachable" (fun () ->
+               unreachable_work t parked))
+      | _ -> ())
+    | _ -> ());
     Array.iter
       (fun vst ->
         if vst.idx <> t.leader_idx && vst.alive then begin
           let en = Lifecycle.entry lc vst.idx in
           match Lifecycle.state en with
-          | Lifecycle.Quarantined | Lifecycle.Respawning | Lifecycle.Dead ->
+          | Lifecycle.Quarantined | Lifecycle.Respawning
+          | Lifecycle.Unreachable | Lifecycle.Dead ->
             ()
           | Lifecycle.Healthy | Lifecycle.Lagging | Lifecycle.Catching_up ->
             (* Progress = events consumed across every tuple (tape
@@ -803,11 +1043,16 @@ let watchdog_tick t =
               && Int64.sub now vst.last_checkpoint_at
                  >= Int64.of_int p.Lifecycle.checkpoint_interval
             then vst.checkpoint_due <- true;
-            let lag = ref 0 in
+            (* [lag] is the total backlog (bridge-upstream events
+               included) and drives the Healthy <-> Lagging report;
+               [consumable] is what the follower could actually consume
+               right now. *)
+            let lag = ref 0 and consumable = ref 0 in
             for tu = 0 to t.ntuples - 1 do
-              lag := max !lag (stream_lag t vst tu)
+              lag := max !lag (stream_total_lag t vst tu);
+              consumable := max !consumable (stream_lag t vst tu)
             done;
-            let lag = !lag in
+            let lag = !lag and consumable = !consumable in
             (match Lifecycle.state en with
             | Lifecycle.Healthy when lag > p.Lifecycle.lag_threshold ->
               en.Lifecycle.e_reason <-
@@ -818,15 +1063,21 @@ let watchdog_tick t =
               Lifecycle.transition lc en Lifecycle.Healthy
             | _ -> ());
             let stalled_for = Int64.sub now en.Lifecycle.e_last_progress in
+            (* The stall trip counts only consumable backlog: a remote
+               follower starved because the bridge is partitioned has its
+               stall upstream of it — those cycles are attributed to the
+               link (handled above), never to the follower, so a healed
+               follower is not condemned for time it spent unreachable. *)
             if
-              lag > 0 && stalled_for >= Int64.of_int p.Lifecycle.stall_timeout
+              consumable > 0
+              && stalled_for >= Int64.of_int p.Lifecycle.stall_timeout
             then begin
               (* The watchdog trip always passes through Lagging. *)
               if Lifecycle.state en = Lifecycle.Healthy then
                 Lifecycle.transition lc en Lifecycle.Lagging;
               let reason =
                 Printf.sprintf "stalled: lag %d, no progress for %Ld cycles"
-                  lag stalled_for
+                  consumable stalled_for
               in
               if begin_quarantine t vst ~reason then
                 ignore
@@ -895,11 +1146,13 @@ let handle_crash t vst exn =
                 the last follower crashing while an earlier leader
                 crash's election is still in flight). *)
              if not t.vstates.(t.leader_idx).alive then begin
-               (* Elect the alive follower with the smallest internal id. *)
+               (* Elect the alive follower with the smallest internal id.
+                  Remote followers are not electable: a leader must
+                  publish into the local ring. *)
                let candidate =
                  Array.fold_left
                    (fun acc v ->
-                     if v.alive then
+                     if v.alive && not (is_remote t v.idx) then
                        match acc with
                        | None -> Some v
                        | Some best when v.idx < best.idx -> Some v
@@ -1001,7 +1254,7 @@ let fault_follower_hook t vst tuple =
   match t.fault with
   | None -> ()
   | Some armed -> (
-    match stream_position vst tuple with
+    match stream_position t vst tuple with
     | None -> ()
     | Some seq ->
       List.iter
@@ -1160,10 +1413,16 @@ let follower_wait t vst tuple sysno =
       wait_activity_timeout t vst tuple t.cost.Cost.waitlock_spin_cycles
     then false
     else begin
-      t.waitlock_sleepers.(tuple) <- t.waitlock_sleepers.(tuple) + 1;
+      (* A remote follower sleeps on the mirror ring; its wake is the
+         bridge receiver's publish, not a leader-side futex — don't make
+         the leader pay for it. *)
+      let counted = not (tuple = 0 && is_remote t vst.idx) in
+      if counted then
+        t.waitlock_sleepers.(tuple) <- t.waitlock_sleepers.(tuple) + 1;
       Fun.protect
         ~finally:(fun () ->
-          t.waitlock_sleepers.(tuple) <- t.waitlock_sleepers.(tuple) - 1)
+          if counted then
+            t.waitlock_sleepers.(tuple) <- t.waitlock_sleepers.(tuple) - 1)
         (fun () -> stream_wait t vst tuple);
       true
     end
@@ -1931,6 +2190,7 @@ let launch ?(config = Config.default) k variants =
         | [] -> None
         | plan -> Some (Fault.arm plan));
       oracle = config.Config.oracle;
+      net = None;
     }
   in
   (match t.oracle with
@@ -1945,6 +2205,106 @@ let launch ?(config = Config.default) k variants =
           (Some (fun cids -> Oracle.note_gate_wait o ~tuple:i ~cids)))
       rings
   | None -> ());
+  (* Distributed mode: carve the last [remote_followers] variants onto a
+     simulated remote node behind the cross-node ring bridge. Must wire
+     up before the first publish on ring 0 — the bridge's sender
+     sequence accounting starts at zero. *)
+  (match config.Config.net with
+  | None -> ()
+  | Some ncfg ->
+    if t.lifecycle = None then
+      invalid_arg "Session.launch: net mode requires the lifecycle manager";
+    if config.Config.streaming <> Config.Shared_ring then
+      invalid_arg "Session.launch: net mode requires shared-ring streaming";
+    if
+      ncfg.Config.remote_followers < 1
+      || ncfg.Config.remote_followers > nvariants - 1
+    then
+      invalid_arg
+        "Session.launch: net.remote_followers must be in [1, variants - 1]";
+    let eng = k.Types.eng in
+    let local_node = Net_node.create ~eng "node0" in
+    let remote_node = Net_node.create ~eng "node1" in
+    (* The mirror gets no oracle tap: attaching it would double-register
+       tuple 0 and its consumer ids collide with the local ring's. The
+       oracle still audits the local ring the bridge consumes from, and
+       the harness digests audit remote followers end to end. *)
+    let mirror = Ring.create ~size:ring_size "mirror0" in
+    let faults ~seq =
+      match t.fault with
+      | None -> []
+      | Some armed ->
+        List.map
+          (function
+            | Fault.L_partition d -> Link.Partition d
+            | Fault.L_delay d -> Link.Delay d
+            | Fault.L_reorder -> Link.Reorder
+            | Fault.L_drop -> Link.Drop
+            | Fault.L_duplicate -> Link.Duplicate)
+          (Fault.at_link_send armed ~seq)
+    in
+    (* Flatten a pooled payload into the event for the wire and release
+       this consumer's reference; the bytes still travel in-process so
+       remote replay digests stay exact. *)
+    let materialize (e : Event.t) =
+      match e.Event.payload with
+      | None -> e
+      | Some chunk ->
+        let n = max 0 e.Event.payload_len in
+        let buf = Bytes.create n in
+        ignore (Pool.read_into chunk buf ~len:n);
+        release_payload t e;
+        Event.flatten e ~out:(Some buf)
+    in
+    let discard e = release_payload t e in
+    (* dMVX-style selective replication: results the remote variant can
+       reproduce from its own replicated filesystem travel header-only
+       on the wire; payloads that embody external nondeterminism
+       (sockets, entropy, time) or a descriptor grant must ship.
+       Non-syscall events are header-sized anyway. *)
+    let reproducible =
+      List.map Sysno.to_int
+        [
+          Sysno.Read; Sysno.Pread64; Sysno.Readv; Sysno.Getdents;
+          Sysno.Getcwd; Sysno.Readlink; Sysno.Stat; Sysno.Fstat;
+          Sysno.Lstat; Sysno.Access;
+        ]
+    in
+    let must_replicate (e : Event.t) =
+      e.Event.kind <> Event.Ev_syscall
+      || not (List.mem e.Event.sysno reproducible)
+    in
+    let cfg_b =
+      {
+        Bridge.default_config with
+        batch_max = ncfg.Config.bridge_batch;
+        window = ncfg.Config.bridge_window;
+        rto = ncfg.Config.bridge_rto;
+        rto_max = max ncfg.Config.bridge_rto Bridge.default_config.rto_max;
+      }
+    in
+    let bridge =
+      Bridge.create ~local_node ~remote_node ~local:rings.(0) ~mirror
+        ~cfg:cfg_b ~latency:ncfg.Config.link_latency
+        ~cycles_per_kb:ncfg.Config.link_cycles_per_kb ~faults ~materialize
+        ~discard ~must_replicate ()
+    in
+    t.net <-
+      Some
+        {
+          n_cfg = ncfg;
+          n_local_node = local_node;
+          n_remote_node = remote_node;
+          n_bridge = bridge;
+          n_mirror = mirror;
+          n_base = 0;
+          n_epoch = 0;
+          n_remote =
+            Array.init nvariants (fun i ->
+                i >= nvariants - ncfg.Config.remote_followers);
+        };
+    Bridge.set_on_heal bridge (fun () ->
+        ignore (E.spawn_here ~name:"bridge-heal" (fun () -> heal_work t))));
   (* The follower watchdog rides the engine tick. *)
   (match t.lifecycle with
   | Some lc ->
@@ -1967,7 +2327,13 @@ let launch ?(config = Config.default) k variants =
       (fun vst ->
         if vst.idx <> 0 then begin
           for tu = 0 to ntuples - 1 do
-            vst.consumers.(tu) <- Some (Ring.subscribe rings.(tu))
+            (* Remote followers consume tuple 0 from the bridge mirror. *)
+            let ring =
+              match t.net with
+              | Some ns when tu = 0 && ns.n_remote.(vst.idx) -> ns.n_mirror
+              | _ -> rings.(tu)
+            in
+            vst.consumers.(tu) <- Some (Ring.subscribe ring)
           done;
           if use_lanes then
             vst.lanes <-
@@ -2124,6 +2490,8 @@ type stats = {
   rewrite_cache : Rewrite_cache.stats;
   checkpoints : Checkpoint.stats;
   tapes : Tape.stats array;
+  bridge : Bridge.stats option;
+  link : Link.stats option;
 }
 
 let stats t =
@@ -2163,6 +2531,8 @@ let stats t =
     rewrite_cache = Rewrite_cache.stats t.rewrite_cache;
     checkpoints = Checkpoint.stats t.checkpoints;
     tapes = Array.map Tape.stats t.tapes;
+    bridge = Option.map (fun ns -> Bridge.stats ns.n_bridge) t.net;
+    link = Option.map (fun ns -> Bridge.link_stats ns.n_bridge) t.net;
   }
 
 type divergence_entry = {

@@ -107,6 +107,13 @@ type stats = {
       (** per-tuple recorder footprint — with checkpointing enabled the
           retention policy keeps [resident_bytes] bounded regardless of
           stream length *)
+  bridge : Varan_net.Bridge.stats option;
+      (** cross-node ring bridge tallies (distributed mode only):
+          batches shipped, retransmits, acks, selective-replication
+          bytes saved *)
+  link : Varan_net.Link.stats option;
+      (** the underlying link's frame accounting, fault injections
+          included *)
 }
 
 val stats : t -> stats

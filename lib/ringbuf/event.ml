@@ -29,6 +29,12 @@ let make ?(kind = Ev_syscall) ?(tid = 0) ?(args = [||]) ?(ret = 0) ?payload
 
 let fits_inline e = e.payload = None
 
+(* Cross-ring form: the payload travels inside the event, however big —
+   the [max_inline_bytes] cap only governs what the leader's hot path
+   will copy into a live ring slot. The tape and the cross-node bridge
+   both rebuild events this way. *)
+let flatten e ~out = { e with payload = None; payload_len = 0; inline_out = out }
+
 (* The kind-level half of the per-tid lane sync predicate: events whose
    replay must stay in global stream order regardless of which thread
    consumes them. Fork/exit/signal reshape the variant; a descriptor

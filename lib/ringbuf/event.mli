@@ -50,6 +50,14 @@ val make :
 val fits_inline : t -> bool
 (** Whether the event needed no shared-memory payload. *)
 
+val flatten : t -> out:Bytes.t option -> t
+(** [flatten e ~out] is [e] with its shared-memory payload replaced by
+    [out] carried inline, whatever its size — the cross-ring form used
+    when an event leaves the leader's ring for a medium with no pool
+    attached (the replay tape, the cross-node bridge). The
+    {!max_inline_bytes} cap governs only the leader's hot-path copy into
+    a live ring slot, not rebuilt events. *)
+
 val is_ordering_kind : t -> bool
 (** The kind-level half of the per-tid lane sync predicate: [true] for
     events whose replay must stay in global stream order across sibling

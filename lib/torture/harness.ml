@@ -16,6 +16,9 @@ type case = {
   ring_size : int;
   plan : Fault.t;
   lifecycle : Lifecycle.policy option;
+  net : Config.net option;
+      (* distributed mode: the last [remote_followers] followers consume
+         through the cross-node ring bridge *)
 }
 
 let gen_case seed =
@@ -26,7 +29,7 @@ let gen_case seed =
     Fault.random rng ~variants:(followers + 1) ~max_seq:(prog_len * 3 / 2)
       ~max_op:prog_len
   in
-  { seed; followers; prog_len; ring_size = 8; plan; lifecycle = None }
+  { seed; followers; prog_len; ring_size = 8; plan; lifecycle = None; net = None }
 
 (* The lifecycle sweep's policy: aggressive enough that every injected
    stall (>= 300k cycles, see below) trips the watchdog long before the
@@ -80,12 +83,74 @@ let gen_lifecycle_case seed =
     ring_size = 8;
     plan;
     lifecycle = Some lifecycle_policy;
+    net = None;
+  }
+
+(* The distributed sweep: link faults (partitions, reorders, drops,
+   dups, delays) against a session whose highest-indexed followers live
+   behind the ring bridge, mixed with the single-node lifecycle faults
+   so both machineries compose. At least one follower stays local, so a
+   parked remote side degrades the session only when local followers die
+   too. [unreachable_after] in {!Config.default_net} (300k) sits above
+   [lifecycle_policy.stall_timeout] (150k) by construction. *)
+let gen_net_case seed =
+  let rng = Prng.create (seed lxor 0xD157) in
+  let followers = 2 + Prng.int rng 3 in
+  let remote = 1 + Prng.int rng (followers - 1) in
+  let prog_len = 12 + Prng.int rng 49 in
+  let max_seq = prog_len * 3 / 2 in
+  let link = Fault.random_link rng ~max_frame:prog_len in
+  let extra =
+    match Prng.int rng 4 with
+    | 0 ->
+      [
+        Fault.Stall_follower
+          {
+            idx = 1 + Prng.int rng followers;
+            at_seq = 1 + Prng.int rng max_seq;
+            delay = 300_000 + Prng.int rng 700_000;
+          };
+      ]
+    | 1 ->
+      [
+        Fault.Crash_variant
+          {
+            idx = 1 + Prng.int rng followers;
+            at_seq = 1 + Prng.int rng max_seq;
+          };
+      ]
+    | _ -> []
+  in
+  let policy =
+    {
+      lifecycle_policy with
+      Lifecycle.checkpoint_interval = (if seed mod 3 = 0 then 60_000 else 0);
+    }
+  in
+  let net =
+    {
+      Config.default_net with
+      Config.remote_followers = remote;
+      link_latency = 500 + Prng.int rng 3_500;
+    }
+  in
+  {
+    seed;
+    followers;
+    prog_len;
+    ring_size = 8;
+    plan = link @ extra;
+    lifecycle = Some policy;
+    net = Some net;
   }
 
 let describe_case c =
-  Printf.sprintf "seed=%d followers=%d len=%d ring=%d%s plan=[%s]" c.seed
+  Printf.sprintf "seed=%d followers=%d len=%d ring=%d%s%s plan=[%s]" c.seed
     c.followers c.prog_len c.ring_size
     (if c.lifecycle = None then "" else " lifecycle")
+    (match c.net with
+    | None -> ""
+    | Some n -> Printf.sprintf " net(remote=%d)" n.Config.remote_followers)
     (Fault.to_string c.plan)
 
 let build_program case =
@@ -150,6 +215,7 @@ let run_ops case ops =
       fault_plan = case.plan;
       oracle = Some oracle;
       lifecycle = case.lifecycle;
+      net = case.net;
     }
   in
   let session = Nvx.launch ~config k variants in
@@ -241,11 +307,20 @@ let check_lifecycle (case : case) (out : outcome) =
           if
             fr.Lifecycle.fr_restarts <> policy.Lifecycle.max_restarts
             && out.degraded = None
+            (* A follower parked across a retention-floor advance dies
+               clean rather than replaying a wrong prefix — restart
+               budget untouched. *)
+            && not (contains ~sub:"truncated" fr.Lifecycle.fr_reason)
           then
             fail
               "follower %d dead after %d respawn(s), budget %d, and no \
                degradation to excuse it"
               idx fr.Lifecycle.fr_restarts policy.Lifecycle.max_restarts
+        | Lifecycle.Unreachable ->
+          (* A terminal park is legal: the partition simply never healed
+             before the program ended (or the session degraded). Its
+             digest is void — the variant was killed mid-run. *)
+          ()
         | (Lifecycle.Quarantined | Lifecycle.Respawning | Lifecycle.Catching_up)
           as st ->
           fail "follower %d never settled: stuck %s (%s)" idx
@@ -260,6 +335,47 @@ let run_lifecycle_seed seed =
   let case = gen_lifecycle_case seed in
   let out = run_case case in
   (case, out, check case out @ check_lifecycle case out)
+
+(* The distributed sweep's extra verdicts, on top of {!check} and
+   {!check_lifecycle}: the bridge ran (stats exist), link faults never
+   corrupted a frame the checksum accepted, an [Unreachable] park needs
+   a link fault to blame, and a session with events to mirror moved at
+   least one batch. Digest cleanliness of surviving remote followers is
+   already covered by {!check} (they are ordinary alive variants). *)
+let check_net (case : case) (out : outcome) =
+  let fails = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> fails := s :: !fails) fmt in
+  (match out.stats.Nvx.bridge with
+  | None -> fail "net: no bridge stats despite net config"
+  | Some b ->
+    if b.Varan_net.Bridge.checksum_failures > 0 then
+      fail "net: %d frame(s) passed to the mirror with a bad checksum"
+        b.Varan_net.Bridge.checksum_failures;
+    if
+      b.Varan_net.Bridge.batches = 0
+      && out.stats.Nvx.rings.(0).Varan_ringbuf.Ring.publishes > 0
+      && b.Varan_net.Bridge.detaches = 0
+    then
+      fail "net: leader published %d events but the bridge shipped nothing"
+        out.stats.Nvx.rings.(0).Varan_ringbuf.Ring.publishes);
+  (match out.lifecycle with
+  | Some r ->
+    List.iter
+      (fun fr ->
+        if
+          fr.Lifecycle.fr_state = Lifecycle.Unreachable
+          && not (Fault.has_link_faults case.plan)
+        then
+          fail "net: follower %d unreachable without a link fault (%s)"
+            fr.Lifecycle.fr_idx fr.Lifecycle.fr_reason)
+      r.Lifecycle.followers
+  | None -> ());
+  List.rev !fails
+
+let run_net_seed seed =
+  let case = gen_net_case seed in
+  let out = run_case case in
+  (case, out, check case out @ check_lifecycle case out @ check_net case out)
 
 (* ------------------------------------------------------------------ *)
 (* Contended-futex torture (per-tid lanes, lock-order replay)           *)

@@ -25,6 +25,9 @@ type case = {
   plan : Varan_fault.Plan.t;
   lifecycle : Varan_nvx.Lifecycle.policy option;
       (** run the session with the follower lifecycle manager *)
+  net : Varan_nvx.Config.net option;
+      (** distributed mode: the last [remote_followers] followers
+          consume tuple 0 through the cross-node ring bridge *)
 }
 
 val gen_case : int -> case
@@ -86,6 +89,22 @@ val check_lifecycle : case -> outcome -> string list
 val run_lifecycle_seed : int -> case * outcome * string list
 (** [gen_lifecycle_case], [run_case], then [check] plus
     [check_lifecycle]. *)
+
+val gen_net_case : int -> case
+(** A distributed case: 2–4 followers with 1..followers-1 of them behind
+    the ring bridge on a simulated remote node, a link-fault plan
+    (partitions, delays, reorders, drops, duplicates) and occasionally a
+    single-node lifecycle fault mixed in, checkpointing on every third
+    seed. At least one follower stays local. *)
+
+val check_net : case -> outcome -> string list
+(** The distributed sweep's extra verdicts on top of {!check} and
+    {!check_lifecycle}: the bridge ran and shipped batches when the
+    leader published, no accepted frame had a bad checksum, and an
+    [Unreachable] park has a link fault to blame. *)
+
+val run_net_seed : int -> case * outcome * string list
+(** [gen_net_case], [run_case], then all three check layers. *)
 
 (** {1 Contended-futex torture (per-tid lanes, lock-order replay)} *)
 

@@ -31,8 +31,8 @@ let check_case_exn label case out =
 (* Directed scenarios                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let directed_case ?lifecycle ~seed ~followers ~plan () =
-  { H.seed; followers; prog_len = 0; ring_size = 8; plan; lifecycle }
+let directed_case ?lifecycle ?net ~seed ~followers ~plan () =
+  { H.seed; followers; prog_len = 0; ring_size = 8; plan; lifecycle; net }
 
 (* A workload whose every phase publishes events, including >48-byte
    payloads that travel through the shared-memory pool. *)
@@ -627,6 +627,10 @@ let test_torture_sweep () =
           | Fault.Signal_burst _ -> "signal-burst"
           | Fault.Fork_at _ -> "fork"
           | Fault.Drop_payload_grant _ -> "drop"
+          | Fault.Link_partition _ | Fault.Link_delay _ | Fault.Link_reorder _
+          | Fault.Link_drop _ | Fault.Link_dup _ ->
+            (* link faults only appear in --net cases, generated elsewhere *)
+            "link"
         in
         Hashtbl.replace scenario_coverage key ())
       case.H.plan;
@@ -727,6 +731,260 @@ let test_thread_grid_64_workload () =
   if not (Oracle.ok report) then
     Alcotest.failf "oracle: %s"
       (String.concat "; " report.Oracle.violations)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed NVX: the link, the bridge, link-fault lifecycles        *)
+(* ------------------------------------------------------------------ *)
+
+module Node = Varan_net.Node
+module Link = Varan_net.Link
+module Bridge = Varan_net.Bridge
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let check_net_exn label case out =
+  check_lifecycle_exn label case out;
+  match H.check_net case out with
+  | [] -> ()
+  | fails ->
+    Alcotest.failf "%s: %s\n  %s" label
+      (H.describe_case case)
+      (String.concat "\n  " fails)
+
+(* Link-fault specs survive a print/parse round trip, so any failing net
+   case reproduces from its printed plan alone. *)
+let test_link_plan_roundtrip () =
+  let plan =
+    [
+      Fault.Link_partition { from_seq = 4; duration = 120_000 };
+      Fault.Link_delay { at_seq = 7; extra = 9_000 };
+      Fault.Link_reorder { at_seq = 9 };
+      Fault.Link_drop { at_seq = 11 };
+      Fault.Link_dup { at_seq = 13 };
+    ]
+  in
+  match Fault.of_string (Fault.to_string plan) with
+  | Ok p -> Alcotest.(check bool) "round trip" true (p = plan)
+  | Error e -> Alcotest.failf "link plan did not parse back: %s" e
+
+(* The raw channel: frames arrive in send order, never before
+   latency + serialization. *)
+let test_link_inorder_latency () =
+  let eng = E.create () in
+  let a = Node.create ~eng "a" and b = Node.create ~eng "b" in
+  let link = Link.create ~a ~b ~latency:2_000 ~cycles_per_kb:1_024 "l" in
+  let arrivals = ref [] in
+  ignore
+    (E.spawn eng (fun () ->
+         for i = 1 to 3 do
+           Link.send link ~dir:0 ~bytes:1_024 i
+         done));
+  ignore
+    (E.spawn eng (fun () ->
+         for _ = 1 to 3 do
+           let v = Link.recv link ~dir:0 in
+           arrivals := (v, E.now_cycles ()) :: !arrivals
+         done));
+  E.run_until_quiescent eng;
+  let arrivals = List.rev !arrivals in
+  Alcotest.(check (list int)) "in send order" [ 1; 2; 3 ]
+    (List.map fst arrivals);
+  List.iter
+    (fun (_, t) ->
+      Alcotest.(check bool) "no frame beats latency + serialization" true
+        (t >= 3_000L))
+    arrivals;
+  let s = Link.stats link in
+  Alcotest.(check int) "all delivered" 3 s.Link.frames_delivered;
+  Alcotest.(check int) "none lost" 0 s.Link.frames_lost
+
+(* A partition window: the triggering frame and everything sent inside
+   the window is lost; traffic after the window flows again. *)
+let test_link_partition_window () =
+  let eng = E.create () in
+  let a = Node.create ~eng "a" and b = Node.create ~eng "b" in
+  let faults ~seq = if seq = 0 then [ Link.Partition 50_000 ] else [] in
+  let link = Link.create ~a ~b ~latency:1_000 ~faults "l" in
+  let got = ref [] in
+  ignore
+    (E.spawn eng (fun () ->
+         Link.send link ~dir:0 ~bytes:64 1;
+         Link.send link ~dir:0 ~bytes:64 2;
+         E.sleep 60_000;
+         Link.send link ~dir:0 ~bytes:64 3));
+  ignore (E.spawn eng (fun () -> got := [ Link.recv link ~dir:0 ]));
+  E.run_until_quiescent eng;
+  Alcotest.(check (list int)) "only the post-heal frame" [ 3 ] !got;
+  let s = Link.stats link in
+  Alcotest.(check int) "two frames lost to the window" 2 s.Link.frames_lost;
+  Alcotest.(check int) "one partition window opened" 1 s.Link.partitions
+
+(* Reorder is a one-slot swap; Duplicate delivers back to back. *)
+let test_link_dup_and_reorder () =
+  let eng = E.create () in
+  let a = Node.create ~eng "a" and b = Node.create ~eng "b" in
+  let faults ~seq =
+    match seq with 0 -> [ Link.Reorder ] | 2 -> [ Link.Duplicate ] | _ -> []
+  in
+  let link = Link.create ~a ~b ~latency:1_000 ~faults "l" in
+  let got = ref [] in
+  ignore
+    (E.spawn eng (fun () ->
+         List.iter (fun i -> Link.send link ~dir:0 ~bytes:64 i) [ 1; 2; 3 ]));
+  ignore
+    (E.spawn eng (fun () ->
+         for _ = 1 to 4 do
+           got := Link.recv link ~dir:0 :: !got
+         done));
+  E.run_until_quiescent eng;
+  Alcotest.(check (list int)) "one-slot swap, then the duplicate"
+    [ 2; 1; 3; 3 ] (List.rev !got)
+
+(* The tentpole invariant end to end: a partition longer than
+   [unreachable_after] parks the remote follower [Unreachable] — no
+   restart budget burned, the leader's gate freed by the bridge detach —
+   and the heal probe's first ack reattaches the bridge and splices the
+   follower back in through the checkpoint + tape-delta door, ending
+   with the native digest. *)
+let test_net_partition_unreachable_then_rejoin () =
+  let net = { Config.default_net with Config.remote_followers = 1 } in
+  let case =
+    directed_case ~lifecycle:lc ~net ~seed:120 ~followers:2
+      ~plan:[ Fault.Link_partition { from_seq = 3; duration = 800_000 } ]
+      ()
+  in
+  let out = H.run_ops case (payload_ops 10) in
+  check_net_exn "partition then heal" case out;
+  let r = lifecycle_of out in
+  Alcotest.(check bool) "remote follower parked unreachable" true
+    (r.Lifecycle.unreachable >= 1);
+  Alcotest.(check int) "no quarantines: the wire was sick, not the variant"
+    0 r.Lifecycle.quarantines;
+  let fr = List.find (fun f -> f.Lifecycle.fr_idx = 2) r.Lifecycle.followers in
+  Alcotest.(check int) "no restart budget burned" 0 fr.Lifecycle.fr_restarts;
+  Alcotest.(check bool) "follower ends healthy" true
+    (fr.Lifecycle.fr_state = Lifecycle.Healthy);
+  Alcotest.(check string) "with the native digest" out.H.native
+    out.H.digests.(2);
+  (match out.H.stats.Nvx.bridge with
+  | None -> Alcotest.fail "no bridge stats"
+  | Some b ->
+    Alcotest.(check bool) "bridge detached at least once" true
+      (b.Bridge.detaches >= 1);
+    Alcotest.(check int) "every partition healed" b.Bridge.detaches
+      b.Bridge.heals;
+    Alcotest.(check bool) "the probe retransmitted through the window" true
+      (b.Bridge.retransmits > 0))
+
+(* Satellite: a follower partitioned across a retention-floor advance.
+   With checkpointing on and the parked follower excluded from the
+   retention floor (a partition has no deadline), the tape may age past
+   its rejoin point while it is unreachable. On heal it must either
+   restore a checkpoint + delta, or die cleanly on the truncated tape —
+   never replay a wrong prefix. *)
+let test_net_partition_across_retention_floor () =
+  let net = { Config.default_net with Config.remote_followers = 1 } in
+  let policy = { lc with Lifecycle.checkpoint_interval = 10_000 } in
+  let case =
+    directed_case ~lifecycle:policy ~net ~seed:121 ~followers:2
+      ~plan:[ Fault.Link_partition { from_seq = 2; duration = 2_500_000 } ]
+      ()
+  in
+  (* Enough events that the bridge's in-flight window fills during the
+     partition and gates the leader: once the remote parks Unreachable
+     the bridge detaches, the leader resumes, and the local follower
+     consumes (and checkpoints, and retires tape) well past the
+     remote's stale pre-partition checkpoint — the retention floor
+     must actually advance for this test to exercise the
+     rejoin-vs-truncation decision. *)
+  let out = H.run_ops case (payload_ops 120) in
+  check_net_exn "partition across retention floor" case out;
+  let r = lifecycle_of out in
+  Alcotest.(check bool) "remote follower parked unreachable" true
+    (r.Lifecycle.unreachable >= 1);
+  (* The retention floor must actually have advanced past the remote's
+     park point, or the rejoin-vs-truncation decision was never made. *)
+  (match Nvx.tuple_tape out.H.session 0 with
+  | Some tape ->
+    Alcotest.(check bool) "retention floor advanced during the partition"
+      true
+      (Tape.base tape > 0)
+  | None -> Alcotest.fail "no tape");
+  let fr = List.find (fun f -> f.Lifecycle.fr_idx = 2) r.Lifecycle.followers in
+  (match fr.Lifecycle.fr_state with
+  | Lifecycle.Healthy | Lifecycle.Catching_up ->
+    (* The rejoin door worked: checkpoint + tape delta, exact digest. *)
+    Alcotest.(check string) "rejoined with the native digest" out.H.native
+      out.H.digests.(2)
+  | Lifecycle.Dead ->
+    Alcotest.(check bool)
+      (Printf.sprintf "died cleanly on truncation (reason: %s)"
+         fr.Lifecycle.fr_reason)
+      true
+      (contains ~sub:"truncated" fr.Lifecycle.fr_reason)
+  | Lifecycle.Unreachable ->
+    (* The run ended before the heal probe got through — legal, but this
+       directed case is tuned so it should not happen. *)
+    Alcotest.fail "partition never healed inside the directed window"
+  | s ->
+    Alcotest.failf "unexpected terminal state %s" (Lifecycle.state_name s));
+  Alcotest.(check bool) "never a wrong prefix" true
+    (Array.for_all
+       (fun i -> (not out.H.alive.(i)) || out.H.digests.(i) = out.H.native)
+       [| 0; 1; 2 |])
+
+(* ------------------------------------------------------------------ *)
+(* The randomized distributed sweep                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* 200 seeds of partition/delay/reorder/drop/duplicate plans over
+   2–4 followers with 1..n-1 of them remote. Reproduce failures with
+   `varan torture --net --seed N`. *)
+let net_sweep_cases = 200
+
+let test_net_sweep () =
+  let kinds = Hashtbl.create 8 in
+  let healed = ref 0 in
+  for i = 0 to net_sweep_cases - 1 do
+    let seed = base_seed + i in
+    let case, out, fails = H.run_net_seed seed in
+    (match fails with
+    | [] -> ()
+    | fs ->
+      Alcotest.failf
+        "net seed %d failed (reproduce: varan torture --net --seed %d)\n\
+        \  %s\n\
+        \  %s" seed seed (H.describe_case case)
+        (String.concat "\n  " fs));
+    List.iter
+      (fun inj ->
+        let key =
+          match inj with
+          | Fault.Link_partition _ -> "partition"
+          | Fault.Link_delay _ -> "delay"
+          | Fault.Link_reorder _ -> "reorder"
+          | Fault.Link_drop _ -> "drop"
+          | Fault.Link_dup _ -> "dup"
+          | _ -> "node-fault"
+        in
+        Hashtbl.replace kinds key ())
+      case.H.plan;
+    match out.H.stats.Nvx.bridge with
+    | Some b -> healed := !healed + b.Bridge.heals
+    | None -> ()
+  done;
+  (* The sweep must exercise every link-fault kind and actually heal
+     partitions, or the lifecycle claims above are vacuous. *)
+  List.iter
+    (fun key ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sweep covered %s" key)
+        true (Hashtbl.mem kinds key))
+    [ "partition"; "delay"; "reorder"; "drop"; "dup"; "node-fault" ];
+  Alcotest.(check bool) "sweep healed partitions" true (!healed > 0)
 
 (* ------------------------------------------------------------------ *)
 (* Record/replay round trips under fault plans                         *)
@@ -877,6 +1135,22 @@ let () =
             test_futex_leader_crash_promotes;
           Alcotest.test_case "thread-grid-64 workload digest-clean" `Quick
             test_thread_grid_64_workload;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "link plan print/parse round trip" `Quick
+            test_link_plan_roundtrip;
+          Alcotest.test_case "link delivers in order after latency" `Quick
+            test_link_inorder_latency;
+          Alcotest.test_case "partition window loses its frames" `Quick
+            test_link_partition_window;
+          Alcotest.test_case "duplicate and one-slot reorder" `Quick
+            test_link_dup_and_reorder;
+          Alcotest.test_case "partition parks unreachable then rejoins" `Quick
+            test_net_partition_unreachable_then_rejoin;
+          Alcotest.test_case "partition across the retention floor" `Quick
+            test_net_partition_across_retention_floor;
+          Alcotest.test_case "200-seed link-fault sweep" `Slow test_net_sweep;
         ] );
       ( "record-replay",
         [

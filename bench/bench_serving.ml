@@ -1,0 +1,134 @@
+(* Serving-layer benchmark: req/s vs shard count (the single-ring
+   ceiling evidence of ROADMAP item 4) and tail latency vs follower
+   count, both from the open-loop Poisson generator so p99/p999 include
+   queueing delay. Writes BENCH_serving.json for the CI scaling gate. *)
+
+module Serving = Varan_workloads.Serving
+module Driver = Varan_workloads.Driver
+module Tablefmt = Varan_util.Tablefmt
+
+let smoke = Sys.getenv_opt "VARAN_BENCH_SMOKE" <> None
+
+let base_spec =
+  if smoke then
+    {
+      Serving.default with
+      Serving.sv_requests = 4_000;
+      sv_clients = 100_000;
+      sv_warmup = 100;
+    }
+  else Serving.default
+
+let shard_counts = [ 1; 2; 4; 8 ]
+let follower_counts = [ 0; 1; 2; 3 ]
+
+let row_of ~name ~shards ~followers (o : Serving.outcome) =
+  let m = o.Serving.o_measurement in
+  {
+    Report.r_name = name;
+    r_shards = shards;
+    r_followers = followers;
+    r_completed = m.Driver.requests;
+    r_errors = m.Driver.errors;
+    r_req_per_s = m.Driver.throughput_rps;
+    r_mean_us = m.Driver.mean_latency_us;
+    r_p50_us = m.Driver.p50_us;
+    r_p99_us = m.Driver.p99_us;
+    r_p999_us = m.Driver.p999_us;
+  }
+
+let run () =
+  let table =
+    Tablefmt.create
+      [
+        ("row", Tablefmt.Left);
+        ("req/s", Tablefmt.Right);
+        ("mean us", Tablefmt.Right);
+        ("p50 us", Tablefmt.Right);
+        ("p99 us", Tablefmt.Right);
+        ("p999 us", Tablefmt.Right);
+        ("errs", Tablefmt.Right);
+        ("zygote forks", Tablefmt.Right);
+        ("cold rewrites", Tablefmt.Right);
+      ]
+  in
+  let add_table_row name (o : Serving.outcome) =
+    let m = o.Serving.o_measurement in
+    Tablefmt.add_row table
+      [
+        name;
+        Printf.sprintf "%.0f" m.Driver.throughput_rps;
+        Printf.sprintf "%.1f" m.Driver.mean_latency_us;
+        Printf.sprintf "%.1f" m.Driver.p50_us;
+        Printf.sprintf "%.1f" m.Driver.p99_us;
+        Printf.sprintf "%.1f" m.Driver.p999_us;
+        string_of_int m.Driver.errors;
+        string_of_int o.Serving.o_zygote_forks;
+        string_of_int o.Serving.o_rewrite_cache.Varan_binary.Rewrite_cache.misses;
+      ]
+  in
+  (* Req/s vs shard count at a fixed follower count. The arrival rate is
+     far above even the 8-shard saturation point, so each row measures
+     pool capacity. *)
+  let shard_rows =
+    List.map
+      (fun shards ->
+        let name = Printf.sprintf "shards-%d" shards in
+        let o =
+          Serving.run ~label:name { base_spec with Serving.sv_shards = shards }
+        in
+        (match o.Serving.o_degraded with
+        | [] -> ()
+        | ds ->
+          List.iter
+            (fun (s, why) ->
+              Printf.printf "  !! shard %d degraded: %s\n" s why)
+            ds);
+        add_table_row name o;
+        row_of ~name ~shards ~followers:base_spec.Serving.sv_followers o)
+      shard_counts
+  in
+  Tablefmt.add_rule table;
+  (* Tail latency vs follower count at a fixed shard count: more
+     followers cost ring-gating on the leader's publish path, and the
+     open-loop tail shows what the mean hides. *)
+  let follower_rows =
+    List.map
+      (fun followers ->
+        let name = Printf.sprintf "followers-%d" followers in
+        let o =
+          Serving.run ~label:name
+            {
+              base_spec with
+              Serving.sv_shards = 4;
+              sv_followers = followers;
+            }
+        in
+        add_table_row name o;
+        row_of ~name ~shards:4 ~followers o)
+      follower_counts
+  in
+  print_endline "=== Sharded serving: open-loop Poisson load ===";
+  Printf.printf
+    "arrival: 1 req / %.0f cycles mean; %d requests over %d simulated \
+     clients, %d workers%s\n\n"
+    base_spec.Serving.sv_mean_gap_cycles base_spec.Serving.sv_requests
+    base_spec.Serving.sv_clients base_spec.Serving.sv_workers
+    (if smoke then " (smoke quota)" else "");
+  Tablefmt.print table;
+  (let rps shards =
+     match
+       List.find_opt (fun r -> r.Report.r_name = Printf.sprintf "shards-%d" shards) shard_rows
+     with
+     | Some r -> r.Report.r_req_per_s
+     | None -> 0.0
+   in
+   let one = rps 1 in
+   if one > 0.0 then
+     List.iter
+       (fun n ->
+         if n > 1 then
+           Printf.printf "scaling x%d: %.2fx linear\n" n
+             (rps n /. (float_of_int n *. one)))
+       shard_counts);
+  Report.save_serving_json (shard_rows @ follower_rows)

@@ -21,6 +21,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("multirev", "E9: multi-revision execution (Section 5.2)", Bench_scenarios.multirev);
     ("sanitize", "E10: live sanitization (Section 5.3)", Bench_scenarios.sanitize);
     ("recrep", "E11: record-replay (Section 5.4)", Bench_scenarios.recrep);
+    ("serving", "sharded serving: req/s vs shards, tail vs followers", Bench_serving.run);
     ("ablate", "design ablations (DESIGN.md section 5)", Bench_ablate.run);
     ("micro", "real wall-clock component benchmarks", Bench_bechamel.run);
   ]

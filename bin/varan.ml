@@ -449,10 +449,61 @@ let torture_cmd =
              reproduces the leader's global lock-acquisition order, \
              digest-for-digest.")
   in
-  let run seed count plan_spec followers verbose lifecycle futex stall_timeout
-      max_restarts min_followers lag_threshold checkpoint_interval net
-      link_latency partition_every drop_rate =
+  let shards_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Run sharded-pool cases: N monitor sessions co-resident on \
+             one kernel behind the shared zygote and rewrite cache, each \
+             running its own program. Checks that every shard's every \
+             variant reproduces that shard's solo native digest — \
+             co-residency leaks nothing across shard boundaries. 0 keeps \
+             the case's own shard count (2–4 from the seed).")
+  in
+  let run seed count plan_spec followers verbose lifecycle futex shards
+      stall_timeout max_restarts min_followers lag_threshold
+      checkpoint_interval net link_latency partition_every drop_rate =
     let module Lifecycle = Varan_nvx.Lifecycle in
+    (match shards with
+    | Some n ->
+      let failures = ref 0 in
+      for s = seed to seed + count - 1 do
+        let sc = H.gen_shard_case s in
+        let sc =
+          if n > 0 then { sc with H.sc_shards = max 2 (min 8 n) } else sc
+        in
+        let out = H.run_shard_case sc in
+        let fails = H.check_shard sc out in
+        if fails = [] then
+          Printf.printf "PASS %s\n" (H.describe_shard_case sc)
+        else begin
+          incr failures;
+          Printf.printf "FAIL %s\n" (H.describe_shard_case sc);
+          List.iter (fun f -> Printf.printf "  %s\n" f) fails
+        end;
+        if verbose then begin
+          let module RC = Varan_binary.Rewrite_cache in
+          Printf.printf
+            "  zygote forks=%d rewrite-cache hits=%d misses=%d rebases=%d\n"
+            out.H.so_zygote_forks out.H.so_rewrite.RC.hits
+            out.H.so_rewrite.RC.misses out.H.so_rewrite.RC.rebases;
+          Array.iteri
+            (fun sh native ->
+              Printf.printf "  shard %d native: %s\n" sh native;
+              Array.iteri
+                (fun i d ->
+                  Printf.printf "    v%d%s: %s\n" i
+                    (if out.H.so_alive.(sh).(i) then "" else " (dead)")
+                    (if d = native then "= native" else d))
+                out.H.so_digests.(sh))
+            out.H.so_natives
+        end
+      done;
+      if count > 1 then
+        Printf.printf "%d/%d cases passed\n" (count - !failures) count;
+      exit (if !failures > 0 then 1 else 0)
+    | None -> ());
     if futex then begin
       let failures = ref 0 in
       for s = seed to seed + count - 1 do
@@ -666,10 +717,10 @@ let torture_cmd =
           native run and the trace-invariant oracle.")
     Term.(
       const run $ seed_arg $ count_arg $ plan_arg $ followers_torture_arg
-      $ verbose_arg $ lifecycle_arg $ futex_arg $ stall_timeout_arg
-      $ max_restarts_arg $ min_followers_arg $ lag_threshold_arg
-      $ checkpoint_interval_arg $ net_arg $ link_latency_arg
-      $ partition_every_arg $ drop_rate_arg)
+      $ verbose_arg $ lifecycle_arg $ futex_arg $ shards_arg
+      $ stall_timeout_arg $ max_restarts_arg $ min_followers_arg
+      $ lag_threshold_arg $ checkpoint_interval_arg $ net_arg
+      $ link_latency_arg $ partition_every_arg $ drop_rate_arg)
 
 let replay_cmd =
   let module H = Varan_torture.Harness in
@@ -753,6 +804,91 @@ let replay_cmd =
           position from the nearest checkpoint plus the retained tape delta.")
     Term.(const run $ at_arg $ seed_arg $ interval_arg $ events_arg)
 
+let serve_cmd =
+  let module Serving = Varan_workloads.Serving in
+  let module Router = Varan_nvx.Router in
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Monitor shards (one NVX session each) behind the router.")
+  in
+  let followers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "f"; "followers" ] ~docv:"N" ~doc:"Followers per shard.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int Serving.default.Serving.sv_requests
+      & info [ "requests" ] ~docv:"N" ~doc:"Open-loop arrivals to generate.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int Serving.default.Serving.sv_workers
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Client tasks multiplexing the simulated client ids.")
+  in
+  let gap_arg =
+    Arg.(
+      value & opt float Serving.default.Serving.sv_mean_gap_cycles
+      & info [ "gap" ] ~docv:"CYCLES"
+          ~doc:"Mean Poisson inter-arrival gap in cycles.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int Serving.default.Serving.sv_seed
+      & info [ "seed" ] ~docv:"N" ~doc:"Arrival-schedule and router seed.")
+  in
+  let run shards followers requests workers gap seed =
+    let spec =
+      {
+        Serving.default with
+        Serving.sv_shards = max 1 shards;
+        sv_followers = max 0 followers;
+        sv_requests = max 1 requests;
+        sv_workers = max 1 workers;
+        sv_mean_gap_cycles = gap;
+        sv_seed = seed;
+      }
+    in
+    Printf.printf
+      "Serving %d open-loop request(s) (mean gap %.0f cycles) across %d \
+       shard(s), %d follower(s) each...\n\
+       %!"
+      spec.Serving.sv_requests spec.Serving.sv_mean_gap_cycles
+      spec.Serving.sv_shards spec.Serving.sv_followers;
+    let o = Serving.run spec in
+    let m = o.Serving.o_measurement in
+    Printf.printf
+      "%8d requests  %8.0f req/s  %6.1f us mean  p50 %.1f  p99 %.1f  p999 \
+       %.1f  (%d error(s))\n"
+      m.Driver.requests m.Driver.throughput_rps m.Driver.mean_latency_us
+      m.Driver.p50_us m.Driver.p99_us m.Driver.p999_us m.Driver.errors;
+    let r = o.Serving.o_router in
+    Printf.printf
+      "router: %d route(s), %d assignment(s), %d drained; per shard: %s\n"
+      r.Router.routed r.Router.assigned r.Router.drained
+      (String.concat " "
+         (Array.to_list (Array.map string_of_int r.Router.per_shard)));
+    Printf.printf "shared zygote: %d fork(s); rewrite cache: %d cold, %d \
+                   rebase(s)\n"
+      o.Serving.o_zygote_forks
+      o.Serving.o_rewrite_cache.Varan_binary.Rewrite_cache.misses
+      o.Serving.o_rewrite_cache.Varan_binary.Rewrite_cache.rebases;
+    List.iter
+      (fun (s, why) -> Printf.printf "shard %d degraded: %s\n" s why)
+      o.Serving.o_degraded
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the sharded serving layer under open-loop Poisson load and \
+          report throughput and tail latency.")
+    Term.(
+      const run $ shards_arg $ followers_arg $ requests_arg $ workers_arg
+      $ gap_arg $ seed_arg)
+
 let list_cmd =
   let run () =
     print_endline "Available workloads:";
@@ -771,7 +907,7 @@ let main =
        ~doc:"An efficient N-version execution framework (simulated reproduction).")
     [
       run_cmd; lockstep_cmd; rewrite_cmd; bpf_cmd; strace_cmd; torture_cmd;
-      replay_cmd; list_cmd;
+      replay_cmd; serve_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -30,10 +30,12 @@ type snapshot = {
 
 type t
 
-val create : ?keep:int -> unit -> t
+val create : ?scope:string -> ?keep:int -> unit -> t
 (** [keep] (default 4) checkpoints are retained per variant, newest
     first; older ones are evicted and their blobs dropped when no other
-    snapshot shares them. *)
+    snapshot shares them. [scope] prefixes the registry counter names
+    this store mirrors into (a shard's store reports
+    "shardN.checkpoint.taken"). *)
 
 val store : t -> snapshot -> unit
 (** File a capture. A same-variant, same-seq predecessor is replaced.

@@ -103,24 +103,40 @@ type counters = {
   mutable c_illegal : int;
 }
 
+(* Registry-backed counters, resolved per lifecycle instance so a sharded
+   deployment reads "shard3.lifecycle.respawns" rather than every shard
+   funneling into one process-wide tally. Unscoped sessions keep the
+   historical bare names. *)
+type registry_counters = {
+  g_quarantines : Stats.counter;
+  g_respawns : Stats.counter;
+  g_rejoins : Stats.counter;
+  g_deaths : Stats.counter;
+  g_degradations : Stats.counter;
+  g_unreachable : Stats.counter;
+}
+
 type t = {
   policy : policy;
   entries : entry array; (* indexed by variant idx; entry 0 unused while
                             variant 0 leads *)
   c : counters;
+  g : registry_counters;
   mutable degraded : string option;
 }
 
-let g_quarantines = Stats.counter "lifecycle.quarantines"
-let g_respawns = Stats.counter "lifecycle.respawns"
-let g_rejoins = Stats.counter "lifecycle.rejoins"
-let g_deaths = Stats.counter "lifecycle.deaths"
-let g_degradations = Stats.counter "lifecycle.degradations"
-let g_unreachable = Stats.counter "lifecycle.unreachable"
-
-let create policy ~variants =
+let create ?scope policy ~variants =
   {
     policy;
+    g =
+      {
+        g_quarantines = Stats.scoped_counter ?scope "lifecycle.quarantines";
+        g_respawns = Stats.scoped_counter ?scope "lifecycle.respawns";
+        g_rejoins = Stats.scoped_counter ?scope "lifecycle.rejoins";
+        g_deaths = Stats.scoped_counter ?scope "lifecycle.deaths";
+        g_degradations = Stats.scoped_counter ?scope "lifecycle.degradations";
+        g_unreachable = Stats.scoped_counter ?scope "lifecycle.unreachable";
+      };
     entries =
       Array.init variants (fun i ->
           {
@@ -160,21 +176,21 @@ let transition t e next =
     if e.e_state = Lagging then t.c.c_recovered <- t.c.c_recovered + 1
     else if e.e_state = Catching_up then begin
       t.c.c_rejoins <- t.c.c_rejoins + 1;
-      Stats.incr_counter g_rejoins
+      Stats.incr_counter t.g.g_rejoins
     end
   | Quarantined ->
     t.c.c_quarantines <- t.c.c_quarantines + 1;
-    Stats.incr_counter g_quarantines
+    Stats.incr_counter t.g.g_quarantines
   | Respawning ->
     t.c.c_respawns <- t.c.c_respawns + 1;
-    Stats.incr_counter g_respawns
+    Stats.incr_counter t.g.g_respawns
   | Catching_up -> ()
   | Unreachable ->
     t.c.c_unreachable <- t.c.c_unreachable + 1;
-    Stats.incr_counter g_unreachable
+    Stats.incr_counter t.g.g_unreachable
   | Dead ->
     t.c.c_deaths <- t.c.c_deaths + 1;
-    Stats.incr_counter g_deaths);
+    Stats.incr_counter t.g.g_deaths);
   e.e_state <- next
 
 let note_degraded t reason =
@@ -182,7 +198,7 @@ let note_degraded t reason =
   | Some _ -> () (* first reason wins *)
   | None ->
     t.degraded <- Some reason;
-    Stats.incr_counter g_degradations
+    Stats.incr_counter t.g.g_degradations
 
 let degraded t = t.degraded
 

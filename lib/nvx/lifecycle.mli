@@ -87,7 +87,12 @@ type entry = {
 
 type t
 
-val create : policy -> variants:int -> t
+val create : ?scope:string -> policy -> variants:int -> t
+(** [scope] prefixes the registry counter names this instance mirrors
+    into ("shard0.lifecycle.respawns" instead of "lifecycle.respawns"),
+    so per-shard lifecycle activity stays separable in a sharded
+    deployment. Unscoped instances keep the historical bare names. *)
+
 val entry : t -> int -> entry
 val state : entry -> state
 val restarts : entry -> int

@@ -2065,7 +2065,63 @@ let start_units t vst =
     K.register_task t.k proc tid
   done
 
-let launch ?(config = Config.default) k variants =
+(* ------------------------------------------------------------------ *)
+(* Shared spawn hub (sharded serving)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One zygote + one content-addressed rewrite cache serving several
+   sessions. The hub holds a launcher per variant name; whichever
+   session's coordinator runs first creates the actual zygote process
+   (coordinators are engine tasks, and [Zygote.spawn] must run inside
+   one), later coordinators reuse it. Fork requests dispatch by variant
+   name, so names must be unique across the sessions sharing a hub —
+   the shard layer prefixes them with the shard scope. *)
+type shared_spawn = {
+  sp_cache : Rewrite_cache.t;
+  mutable sp_zygote : Zygote.t option;
+  mutable sp_creating : bool;
+  sp_ready : E.Cond.cond;
+  sp_launchers : (string, Types.proc -> name:string -> unit) Hashtbl.t;
+}
+
+let shared_spawn () =
+  {
+    sp_cache = Rewrite_cache.create ();
+    sp_zygote = None;
+    sp_creating = false;
+    sp_ready = E.Cond.create "shared-zygote-ready";
+    sp_launchers = Hashtbl.create 16;
+  }
+
+let shared_zygote sp = sp.sp_zygote
+let shared_cache sp = sp.sp_cache
+
+(* Get-or-create the hub's zygote; called from a coordinator task.
+   [Zygote.spawn] yields (pipe setup runs under the zygote proc's API),
+   so the creating coordinator latches [sp_creating] before its first
+   yield — sibling coordinators arriving mid-spawn park on the cond
+   instead of spawning a second zygote. *)
+let shared_spawn_zygote sp k =
+  match sp.sp_zygote with
+  | Some z -> z
+  | None when sp.sp_creating ->
+    while sp.sp_zygote = None do
+      E.Cond.wait sp.sp_ready
+    done;
+    Option.get sp.sp_zygote
+  | None ->
+    sp.sp_creating <- true;
+    let dispatch proc ~name =
+      match Hashtbl.find_opt sp.sp_launchers name with
+      | Some l -> l proc ~name
+      | None -> ()
+    in
+    let z = Zygote.spawn ~cache:sp.sp_cache k ~launcher:dispatch in
+    sp.sp_zygote <- Some z;
+    E.Cond.broadcast sp.sp_ready;
+    z
+
+let launch ?(config = Config.default) ?scope ?shared k variants =
   if variants = [] then invalid_arg "Session.launch: no variants";
   let variants = Array.of_list variants in
   let shape = variants.(0).Variant.program in
@@ -2163,20 +2219,26 @@ let launch ?(config = Config.default) k variants =
       leader_idx = 0;
       payload_refs = Hashtbl.create 64;
       zygote = None;
-      rewrite_cache = Rewrite_cache.create ();
+      rewrite_cache =
+        (match shared with
+        | Some sp -> sp.sp_cache
+        | None -> Rewrite_cache.create ());
       next_site_id = 0;
       crash_list = [];
       crash_list_len = 0;
       crash_total = 0;
       lifecycle =
         (match config.Config.lifecycle with
-        | Some p -> Some (Lifecycle.create p ~variants:nvariants)
+        | Some p -> Some (Lifecycle.create ?scope p ~variants:nvariants)
         | None -> None);
       tapes =
         (match config.Config.lifecycle with
         | Some _ -> Array.init ntuples (fun _ -> Tape.create ())
         | None -> [||]);
-      checkpoints = Checkpoint.create ();
+      (* The checkpoint store stays per-session even under a shared hub:
+         snapshots are keyed by variant index, which collides across
+         sessions. Only the zygote and the rewrite cache are shared. *)
+      checkpoints = Checkpoint.create ?scope ();
       degraded = None;
       max_lag = 0;
       waitlock_sleepers = Array.make ntuples 0;
@@ -2397,30 +2459,48 @@ let launch ?(config = Config.default) k variants =
              in
              loop ()))
     done);
-  (* Coordinator: spawn the zygote, fork each variant through it, prepare
-     images and start execution units (Figure 2). *)
+  (* Coordinator: spawn (or join) the zygote, fork each variant through
+     it, prepare images and start execution units (Figure 2). *)
+  let launcher proc ~name =
+    match
+      Array.find_opt (fun vst -> vst.variant.Variant.v_name = name) vstates
+    with
+    | None -> ()
+    | Some vst ->
+      vst.main_proc <- Some proc;
+      (* Every incarnation goes through prepare_image: the zygote
+         forks from the pristine copy (Figure 2), and the rewrite
+         cache turns everything after the first launch of a given
+         image into an O(sites) rebase — respawns never re-run
+         the rewriter from scratch. *)
+      prepare_image t vst;
+      start_units t vst
+  in
+  (* Under a shared hub, register this session's variants with the
+     dispatch table up front (no task context needed) so whichever
+     coordinator creates the zygote can already serve siblings. *)
+  (match shared with
+  | None -> ()
+  | Some sp ->
+    Array.iter
+      (fun vst ->
+        let name = vst.variant.Variant.v_name in
+        if Hashtbl.mem sp.sp_launchers name then
+          invalid_arg
+            (Printf.sprintf
+               "Session.launch: variant name %S already registered with this \
+                spawn hub"
+               name);
+        Hashtbl.replace sp.sp_launchers name launcher)
+      vstates);
   ignore
     (E.spawn k.Types.eng ~name:"coordinator" (fun () ->
-         let launcher proc ~name =
-           match
-             Array.find_opt
-               (fun vst -> vst.variant.Variant.v_name = name)
-               vstates
-           with
-           | None -> ()
-           | Some vst ->
-             vst.main_proc <- Some proc;
-             (* Every incarnation goes through prepare_image: the zygote
-                forks from the pristine copy (Figure 2), and the rewrite
-                cache turns everything after the first launch of a given
-                image into an O(sites) rebase — respawns never re-run
-                the rewriter from scratch. *)
-             prepare_image t vst;
-             start_units t vst
-         in
          let z =
-           Zygote.spawn ~cache:t.rewrite_cache ~checkpoints:t.checkpoints k
-             ~launcher
+           match shared with
+           | Some sp -> shared_spawn_zygote sp k
+           | None ->
+             Zygote.spawn ~cache:t.rewrite_cache ~checkpoints:t.checkpoints k
+               ~launcher
          in
          t.zygote <- Some z;
          Array.iter
@@ -2429,10 +2509,12 @@ let launch ?(config = Config.default) k variants =
            vstates;
          (* With the lifecycle manager the zygote stays resident to
             serve respawn requests; its service task parks on the
-            request pipe and is abandoned at quiescence. *)
-         match t.lifecycle with
-         | Some _ -> ()
-         | None -> Zygote.shutdown z));
+            request pipe and is abandoned at quiescence. A shared hub's
+            zygote always stays resident — sibling sessions and their
+            respawns keep using it. *)
+         match (t.lifecycle, shared) with
+         | None, None -> Zygote.shutdown z
+         | _ -> ()));
   t
 
 (* ------------------------------------------------------------------ *)

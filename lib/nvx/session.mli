@@ -22,12 +22,47 @@ exception Divergence_kill of string
 (** Raised inside a follower whose divergence was not permitted by its
     rewrite rules; the monitor turns it into a crash notification. *)
 
+type shared_spawn
+(** A spawn hub shared by several sessions (the sharded serving layer):
+    one resident zygote process and one content-addressed rewrite cache,
+    so the spawn fast path is paid once process-wide rather than per
+    shard. Fork requests dispatch to the owning session by variant name,
+    which must therefore be unique across the sessions sharing a hub. *)
+
+val shared_spawn : unit -> shared_spawn
+(** Fresh hub; the zygote process itself is created lazily by the first
+    session coordinator that runs. *)
+
+val shared_zygote : shared_spawn -> Zygote.t option
+(** The hub's resident zygote, once some session's coordinator created
+    it ([None] before the engine has run). *)
+
+val shared_cache : shared_spawn -> Varan_binary.Rewrite_cache.t
+(** The hub's shared rewrite cache. *)
+
 val launch :
-  ?config:Config.t -> Varan_kernel.Types.t -> Variant.t list -> t
+  ?config:Config.t ->
+  ?scope:string ->
+  ?shared:shared_spawn ->
+  Varan_kernel.Types.t ->
+  Variant.t list ->
+  t
 (** Set up and start the session. All variants' tasks are scheduled; the
     caller then runs the engine. The first variant is the initial leader.
-    @raise Invalid_argument on an empty variant list or inconsistent unit
-    shapes. *)
+
+    [scope] qualifies the registry counter names this session's lifecycle
+    manager and checkpoint store mirror into (e.g. scope ["shard2"] makes
+    ["shard2.lifecycle.respawns"]) so concurrent sessions keep separable
+    stats; without it the historical bare names are used.
+
+    [shared] plugs the session into a {!shared_spawn} hub: the session
+    uses the hub's zygote and rewrite cache instead of creating its own,
+    and never shuts the zygote down (sibling sessions and respawns keep
+    using it). The checkpoint store remains per-session — snapshots are
+    keyed by variant index, which is only unique within a session.
+
+    @raise Invalid_argument on an empty variant list, inconsistent unit
+    shapes, or a variant name already registered with [shared]. *)
 
 val leader_index : t -> int
 val role_of : t -> int -> role

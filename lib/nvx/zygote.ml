@@ -10,6 +10,12 @@ type t = {
   resp_r : int; (* coordinator reads replies here *)
   coord_api : Api.t; (* pipe endpoints live in the coordinator's table *)
   mutable served : int;
+  (* Requests and replies share one socket and replies are read a byte
+     at a time, so two concurrent requesters would steal each other's
+     reply bytes. Sessions sharing a zygote (the sharded serving hub) and
+     concurrent respawn agents serialize here. *)
+  mutable busy : bool;
+  turn : E.Cond.cond;
   (* The spawn fast path: the zygote outlives every variant incarnation
      (it stays resident to serve respawns), so it owns the
      content-addressed cache of rewritten images. Launches after the
@@ -63,7 +69,18 @@ let spawn ?cache ?checkpoints k ~launcher =
     match checkpoints with Some c -> c | None -> Checkpoint.create ()
   in
   let t =
-    { k; zproc; req_w; resp_r; coord_api = zapi; served = 0; rcache; ckpts }
+    {
+      k;
+      zproc;
+      req_w;
+      resp_r;
+      coord_api = zapi;
+      served = 0;
+      busy = false;
+      turn = E.Cond.create "zygote-turn";
+      rcache;
+      ckpts;
+    }
   in
   let service () =
     let rec loop () =
@@ -108,13 +125,31 @@ let spawn ?cache ?checkpoints k ~launcher =
   t
 
 let fork_request t name =
-  (match Api.write_str t.coord_api t.req_w (Printf.sprintf "FORK %s\n" name) with
-  | Ok _ -> ()
-  | Error _ -> failwith "zygote: request pipe broken");
-  let reply = read_line t.coord_api t.resp_r in
-  match String.split_on_char ' ' reply with
-  | [ "OK"; pid ] -> int_of_string pid
-  | _ -> failwith ("zygote: unexpected reply " ^ reply)
+  while t.busy do
+    E.Cond.wait t.turn
+  done;
+  t.busy <- true;
+  let release () =
+    t.busy <- false;
+    E.Cond.signal t.turn
+  in
+  match
+    (match
+       Api.write_str t.coord_api t.req_w (Printf.sprintf "FORK %s\n" name)
+     with
+    | Ok _ -> ()
+    | Error _ -> failwith "zygote: request pipe broken");
+    let reply = read_line t.coord_api t.resp_r in
+    match String.split_on_char ' ' reply with
+    | [ "OK"; pid ] -> int_of_string pid
+    | _ -> failwith ("zygote: unexpected reply " ^ reply)
+  with
+  | pid ->
+    release ();
+    pid
+  | exception e ->
+    release ();
+    raise e
 
 let shutdown t = ignore (Api.close t.coord_api t.req_w)
 let forks_served t = t.served

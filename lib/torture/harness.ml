@@ -553,3 +553,137 @@ let run_futex_seed seed =
   let fc = gen_futex_case seed in
   let out = run_futex_case fc in
   (fc, out, check_futex fc out)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded-pool torture (per-shard digest isolation)                    *)
+(* ------------------------------------------------------------------ *)
+
+module Shard = Varan_nvx.Shard
+module Rewrite_cache = Varan_binary.Rewrite_cache
+
+type shard_case = {
+  sc_seed : int;
+  sc_shards : int;
+  sc_followers : int; (* per shard *)
+  sc_prog_len : int;
+}
+
+let gen_shard_case seed =
+  let rng = Prng.create (seed lxor 0x5AADED) in
+  {
+    sc_seed = seed;
+    sc_shards = 2 + Prng.int rng 3;
+    sc_followers = 1 + Prng.int rng 2;
+    sc_prog_len = 8 + Prng.int rng 25;
+  }
+
+let describe_shard_case c =
+  Printf.sprintf "seed=%d shards=%d followers=%d len=%d" c.sc_seed c.sc_shards
+    c.sc_followers c.sc_prog_len
+
+(* Each shard runs its own program, from a stream salted with the shard
+   id. Entropy ops are sanitized away: the pooled shards share one
+   kernel, so their [Getrandom] draws would interleave — and interleave
+   differently than each shard's solo native run — for reasons that have
+   nothing to do with the monitor. *)
+let shard_program c s =
+  let rng = Prng.create (c.sc_seed lxor 0x5AADED lxor ((s + 1) * 0x9E3779)) in
+  List.map P.sanitize_for_fork (P.gen_ops rng c.sc_prog_len)
+
+let shard_path s = Printf.sprintf "s%d" s
+
+(* Like [P.run_native] but under the shard's own observation path, so the
+   digest (which embeds the path) and the /tmp namespace both line up
+   with the pooled run's. *)
+let native_shard_digest ~kernel_seed ~path ops =
+  let eng = E.create () in
+  let k = K.create ~seed:kernel_seed eng in
+  let obs = P.observations () in
+  let proc = K.new_proc k "native" in
+  let tid =
+    E.spawn eng (fun () -> P.interpret ~obs ~path ops (Api.direct k proc))
+  in
+  K.register_task k proc tid;
+  E.run_until_quiescent eng;
+  P.digest obs
+
+type shard_outcome = {
+  so_natives : string array; (* shard-local native digests *)
+  so_digests : string array array; (* [shard].[variant] *)
+  so_alive : bool array array;
+  so_zygote_forks : int;
+  so_rewrite : Rewrite_cache.stats;
+  so_budget_blown : bool;
+}
+
+let run_shard_case c =
+  let progs = Array.init c.sc_shards (shard_program c) in
+  (* Reference digests first: each shard's program alone on a fresh
+     kernel with the pooled run's seed. *)
+  let so_natives =
+    Array.mapi
+      (fun s ops ->
+        native_shard_digest ~kernel_seed:c.sc_seed ~path:(shard_path s) ops)
+      progs
+  in
+  let eng = E.create () in
+  let k = K.create ~seed:c.sc_seed eng in
+  let n = c.sc_followers + 1 in
+  let obs =
+    Array.init c.sc_shards (fun _ -> Array.init n (fun _ -> P.observations ()))
+  in
+  let variants_of s =
+    List.init n (fun i ->
+        Variant.make
+          (Printf.sprintf "s%d.v%d" s i)
+          (Variant.single (fun api ->
+               P.interpret ~obs:obs.(s).(i) ~path:(shard_path s) progs.(s) api)))
+  in
+  let pool = Shard.launch k ~shards:c.sc_shards ~variants_of in
+  let so_budget_blown =
+    try
+      E.run_until_quiescent ~cycle_budget eng;
+      false
+    with E.Budget_exceeded _ -> true
+  in
+  {
+    so_natives;
+    so_digests = Array.map (Array.map P.digest) obs;
+    so_alive =
+      Array.init c.sc_shards (fun s ->
+          Array.init n (Nvx.is_alive (Shard.session pool s)));
+    so_zygote_forks = Shard.zygote_forks pool;
+    so_rewrite = Rewrite_cache.stats (Nvx.shared_cache (Shard.hub pool));
+    so_budget_blown;
+  }
+
+(* The sharding verdicts: every variant of every shard is alive (no
+   faults are injected here) and carries exactly its own shard's native
+   digest — proof that co-residency on one kernel, one zygote and one
+   rewrite cache leaks nothing across shard boundaries — and the pool
+   really spawned everything through the one shared zygote. *)
+let check_shard (c : shard_case) (out : shard_outcome) =
+  let fails = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> fails := s :: !fails) fmt in
+  if out.so_budget_blown then fail "liveness: cycle budget exceeded";
+  Array.iteri
+    (fun s digests ->
+      Array.iteri
+        (fun i d ->
+          if not out.so_alive.(s).(i) then
+            fail "shard %d variant %d died without a fault plan" s i
+          else if d <> out.so_natives.(s) then
+            fail "shard %d variant %d diverged from its native run: %S <> %S"
+              s i d out.so_natives.(s))
+        digests)
+    out.so_digests;
+  let expected_forks = c.sc_shards * (c.sc_followers + 1) in
+  if out.so_zygote_forks <> expected_forks then
+    fail "shared zygote served %d fork(s), expected %d" out.so_zygote_forks
+      expected_forks;
+  List.rev !fails
+
+let run_shard_seed seed =
+  let c = gen_shard_case seed in
+  let out = run_shard_case c in
+  (c, out, check_shard c out)

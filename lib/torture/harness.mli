@@ -151,3 +151,47 @@ val check_futex :
 
 val run_futex_seed : int -> futex_case * futex_outcome * string list
 (** [gen_futex_case], [run_futex_case], [check_futex] in one step. *)
+
+(** {1 Sharded-pool torture (per-shard digest isolation)} *)
+
+type shard_case = {
+  sc_seed : int;
+  sc_shards : int;  (** 2–4 *)
+  sc_followers : int;  (** per shard, 1–2 *)
+  sc_prog_len : int;
+}
+
+val gen_shard_case : int -> shard_case
+(** Derive a sharded-pool case deterministically from the seed. *)
+
+val describe_shard_case : shard_case -> string
+
+val shard_program : shard_case -> int -> Programs.op list
+(** Shard [s]'s program: an independent op stream salted with the shard
+    id, with entropy ops sanitized away (pooled shards share one kernel,
+    so their entropy draws would interleave differently than each
+    shard's solo native run). *)
+
+type shard_outcome = {
+  so_natives : string array;
+      (** per-shard digest of the shard's program run alone on a fresh
+          kernel *)
+  so_digests : string array array;  (** [.(shard).(variant)] *)
+  so_alive : bool array array;
+  so_zygote_forks : int;  (** served by the pool's one shared zygote *)
+  so_rewrite : Varan_binary.Rewrite_cache.stats;
+  so_budget_blown : bool;
+}
+
+val run_shard_case : shard_case -> shard_outcome
+(** Native runs per shard, then the whole pool — one {!Varan_nvx.Shard}
+    launch on one kernel, sharing the zygote and rewrite cache — run to
+    quiescence. Deterministic in the case. *)
+
+val check_shard : shard_case -> shard_outcome -> string list
+(** Every variant of every shard alive and digest-identical to its own
+    shard's native run (co-residency leaks nothing across shards), and
+    the shared zygote served exactly [shards * (followers+1)] forks. *)
+
+val run_shard_seed : int -> shard_case * shard_outcome * string list
+(** [gen_shard_case], [run_shard_case], [check_shard] in one step. *)

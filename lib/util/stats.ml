@@ -44,27 +44,45 @@ type summary = {
   max : float;
   p95 : float;
   p99 : float;
+  p999 : float;
 }
+
+(* Shared by the list and array entry points; [a] is sorted ascending. *)
+let summarize_sorted a =
+  let n = Array.length a in
+  assert (n > 0);
+  let mean = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+  let sq =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 a
+  in
+  {
+    n;
+    mean;
+    median = median_sorted a;
+    stddev = sqrt (sq /. float_of_int n);
+    min = a.(0);
+    max = a.(n - 1);
+    p95 = percentile_sorted 95.0 a;
+    p99 = percentile_sorted 99.0 a;
+    p999 = percentile_sorted 99.9 a;
+  }
 
 let summarize xs =
   assert (xs <> []);
-  let a = Array.of_list (sorted xs) in
-  let lo = a.(0) and hi = a.(Array.length a - 1) in
-  {
-    n = Array.length a;
-    mean = mean xs;
-    median = median_sorted a;
-    stddev = stddev xs;
-    min = lo;
-    max = hi;
-    p95 = percentile_sorted 95.0 a;
-    p99 = percentile_sorted 99.0 a;
-  }
+  summarize_sorted (Array.of_list (sorted xs))
+
+let summarize_array a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  summarize_sorted a
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "n=%d mean=%.2f median=%.2f stddev=%.2f min=%.2f max=%.2f p95=%.2f p99=%.2f"
-    s.n s.mean s.median s.stddev s.min s.max s.p95 s.p99
+    "n=%d mean=%.2f median=%.2f stddev=%.2f min=%.2f max=%.2f p95=%.2f \
+     p99=%.2f p999=%.2f"
+    s.n s.mean s.median s.stddev s.min s.max s.p95 s.p99 s.p999
+
+let summary_to_string s = Format.asprintf "%a" pp_summary s
 
 (* ------------------------------------------------------------------ *)
 (* Named monotonic counters                                            *)
@@ -82,6 +100,10 @@ let counter name =
     Hashtbl.replace registry name c;
     c
 
+let scoped_name ?scope name =
+  match scope with None -> name | Some s -> s ^ "." ^ name
+
+let scoped_counter ?scope name = counter (scoped_name ?scope name)
 let incr_counter c = c.c_value <- c.c_value + 1
 let add_counter c n = c.c_value <- c.c_value + n
 let counter_value c = c.c_value

@@ -27,14 +27,22 @@ type summary = {
   max : float;
   p95 : float;
   p99 : float;
+  p999 : float;
 }
-(** One-shot summary of a sample set. *)
+(** One-shot summary of a sample set. [p999] is the 99.9th percentile —
+    for open-loop serving runs the tail beyond p99 is the whole point. *)
 
 val summarize : float list -> summary
 (** Compute all summary fields in one pass over a sorted copy.
     Requires a non-empty list. *)
 
+val summarize_array : float array -> summary
+(** Same over an array (sorts a copy; input untouched). Requires a
+    non-empty array. Preferred at million-sample scale — no cons cells. *)
+
 val pp_summary : Format.formatter -> summary -> unit
+
+val summary_to_string : summary -> string
 
 (** {1 Named monotonic counters}
 
@@ -48,6 +56,15 @@ type counter
 
 val counter : string -> counter
 (** Find or create the counter with this name. *)
+
+val scoped_name : ?scope:string -> string -> string
+(** [scoped_name ~scope:"shard0" "lifecycle.respawns"] is
+    ["shard0.lifecycle.respawns"]; without a scope the name is returned
+    unchanged. Shards use this to keep their counters apart in the
+    process-wide registry. *)
+
+val scoped_counter : ?scope:string -> string -> counter
+(** [counter (scoped_name ?scope name)]. *)
 
 val incr_counter : counter -> unit
 val add_counter : counter -> int -> unit

@@ -3,6 +3,9 @@ module E = Varan_sim.Engine
 module K = Varan_kernel.Kernel
 module Errno = Varan_syscall.Errno
 module Cost = Varan_cycles.Cost
+module Floatbuf = Varan_util.Floatbuf
+module Stats = Varan_util.Stats
+module Prng = Varan_util.Prng
 
 type load = {
   connections : int;
@@ -15,11 +18,25 @@ type load = {
 type result = {
   mutable completed : int;
   mutable errors : int;
-  mutable latencies_us : float list;
+  lat : Floatbuf.t;
   mutable first_send : int64;
   mutable last_reply : int64;
   mutable conns_done : int;
 }
+
+let fresh_result () =
+  {
+    completed = 0;
+    errors = 0;
+    lat = Floatbuf.create ();
+    first_send = Int64.max_int;
+    last_reply = 0L;
+    conns_done = 0;
+  }
+
+let latencies_us r = Floatbuf.to_list r.lat
+let latency_count r = Floatbuf.length r.lat
+let latency_summary r = Floatbuf.summary r.lat
 
 let rec connect_retry api fd port attempts =
   match Api.connect api fd port with
@@ -30,16 +47,7 @@ let rec connect_retry api fd port attempts =
   | Error e -> Error e
 
 let launch k ~cost ~port_of load =
-  let r =
-    {
-      completed = 0;
-      errors = 0;
-      latencies_us = [];
-      first_send = Int64.max_int;
-      last_reply = 0L;
-      conns_done = 0;
-    }
-  in
+  let r = fresh_result () in
   for conn = 0 to load.connections - 1 do
     let proc = K.new_proc k (Printf.sprintf "client%d" conn) in
     let tid =
@@ -66,9 +74,8 @@ let launch k ~cost ~port_of load =
                     if counted then begin
                       if t1 > r.last_reply then r.last_reply <- t1;
                       r.completed <- r.completed + 1;
-                      r.latencies_us <-
-                        Cost.cycles_to_us cost (Int64.sub t1 t0)
-                        :: r.latencies_us
+                      Floatbuf.push r.lat
+                        (Cost.cycles_to_us cost (Int64.sub t1 t0))
                     end
                   | Ok None | Error _ -> r.errors <- r.errors + 1));
                 if load.think_cycles > 0 then E.consume load.think_cycles
@@ -89,6 +96,125 @@ let throughput_rps cost r =
   else float_of_int r.completed /. (cycles /. (cost.Cost.cpu_ghz *. 1e9))
 
 let mean_latency_us r =
-  match r.latencies_us with
-  | [] -> 0.0
-  | ls -> Varan_util.Stats.mean ls
+  if Floatbuf.is_empty r.lat then 0.0
+  else Floatbuf.fold ( +. ) 0.0 r.lat /. float_of_int (Floatbuf.length r.lat)
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop generator                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type open_load = {
+  ol_clients : int;
+  ol_requests : int;
+  ol_mean_gap_cycles : float;
+  ol_request_of : client:int -> seq:int -> Bytes.t;
+  ol_seed : int;
+  ol_workers : int;
+  ol_warmup : int;
+  ol_preconnect : int list;
+}
+
+(* Open-loop load (the closed loop above is wrk; this is the Poisson
+   arrival process of a serving benchmark): request arrival times come
+   from an exponential inter-arrival draw and advance regardless of
+   completions, so latency includes the queueing delay a real client
+   would see — closed loops hide exactly that (coordinated omission).
+
+   Millions of simulated clients multiplex over [ol_workers] engine
+   tasks. Workers share one arrival schedule: each draw hands out the
+   next (seq, client, arrival-time) triple, so the schedule is a single
+   Poisson process regardless of worker count, and each worker holds one
+   connection per distinct port it ever dials (client identity maps to a
+   port via [port_of], normally through the shard router).
+
+   Latency for request i is [completion_i - scheduled_arrival_i]: if the
+   system falls behind, the backlog shows up in the tail percentiles
+   rather than silently stretching the arrival process. *)
+let launch_open k ~cost ~port_of load =
+  if load.ol_workers < 1 then invalid_arg "Clients.launch_open: workers";
+  if load.ol_clients < 1 then invalid_arg "Clients.launch_open: clients";
+  let r = fresh_result () in
+  let rng = Prng.create load.ol_seed in
+  let issued = ref 0 in
+  let arrival = ref 0.0 in
+  (* One shared schedule: whichever worker is free draws the next
+     arrival. The engine is deterministic, so the draw order (and thus
+     the whole run) is a pure function of the seed. *)
+  let draw () =
+    if !issued >= load.ol_requests then None
+    else begin
+      let seq = !issued in
+      incr issued;
+      arrival := !arrival +. Prng.exponential rng load.ol_mean_gap_cycles;
+      let client = Prng.int rng load.ol_clients in
+      Some (seq, client, Int64.of_float !arrival)
+    end
+  in
+  (* Schedule epoch: arrivals are offsets from launch time. [E.now] works
+     outside task context (launch_open is called before the engine runs). *)
+  let base = E.now (K.engine k) in
+  for w = 0 to load.ol_workers - 1 do
+    let proc = K.new_proc k (Printf.sprintf "olworker%d" w) in
+    let tid =
+      E.spawn (K.engine k) ~name:(Printf.sprintf "olworker%d" w) (fun () ->
+          let api = Api.direct k proc in
+          let conns = Hashtbl.create 8 in
+          let conn_to port =
+            match Hashtbl.find_opt conns port with
+            | Some fd -> Some fd
+            | None -> (
+              match Api.socket api with
+              | Error _ -> None
+              | Ok fd -> (
+                match connect_retry api fd port 2000 with
+                | Error _ -> None
+                | Ok () ->
+                  Hashtbl.replace conns port fd;
+                  Some fd))
+          in
+          (* Dial the known ports up front: servers size their
+             expected-connection count to the worker pool, so the
+             connection universe is fixed before the first request and
+             rerouting mid-run reuses a live connection instead of
+             dialing one. *)
+          List.iter (fun port -> ignore (conn_to port)) load.ol_preconnect;
+          let rec pump () =
+            match draw () with
+            | None ->
+              Hashtbl.iter (fun _ fd -> ignore (Api.close api fd)) conns;
+              r.conns_done <- r.conns_done + 1
+            | Some (seq, client, at) ->
+              let counted = seq >= load.ol_warmup in
+              let at = Int64.add base at in
+              let now = E.now_cycles () in
+              if at > now then E.sleep (Int64.to_int (Int64.sub at now));
+              let port = port_of client in
+              (match conn_to port with
+              | None -> r.errors <- r.errors + 1
+              | Some fd -> (
+                let t0 = E.now_cycles () in
+                if counted && t0 < r.first_send then r.first_send <- t0;
+                match
+                  Proto.send_msg api fd (load.ol_request_of ~client ~seq)
+                with
+                | Error _ -> r.errors <- r.errors + 1
+                | Ok () -> (
+                  match Proto.recv_msg api fd with
+                  | Ok (Some _reply) ->
+                    let t1 = E.now_cycles () in
+                    if counted then begin
+                      if t1 > r.last_reply then r.last_reply <- t1;
+                      r.completed <- r.completed + 1;
+                      (* Open-loop latency: from the scheduled arrival,
+                         not from the send — queueing delay counts. *)
+                      Floatbuf.push r.lat
+                        (Cost.cycles_to_us cost (Int64.sub t1 at))
+                    end
+                  | Ok None | Error _ -> r.errors <- r.errors + 1)));
+              pump ()
+          in
+          pump ())
+    in
+    K.register_task k proc tid
+  done;
+  r

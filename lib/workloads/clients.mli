@@ -1,11 +1,26 @@
-(** Closed-loop load generators, standing in for wrk, ApacheBench,
-    http_load, redis-benchmark, memslap and beanstalkd-benchmark.
+(** Load generators, standing in for wrk, ApacheBench, http_load,
+    redis-benchmark, memslap and beanstalkd-benchmark.
 
-    Each connection is an independent client task: connect (with retry
-    while the server is still starting), then send request / await reply
-    in a closed loop. Latency is measured per request in virtual
-    microseconds; throughput over the span from the first request sent to
-    the last reply received. *)
+    Two modes:
+
+    {b Closed loop} ({!launch}): each connection is an independent
+    client task — connect (with retry while the server is still
+    starting), then send request / await reply in a closed loop. The
+    arrival of request [i+1] waits for the completion of request [i], so
+    measured latency is service latency with queueing hidden.
+
+    {b Open loop} ({!launch_open}): request arrival times come from a
+    Poisson process (exponential inter-arrival draws off the
+    deterministic seed RNG) and advance {e independently of
+    completions}; latency is measured from the {e scheduled arrival} to
+    the reply, so queueing delay under overload lands in the tail
+    percentiles instead of being silently absorbed — the coordinated
+    omission closed loops suffer. Millions of simulated clients are
+    multiplexed over a bounded number of engine tasks.
+
+    Latency is recorded per request in virtual microseconds into a
+    growable float array; throughput over the span from the first
+    counted request sent to the last counted reply received. *)
 
 open Varan_kernel
 
@@ -22,11 +37,21 @@ type load = {
 type result = {
   mutable completed : int;
   mutable errors : int;
-  mutable latencies_us : float list;  (** reversed arrival order *)
+  lat : Varan_util.Floatbuf.t;  (** per-request latency, µs, oldest first *)
   mutable first_send : int64;
   mutable last_reply : int64;
   mutable conns_done : int;
 }
+
+val latencies_us : result -> float list
+(** Latency samples in arrival order (oldest first). Allocates a list;
+    large runs should use [result.lat] directly. *)
+
+val latency_count : result -> int
+
+val latency_summary : result -> Varan_util.Stats.summary option
+(** Summary incl. p50/p99/p999 over the recorded latencies; [None] when
+    nothing completed. *)
 
 val launch :
   Types.t -> cost:Varan_cycles.Cost.t -> port_of:(int -> int) -> load -> result
@@ -39,3 +64,36 @@ val throughput_rps : Varan_cycles.Cost.t -> result -> float
 (** Requests per virtual second. *)
 
 val mean_latency_us : result -> float
+
+(** {1 Open-loop generator} *)
+
+type open_load = {
+  ol_clients : int;  (** distinct simulated client identities *)
+  ol_requests : int;  (** total requests in the arrival schedule *)
+  ol_mean_gap_cycles : float;
+      (** mean Poisson inter-arrival gap in cycles; the offered load is
+          [1/gap] requests per cycle regardless of service speed *)
+  ol_request_of : client:int -> seq:int -> Bytes.t;
+  ol_seed : int;  (** seeds the arrival schedule and client draws *)
+  ol_workers : int;
+      (** engine tasks multiplexing the clients; each worker keeps one
+          connection per distinct port it dials *)
+  ol_warmup : int;  (** leading requests excluded from stats *)
+  ol_preconnect : int list;
+      (** ports every worker dials before its first request — fixes the
+          connection universe so servers sized to [expected_conns =
+          workers] terminate deterministically, and rerouted clients
+          reuse live connections *)
+}
+
+val launch_open :
+  Types.t ->
+  cost:Varan_cycles.Cost.t ->
+  port_of:(int -> int) ->
+  open_load ->
+  result
+(** Spawn the worker tasks; the returned record fills in as the
+    simulation runs. [port_of client] maps a client identity to the port
+    to dial — under sharding, through {!Varan_nvx.Router} — and must be
+    stable per client so a client's stream stays on one shard. Latency
+    samples measure scheduled-arrival → reply. *)

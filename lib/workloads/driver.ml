@@ -15,6 +15,9 @@ type measurement = {
   errors : int;
   throughput_rps : float;
   mean_latency_us : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
   duration_cycles : int64;
 }
 
@@ -55,21 +58,32 @@ let variants_for w n =
   List.init n (fun i ->
       Workload.fresh_variant w (Printf.sprintf "%s.v%d" w.Workload.w_name i))
 
+(* Fold a finished client result into a measurement row; shared by the
+   closed-loop path here and the open-loop serving scenario. *)
+let measurement_of_result label cost result =
+  let p50, p99, p999 =
+    match Clients.latency_summary result with
+    | None -> (0.0, 0.0, 0.0)
+    | Some s ->
+      Varan_util.Stats.(s.median, s.p99, s.p999)
+  in
+  {
+    m_label = label;
+    requests = result.Clients.completed;
+    errors = result.Clients.errors;
+    throughput_rps = Clients.throughput_rps cost result;
+    mean_latency_us = Clients.mean_latency_us result;
+    p50_us = p50;
+    p99_us = p99;
+    p999_us = p999;
+    duration_cycles = Clients.duration_cycles result;
+  }
+
 let measure_clients label k cost w =
   let result =
     Clients.launch k ~cost ~port_of:(Workload.port_of_conn w) w.Workload.load
   in
-  let finish () =
-    {
-      m_label = label;
-      requests = result.Clients.completed;
-      errors = result.Clients.errors;
-      throughput_rps = Clients.throughput_rps cost result;
-      mean_latency_us = Clients.mean_latency_us result;
-      duration_cycles = Clients.duration_cycles result;
-    }
-  in
-  (result, finish)
+  (result, fun () -> measurement_of_result label cost result)
 
 let fresh_machine ?(link_latency = default_link_latency) w =
   let eng = E.create () in

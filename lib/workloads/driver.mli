@@ -9,6 +9,9 @@ type measurement = {
   errors : int;
   throughput_rps : float;
   mean_latency_us : float;
+  p50_us : float;  (** median request latency, virtual µs *)
+  p99_us : float;
+  p999_us : float;  (** the serving tail the paper's Figure 5 hides *)
   duration_cycles : int64;
 }
 
@@ -18,6 +21,10 @@ type mode =
   | Lockstep of { versions : int }  (** total versions, lockstep monitor *)
   | Scribe
   | Nvx_record of { followers : int; log_path : string }
+
+val measurement_of_result :
+  string -> Varan_cycles.Cost.t -> Clients.result -> measurement
+(** Fold a finished client result (closed- or open-loop) into a row. *)
 
 val run : ?link_latency:int -> Workload.t -> mode -> measurement
 (** Build a fresh engine/kernel, start the server(s) in the requested

@@ -649,6 +649,39 @@ let test_torture_sweep () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Sharded-pool sweep (per-shard digest isolation)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* 200 seeds of 2–4 co-resident shards — one kernel, one shared zygote,
+   one shared rewrite cache — each shard running its own sanitized
+   program. Every shard's every variant must reproduce that shard's
+   solo native digest, and the pool must have spawned everything
+   through the one zygote. Reproduce failures with
+   `varan torture --shards 0 --seed N`. *)
+let shard_sweep_cases = 200
+
+let test_shard_sweep () =
+  let shards_seen = Hashtbl.create 4 in
+  for i = 0 to shard_sweep_cases - 1 do
+    let seed = base_seed + i in
+    let sc, _out, fails = H.run_shard_seed seed in
+    Hashtbl.replace shards_seen sc.H.sc_shards ();
+    match fails with
+    | [] -> ()
+    | fs ->
+      Alcotest.failf
+        "shard seed %d failed (reproduce: varan torture --shards 0 --seed \
+         %d)\n\
+        \  %s\n\
+        \  %s" seed seed
+        (H.describe_shard_case sc)
+        (String.concat "\n  " fs)
+  done;
+  (* The sweep must reach the widest pool it generates. *)
+  Alcotest.(check bool) "sweep ran 4-shard cases" true
+    (Hashtbl.mem shards_seen 4)
+
+(* ------------------------------------------------------------------ *)
 (* Contended-futex sweep (per-tid lanes, lock-order replay)            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1127,6 +1160,11 @@ let () =
       ( "sweep",
         [ Alcotest.test_case "200 random fault plans" `Slow test_torture_sweep ]
       );
+      ( "shard",
+        [
+          Alcotest.test_case "200-seed sharded-pool sweep" `Slow
+            test_shard_sweep;
+        ] );
       ( "futex",
         [
           Alcotest.test_case "200-seed contended-futex sweep" `Slow

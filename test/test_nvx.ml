@@ -1120,6 +1120,89 @@ let test_serialize_tape_roundtrip () =
   Alcotest.(check int) "empty tape, empty log" 0
     (Bytes.length (RR.serialize_tape (Tape.create ())))
 
+(* ---- the connection router (sharded serving layer) ------------------ *)
+
+module Router = Varan_nvx.Router
+
+let test_router_sticky_and_spread () =
+  let r = Router.create ~shards:4 () in
+  let assign = List.init 500 (fun c -> (c, Router.route r ~conn:c)) in
+  (* Re-routing never moves a connection while its shard stays healthy. *)
+  List.iter
+    (fun (c, s) ->
+      Alcotest.(check int)
+        (Printf.sprintf "conn %d sticky" c)
+        s (Router.route r ~conn:c))
+    assign;
+  let st = Router.stats r in
+  Alcotest.(check int) "distinct assignments" 500 st.Router.assigned;
+  Alcotest.(check int) "no drains while healthy" 0 st.Router.drained;
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d got connections" i)
+        true (n > 0))
+    st.Router.per_shard;
+  (* The seed perturbs placement — distinct pools hash differently. *)
+  let r2 = Router.create ~seed:99 ~shards:4 () in
+  Alcotest.(check bool) "seed perturbs placement" true
+    (List.exists (fun (c, s) -> Router.route r2 ~conn:c <> s) assign)
+
+let test_router_rebalance_on_degradation () =
+  let r = Router.create ~shards:3 () in
+  let before = List.init 300 (fun c -> (c, Router.route r ~conn:c)) in
+  let on_sick = List.filter (fun (_, s) -> s = 1) before in
+  Alcotest.(check bool) "case has conns to drain" true (on_sick <> []);
+  Router.set_healthy r 1 false;
+  let moved = Router.rebalance r in
+  Alcotest.(check int) "rebalance drains exactly shard 1's conns"
+    (List.length on_sick) moved;
+  List.iter
+    (fun (c, s) ->
+      let s' = Router.route r ~conn:c in
+      if s = 1 then
+        Alcotest.(check bool)
+          (Printf.sprintf "conn %d re-homed off the degraded shard" c)
+          true (s' <> 1)
+      else
+        Alcotest.(check int)
+          (Printf.sprintf "conn %d on a healthy shard untouched" c)
+          s s')
+    before;
+  let st = Router.stats r in
+  Alcotest.(check int) "drains counted" (List.length on_sick) st.Router.drained;
+  Alcotest.(check int) "no live assignment on the degraded shard" 0
+    st.Router.per_shard.(1);
+  (* Recovery: drained connections stay where they went (stickiness
+     wins), fresh connections can land on the recovered shard again. *)
+  Router.set_healthy r 1 true;
+  List.iter
+    (fun (c, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "conn %d stays put after recovery" c)
+        true
+        (Router.route r ~conn:c <> 1))
+    on_sick;
+  let fresh = List.init 500 (fun i -> Router.route r ~conn:(10_000 + i)) in
+  Alcotest.(check bool) "fresh conns reach the recovered shard" true
+    (List.mem 1 fresh)
+
+let test_router_all_down_and_forget () =
+  let r = Router.create ~shards:2 () in
+  Router.set_healthy r 0 false;
+  Router.set_healthy r 1 false;
+  let s = Router.route r ~conn:42 in
+  Alcotest.(check bool) "all-down falls back to the primary hash shard" true
+    (s = 0 || s = 1);
+  Router.set_healthy r 0 true;
+  Router.set_healthy r 1 true;
+  let before = (Router.stats r).Router.per_shard in
+  Router.forget r ~conn:42;
+  let after = (Router.stats r).Router.per_shard in
+  Alcotest.(check int) "forget drops the live assignment"
+    (before.(0) + before.(1) - 1)
+    (after.(0) + after.(1))
+
 let () =
   Alcotest.run "varan_nvx"
     [
@@ -1205,6 +1288,15 @@ let () =
           Alcotest.test_case "trap only" `Quick test_trap_only_mode_equivalent;
           Alcotest.test_case "busy wait" `Quick test_busy_wait_mode_equivalent;
           Alcotest.test_case "ring size 1" `Quick test_tiny_ring_still_correct;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "sticky hashing spreads the pool" `Quick
+            test_router_sticky_and_spread;
+          Alcotest.test_case "rebalance on shard degradation" `Quick
+            test_router_rebalance_on_degradation;
+          Alcotest.test_case "all-down fallback and forget" `Quick
+            test_router_all_down_and_forget;
         ] );
       ( "tape",
         [

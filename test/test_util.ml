@@ -83,7 +83,83 @@ let prop_stats_summary_consistent =
       && s.Stats.median <= s.Stats.max
       && s.Stats.min <= s.Stats.mean +. 1e-9
       && s.Stats.mean <= s.Stats.max +. 1e-9
+      && s.Stats.p99 <= s.Stats.p999
+      && s.Stats.p999 <= s.Stats.max
       && s.Stats.n = List.length xs)
+
+let test_stats_tail_percentiles () =
+  (* On 1..10000 the tail order is strict and p999 sits in the last
+     handful of samples — the open-loop benches live on this field. *)
+  let xs = List.init 10_000 (fun i -> float_of_int (i + 1)) in
+  let s = Stats.summarize xs in
+  Alcotest.(check bool) "p95 < p99 < p999 < max" true
+    (s.Stats.p95 < s.Stats.p99 && s.Stats.p99 < s.Stats.p999
+   && s.Stats.p999 <= s.Stats.max);
+  Alcotest.(check bool) "p999 in the top 0.2%" true (s.Stats.p999 >= 9_980.0);
+  (* List and array summaries agree; the array input is left untouched. *)
+  let a = Array.of_list xs in
+  let shuffled = Array.copy a in
+  let tmp = shuffled.(0) in
+  shuffled.(0) <- shuffled.(9999);
+  shuffled.(9999) <- tmp;
+  let sa = Stats.summarize_array shuffled in
+  Alcotest.(check (float 1e-9)) "array p999 agrees" s.Stats.p999 sa.Stats.p999;
+  Alcotest.(check (float 1e-9)) "shuffled input untouched" 10_000.0 shuffled.(0);
+  (* The rendered summary advertises the new field. *)
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "summary prints p999" true
+    (contains ~sub:"p999=" (Stats.summary_to_string s))
+
+let test_scoped_counters () =
+  Alcotest.(check string) "unscoped name unchanged" "lifecycle.respawns"
+    (Stats.scoped_name "lifecycle.respawns");
+  Alcotest.(check string) "scope prefixes" "shard3.lifecycle.respawns"
+    (Stats.scoped_name ~scope:"shard3" "lifecycle.respawns");
+  let a = Stats.scoped_counter ~scope:"s0" "test.scoped" in
+  let b = Stats.scoped_counter ~scope:"s1" "test.scoped" in
+  let before_a = Stats.counter_value a in
+  let before_b = Stats.counter_value b in
+  Stats.incr_counter a;
+  Stats.incr_counter a;
+  Stats.incr_counter b;
+  Alcotest.(check int) "scopes tally apart (s0)" (before_a + 2)
+    (Stats.counter_value a);
+  Alcotest.(check int) "scopes tally apart (s1)" (before_b + 1)
+    (Stats.counter_value b);
+  Alcotest.(check string) "scoped counter name" "s0.test.scoped"
+    (Stats.counter_name a)
+
+(* --- floatbuf --------------------------------------------------------- *)
+
+module Floatbuf = Varan_util.Floatbuf
+
+let test_floatbuf_grows_in_order () =
+  let b = Floatbuf.create ~capacity:4 () in
+  Alcotest.(check bool) "fresh is empty" true (Floatbuf.is_empty b);
+  Alcotest.(check bool) "no summary when empty" true
+    (Floatbuf.summary b = None);
+  for i = 0 to 9_999 do
+    Floatbuf.push b (float_of_int i)
+  done;
+  Alcotest.(check int) "length counts pushes" 10_000 (Floatbuf.length b);
+  Alcotest.(check (float 1e-9)) "get is positional" 1_234.0
+    (Floatbuf.get b 1_234);
+  (* Insertion order survives growth; to_list and to_array agree. *)
+  let l = Floatbuf.to_list b in
+  Alcotest.(check int) "to_list length" 10_000 (List.length l);
+  Alcotest.(check (float 1e-9)) "list head" 0.0 (List.hd l);
+  Alcotest.(check (float 1e-9)) "array tail" 9_999.0 ((Floatbuf.to_array b).(9_999));
+  (match Floatbuf.summary b with
+  | None -> Alcotest.fail "summary lost the samples"
+  | Some s ->
+    Alcotest.(check int) "summary n" 10_000 s.Stats.n;
+    Alcotest.(check (float 1e-9)) "summary max" 9_999.0 s.Stats.max);
+  Floatbuf.clear b;
+  Alcotest.(check int) "clear empties" 0 (Floatbuf.length b)
 
 (* --- tablefmt ---------------------------------------------------------- *)
 
@@ -317,6 +393,11 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_stats_basics;
           Alcotest.test_case "percentiles" `Quick test_stats_percentile;
+          Alcotest.test_case "tail percentiles (p999)" `Quick
+            test_stats_tail_percentiles;
+          Alcotest.test_case "scoped counters" `Quick test_scoped_counters;
+          Alcotest.test_case "floatbuf grows in order" `Quick
+            test_floatbuf_grows_in_order;
           QCheck_alcotest.to_alcotest prop_stats_summary_consistent;
         ] );
       ( "tablefmt",

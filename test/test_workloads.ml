@@ -365,9 +365,79 @@ let test_spec_memory_intensity_ordering () =
     (Printf.sprintf "mcf (%.2f) > crafty (%.2f)" mcf crafty)
     true (mcf > crafty)
 
+(* ---- sharded serving under open-loop load --------------------------- *)
+
+module Serving = Varan_workloads.Serving
+module Router = Varan_nvx.Router
+module Stats = Varan_util.Stats
+
+(* Small enough to stay quick, large enough that every shard sees
+   traffic and the percentile fields have a real tail to describe. *)
+let tiny_serving ?(shards = 1) () =
+  {
+    Serving.default with
+    Serving.sv_shards = shards;
+    sv_requests = 600;
+    sv_clients = 10_000;
+    sv_workers = 24;
+    sv_warmup = 50;
+  }
+
+let test_open_loop_accounting () =
+  let spec = tiny_serving () in
+  let o = Serving.run ~label:"test-open-loop" spec in
+  let r = o.Serving.o_result in
+  Alcotest.(check int) "no errors" 0 r.Clients.errors;
+  Alcotest.(check int) "every post-warmup arrival completed"
+    (spec.Serving.sv_requests - spec.Serving.sv_warmup)
+    r.Clients.completed;
+  Alcotest.(check int) "one latency sample per counted reply"
+    r.Clients.completed (Clients.latency_count r);
+  (match Clients.latency_summary r with
+  | None -> Alcotest.fail "no latency summary despite completions"
+  | Some s ->
+    Alcotest.(check bool) "open-loop tail ordered: p50<=p99<=p999" true
+      (s.Stats.median <= s.Stats.p99 && s.Stats.p99 <= s.Stats.p999));
+  (* The whole schedule — arrivals, routing, service — is deterministic
+     in the spec seed. *)
+  let o2 = Serving.run ~label:"test-open-loop-again" spec in
+  Alcotest.(check int) "deterministic completions" r.Clients.completed
+    o2.Serving.o_result.Clients.completed;
+  Alcotest.(check bool) "deterministic latencies" true
+    (Clients.latencies_us r = Clients.latencies_us o2.Serving.o_result)
+
+let test_sharded_pool_shares_spawn () =
+  let spec = tiny_serving ~shards:2 () in
+  let o = Serving.run ~label:"test-sharded" spec in
+  Alcotest.(check int) "no errors" 0 o.Serving.o_result.Clients.errors;
+  Alcotest.(check bool) "no shard degraded" true (o.Serving.o_degraded = []);
+  (* shards * (followers + 1) spawns, all through the one shared zygote,
+     with exactly one cold rewrite — the rest rebase the cached image. *)
+  Alcotest.(check int) "one zygote served every spawn" 4
+    o.Serving.o_zygote_forks;
+  let rc = o.Serving.o_rewrite_cache in
+  Alcotest.(check int) "one cold rewrite for the pool" 1
+    rc.Varan_binary.Rewrite_cache.misses;
+  Alcotest.(check int) "siblings rebase the cached image" 3
+    rc.Varan_binary.Rewrite_cache.rebases;
+  let rs = o.Serving.o_router in
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d took connections" i)
+        true (n > 0))
+    rs.Router.per_shard
+
 let () =
   Alcotest.run "varan_workloads"
     [
+      ( "serving",
+        [
+          Alcotest.test_case "open-loop latency accounting" `Quick
+            test_open_loop_accounting;
+          Alcotest.test_case "sharded pool shares the spawn hub" `Quick
+            test_sharded_pool_shares_spawn;
+        ] );
       ( "driver",
         [
           Alcotest.test_case "native serves all" `Quick

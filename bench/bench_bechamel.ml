@@ -224,6 +224,25 @@ let engine_test =
                 done));
          E.run eng))
 
+(* The same 1k-consume chain with the span tracer armed: every dispatch
+   slice emits a begin/end span pair into the bounded buffer. The plain
+   row above runs with tracing compiled in but disabled (one
+   load-and-branch per dispatch), so this pair yields both numbers CI
+   cares about — the disabled row for the ≤5% overhead gate against its
+   recorded baseline, and the enabled/disabled ratio derived below. *)
+let engine_traced_test =
+  Test.make ~name:"engine-1k-task-switches-traced"
+    (Staged.stage (fun () ->
+         Varan_obs.Trace.configure ~capacity:(1 lsl 12) ();
+         let eng = E.create () in
+         ignore
+           (E.spawn eng (fun () ->
+                for _ = 1 to 1_000 do
+                  E.consume 1
+                done));
+         E.run eng;
+         Varan_obs.Trace.reset ()))
+
 (* The pure ready-ring chain: two tasks ping-pong signal/wait at a
    constant virtual time, so every dispatch is a same-timestamp ready
    ring hop (two array stores) rather than a heap push+pop. Together
@@ -341,7 +360,10 @@ let tests =
   ]
   @ ring_tests
   @ rejoin_tests
-  @ [ engine_test; engine_chain_test; ring_lanes_test; bridge_test ]
+  @ [
+      engine_test; engine_traced_test; engine_chain_test; ring_lanes_test;
+      bridge_test;
+    ]
 
 let smoke = Sys.getenv_opt "VARAN_BENCH_SMOKE" <> None
 
@@ -432,6 +454,19 @@ let run () =
     Printf.printf "  %-28s %12.1f x (vs ring-256-c1-b64)\n"
       "bridge-cycle-local-ratio" ratio;
     estimates := ("bridge-cycle-local-ratio", ratio) :: !estimates
+  | _ -> ());
+  (* Derived: the cost of actually recording spans, per task switch.
+     (The cost of the *disabled* instrumentation is what the CI overhead
+     gate tracks, via the plain engine-1k-task-switches row.) *)
+  (match
+     ( List.assoc_opt "engine-1k-task-switches-traced" !estimates,
+       List.assoc_opt "engine-1k-task-switches" !estimates )
+   with
+  | Some traced_ns, Some plain_ns when plain_ns > 0.0 ->
+    let ratio = traced_ns /. plain_ns in
+    Printf.printf "  %-28s %12.2f x (vs untraced)\n" "trace-enabled-ratio"
+      ratio;
+    estimates := ("trace-enabled-ratio", ratio) :: !estimates
   | _ -> ());
   check_broadcast_allocation ();
   Report.save_hotpath_json (List.rev !estimates);

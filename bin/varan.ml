@@ -18,7 +18,54 @@ module Catalog = Varan_workloads.Catalog
 module Config = Varan_nvx.Config
 module Nvx = Varan_nvx.Session
 module Tablefmt = Varan_util.Tablefmt
+module Span = Varan_obs.Trace
+module Profile = Varan_obs.Profile
+module Flight = Varan_obs.Flight
 open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Observability flags shared by run/serve/torture                     *)
+(* ------------------------------------------------------------------ *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a virtual-time span trace of the run (syscall spans per \
+           variant, engine dispatch slices, lifecycle and bridge \
+           instants) and write it as Chrome trace-event JSON — load the \
+           file in Perfetto or chrome://tracing.")
+
+let postmortem_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "postmortem-dir" ] ~docv:"DIR"
+        ~doc:
+          "Arm flight-recorder post-mortem bundles: on oracle divergence, \
+           quarantine-kill or session degradation, the per-shard black \
+           box (recent events, lifecycle transition history, bridge/link \
+           state, newest checkpoint) is dumped as a JSON bundle in DIR.")
+
+let arm_observability ~trace_out ~postmortem_dir =
+  (match postmortem_dir with
+  | Some dir ->
+    Flight.dump_enabled := true;
+    Flight.dump_dir := dir
+  | None -> ());
+  match trace_out with Some _ -> Span.configure () | None -> ()
+
+let finish_observability ~trace_out =
+  match trace_out with
+  | None -> ()
+  | Some path ->
+    Span.write_chrome_json path;
+    Printf.printf "trace: %d event(s)%s -> %s\n" (Span.count ())
+      (let d = Span.dropped () in
+       if d = 0 then "" else Printf.sprintf " (%d dropped)" d)
+      path
 
 let workloads =
   [
@@ -143,11 +190,15 @@ let print_session_stats (st : Nvx.stats) =
     st.Nvx.pool.Varan_shmem.Pool.bytes_reserved
 
 let run_cmd =
-  let run w followers ring_size pump trap_only busy_wait trace =
+  let run w followers ring_size pump trap_only busy_wait trace trace_out
+      postmortem_dir =
     let config = config_of ring_size pump trap_only busy_wait trace in
     Printf.printf "Running %s natively...\n%!" w.Workload.w_name;
     let native = Driver.run w Driver.Native in
     print_measurement native;
+    (* The span trace covers only the monitored run — the native warm-up
+       above would interleave a second engine's timeline into pid 0. *)
+    arm_observability ~trace_out ~postmortem_dir;
     Printf.printf "Running %s under VARAN with %d follower(s)...\n%!"
       w.Workload.w_name followers;
     let m, st, session = Driver.run_with_full_session w ~followers ~config in
@@ -159,13 +210,18 @@ let run_cmd =
       List.iteri
         (fun i l -> if i < 25 then print_endline ("  " ^ l))
         (Nvx.trace_lines session)
-    end
+    end;
+    (match !Flight.last_dump with
+    | Some p -> Printf.printf "post-mortem: %s\n" p
+    | None -> ());
+    finish_observability ~trace_out
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload under the VARAN monitor and report overhead.")
     Term.(
       const run $ workload_arg $ followers_arg $ ring_size_arg $ pump_arg
-      $ trap_only_arg $ busy_wait_arg $ trace_arg)
+      $ trap_only_arg $ busy_wait_arg $ trace_arg $ trace_out_arg
+      $ postmortem_dir_arg)
 
 let lockstep_cmd =
   let versions_arg =
@@ -461,10 +517,27 @@ let torture_cmd =
              co-residency leaks nothing across shard boundaries. 0 keeps \
              the case's own shard count (2–4 from the seed).")
   in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON object per case — digests against native, \
+             aliveness, crashes, lifecycle/bridge/rewrite-cache/checkpoint \
+             counters and the check verdicts — instead of the prose \
+             report. Applies to the base, $(b,--lifecycle) and $(b,--net) \
+             sweeps.")
+  in
   let run seed count plan_spec followers verbose lifecycle futex shards
       stall_timeout max_restarts min_followers lag_threshold
-      checkpoint_interval net link_latency partition_every drop_rate =
+      checkpoint_interval net link_latency partition_every drop_rate json
+      trace_out postmortem_dir =
     let module Lifecycle = Varan_nvx.Lifecycle in
+    arm_observability ~trace_out ~postmortem_dir;
+    let finish code =
+      finish_observability ~trace_out;
+      exit code
+    in
     (match shards with
     | Some n ->
       let failures = ref 0 in
@@ -502,7 +575,7 @@ let torture_cmd =
       done;
       if count > 1 then
         Printf.printf "%d/%d cases passed\n" (count - !failures) count;
-      exit (if !failures > 0 then 1 else 0)
+      finish (if !failures > 0 then 1 else 0)
     | None -> ());
     if futex then begin
       let failures = ref 0 in
@@ -531,7 +604,7 @@ let torture_cmd =
       done;
       if count > 1 then
         Printf.printf "%d/%d cases passed\n" (count - !failures) count;
-      exit (if !failures > 0 then 1 else 0)
+      finish (if !failures > 0 then 1 else 0)
     end;
     let net_on =
       net
@@ -637,12 +710,14 @@ let torture_cmd =
         @ (if net_on || lifecycle_on then H.check_lifecycle case out else [])
         @ (if net_on then H.check_net case out else [])
       in
-      if fails = [] then Printf.printf "PASS %s\n" (H.describe_case case)
+      if fails <> [] then incr failures;
+      if json then print_endline (H.json_of_outcome ~fails case out)
       else begin
-        incr failures;
-        Printf.printf "FAIL %s\n" (H.describe_case case);
-        List.iter (fun f -> Printf.printf "  %s\n" f) fails
-      end;
+        if fails = [] then Printf.printf "PASS %s\n" (H.describe_case case)
+        else begin
+          Printf.printf "FAIL %s\n" (H.describe_case case);
+          List.iter (fun f -> Printf.printf "  %s\n" f) fails
+        end;
       (match out.H.lifecycle with
       | Some r ->
         Printf.printf "  lifecycle: quarantines=%d rejoins=%d deaths=%d%s\n"
@@ -704,10 +779,11 @@ let torture_cmd =
           out.H.digests;
         Format.printf "  %a@." Oracle.pp_report out.H.report
       end
+      end
     done;
-    if count > 1 then
+    if count > 1 && not json then
       Printf.printf "%d/%d cases passed\n" (count - !failures) count;
-    exit (if !failures > 0 then 1 else 0)
+    finish (if !failures > 0 then 1 else 0)
   in
   Cmd.v
     (Cmd.info "torture"
@@ -720,7 +796,8 @@ let torture_cmd =
       $ verbose_arg $ lifecycle_arg $ futex_arg $ shards_arg
       $ stall_timeout_arg $ max_restarts_arg $ min_followers_arg
       $ lag_threshold_arg $ checkpoint_interval_arg $ net_arg
-      $ link_latency_arg $ partition_every_arg $ drop_rate_arg)
+      $ link_latency_arg $ partition_every_arg $ drop_rate_arg $ json_arg
+      $ trace_out_arg $ postmortem_dir_arg)
 
 let replay_cmd =
   let module H = Varan_torture.Harness in
@@ -840,7 +917,28 @@ let serve_cmd =
       value & opt int Serving.default.Serving.sv_seed
       & info [ "seed" ] ~docv:"N" ~doc:"Arrival-schedule and router seed.")
   in
-  let run shards followers requests workers gap seed =
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Attribute the run's virtual cycles to hot-path phases (ring \
+             wait, syscall exec, oracle digest, bridge wire, scheduler \
+             dispatch, client idle/wait, ...) and print the per-phase \
+             breakdown against the engine's total task-cycles — the \
+             falloff diagnosis ROADMAP item 4 asks for.")
+  in
+  let stats_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Dump the whole stats registry — every counter and every \
+             latency histogram — as JSON to FILE after the run.")
+  in
+  let run shards followers requests workers gap seed trace_out postmortem_dir
+      profile stats_json =
     let spec =
       {
         Serving.default with
@@ -852,6 +950,11 @@ let serve_cmd =
         sv_seed = seed;
       }
     in
+    arm_observability ~trace_out ~postmortem_dir;
+    if profile then begin
+      Profile.reset ();
+      Profile.enabled := true
+    end;
     Printf.printf
       "Serving %d open-loop request(s) (mean gap %.0f cycles) across %d \
        shard(s), %d follower(s) each...\n\
@@ -878,7 +981,19 @@ let serve_cmd =
       o.Serving.o_rewrite_cache.Varan_binary.Rewrite_cache.rebases;
     List.iter
       (fun (s, why) -> Printf.printf "shard %d degraded: %s\n" s why)
-      o.Serving.o_degraded
+      o.Serving.o_degraded;
+    (match !Flight.last_dump with
+    | Some p -> Printf.printf "post-mortem: %s\n" p
+    | None -> ());
+    if profile then
+      print_string
+        (Profile.render ~total_cycles:o.Serving.o_total_task_cycles);
+    (match stats_json with
+    | Some path ->
+      Varan_util.Stats.dump_json_to path;
+      Printf.printf "stats: %s\n" path
+    | None -> ());
+    finish_observability ~trace_out
   in
   Cmd.v
     (Cmd.info "serve"
@@ -887,7 +1002,8 @@ let serve_cmd =
           report throughput and tail latency.")
     Term.(
       const run $ shards_arg $ followers_arg $ requests_arg $ workers_arg
-      $ gap_arg $ seed_arg)
+      $ gap_arg $ seed_arg $ trace_out_arg $ postmortem_dir_arg $ profile_arg
+      $ stats_json_arg)
 
 let list_cmd =
   let run () =

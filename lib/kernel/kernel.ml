@@ -1,6 +1,8 @@
 open Types
 module E = Varan_sim.Engine
 module Cond = E.Cond
+module Prof = Varan_sim.Prof
+module Phase = Varan_obs.Profile
 module Sysno = Varan_syscall.Sysno
 module Args = Varan_syscall.Args
 module Errno = Varan_syscall.Errno
@@ -351,6 +353,11 @@ let block_until ~nonblock cond ready =
   if ready () then Ok ()
   else if nonblock then Error Errno.EAGAIN
   else begin
+    (* Every blocking syscall funnels through here, so this is where the
+       profile learns how much vtime tasks spend parked inside the
+       kernel (per-object conds — what would be kernel-table contention
+       on real hardware). *)
+    let t0 = Prof.mark () in
     let rec loop () =
       if ready () then Ok ()
       else begin
@@ -358,7 +365,9 @@ let block_until ~nonblock cond ready =
         loop ()
       end
     in
-    loop ()
+    let r = loop () in
+    Prof.charge_wait Phase.kernel_wait t0;
+    r
   end
 
 (* ------------------------------------------------------------------ *)
@@ -844,6 +853,13 @@ let do_epoll_wait k proc args =
                 (Int64.to_int
                    (Cost.us_to_cycles k.cost (float_of_int timeout_ms *. 1000.)))
           in
+          (* The idle server's home: units park here between requests, so
+             this wait dominates a lightly-loaded shard's task-cycles. *)
+          let t0 = Prof.mark () in
+          let finish ready =
+            Prof.charge_wait Phase.kernel_wait t0;
+            finish ready
+          in
           let rec wait_loop remaining =
             let signalled =
               match remaining with
@@ -998,9 +1014,11 @@ let do_futex k _proc args =
   in
   if op = Flags.futex_wait then begin
     let s = slot () in
+    let t0 = Prof.mark () in
     s.f_waiters <- s.f_waiters + 1;
     Cond.wait s.f_cond;
     s.f_waiters <- s.f_waiters - 1;
+    Prof.charge_wait Phase.kernel_wait t0;
     Args.ok 0
   end
   else if op = Flags.futex_wake then begin
@@ -1018,11 +1036,15 @@ let do_futex k _proc args =
        followers replaying the stream observe (and can assert) the same
        order. Contended acquires queue FIFO on the condition variable. *)
     let s = slot () in
-    while s.f_locked do
-      s.f_waiters <- s.f_waiters + 1;
-      Cond.wait s.f_cond;
-      s.f_waiters <- s.f_waiters - 1
-    done;
+    if s.f_locked then begin
+      let t0 = Prof.mark () in
+      while s.f_locked do
+        s.f_waiters <- s.f_waiters + 1;
+        Cond.wait s.f_cond;
+        s.f_waiters <- s.f_waiters - 1
+      done;
+      Prof.charge_wait Phase.kernel_wait t0
+    end;
     s.f_locked <- true;
     s.f_acq <- s.f_acq + 1;
     Args.ok s.f_acq
@@ -1052,7 +1074,9 @@ let do_wait4 _k proc _args =
         Bytes.set_int32_le status 0 (Int32.of_int child.exit_code);
         Args.ok_out child.pid status
       | None ->
+        let t0 = Prof.mark () in
         Cond.wait proc.exit_cond;
+        Prof.charge_wait Phase.kernel_wait t0;
         loop ()
     in
     loop ()

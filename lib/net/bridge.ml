@@ -1,6 +1,9 @@
 module E = Varan_sim.Engine
 module Ring = Varan_ringbuf.Ring
 module Event = Varan_ringbuf.Event
+module Prof = Varan_sim.Prof
+module Phase = Varan_obs.Profile
+module Trace = Varan_obs.Trace
 
 type config = {
   batch_max : int;
@@ -148,6 +151,7 @@ let rec retransmit_timer t (p : pending) rto =
   end
 
 let ship_batch t evs =
+  let reg = Prof.region_enter () in
   let evs = Array.of_list (List.map t.materialize evs) in
   let n = Array.length evs in
   E.consume (t.cfg.serialize_cost * n);
@@ -172,6 +176,7 @@ let ship_batch t evs =
   t.s_batches <- t.s_batches + 1;
   t.s_events <- t.s_events + n;
   send_data t p;
+  Prof.region_exit Phase.bridge_wire reg;
   ignore
     (Node.spawn_here t.local_node ~name:"bridge-rto" (fun () ->
          retransmit_timer t p t.cfg.rto))
@@ -182,7 +187,11 @@ let ship_batch t evs =
 let rec sender_loop t my_epoch c =
   if t.detached || t.epoch <> my_epoch then ()
   else if t.in_flight >= t.cfg.window then begin
+    (* Window backpressure is wire time: the sender is throttled by
+       unacked batches in flight, not by a lack of local events. *)
+    let t0 = Prof.mark () in
     E.Cond.wait t.window_cond;
+    Prof.charge_wait Phase.bridge_wire t0;
     sender_loop t my_epoch c
   end
   else
@@ -233,11 +242,13 @@ let receive_data t ~epoch ~bseq ~first_seq ~events ~checksum =
        the batch's tail into the NEXT epoch's mirror — a phantom event
        above the true stream head. *)
     let mirror = t.mirror in
+    let reg = Prof.region_enter () in
     Array.iter
       (fun e ->
         E.consume t.cfg.publish_cost;
         Ring.publish mirror e)
-      events
+      events;
+    Prof.region_exit Phase.bridge_wire reg
   end
 
 let rec recv_loop t =
@@ -338,6 +349,8 @@ let detach t =
     t.detached <- true;
     t.heal_fired <- false;
     t.s_detaches <- t.s_detaches + 1;
+    if !Trace.enabled then
+      Trace.instant ~ts:(E.now_cycles ()) ~tid:0 "bridge.detach";
     (match t.local_c with
     | Some c ->
       List.iter t.discard (Ring.unread_h c);
@@ -360,6 +373,10 @@ let abandon t =
   t.in_flight <- 0
 
 let reattach t ~mirror ~remote_base =
+  if !Trace.enabled then
+    Trace.instant ~ts:(E.now_cycles ()) ~tid:0
+      ~args:(Printf.sprintf "\"epoch\":%d" (t.epoch + 1))
+      "bridge.reattach";
   t.epoch <- t.epoch + 1;
   t.mirror <- mirror;
   t.next_bseq <- 0;

@@ -123,6 +123,12 @@ type t = {
   c : counters;
   g : registry_counters;
   mutable degraded : string option;
+  (* Observability tap: called on every state change, before the entry
+     mutates, with the entry's current reason. The session wires this to
+     its flight recorder; it must be effect-free (the watchdog invokes
+     transitions from scheduler context). *)
+  mutable on_transition :
+    idx:int -> from_:string -> to_:string -> reason:string -> unit;
 }
 
 let create ?scope policy ~variants =
@@ -161,15 +167,19 @@ let create ?scope policy ~variants =
         c_illegal = 0;
       };
     degraded = None;
+    on_transition = (fun ~idx:_ ~from_:_ ~to_:_ ~reason:_ -> ());
   }
 
 let entry t idx = t.entries.(idx)
 let state e = e.e_state
 let restarts e = e.e_restarts
 let policy t = t.policy
+let set_on_transition t f = t.on_transition <- f
 
 let transition t e next =
   if not (legal_transition e.e_state next) then t.c.c_illegal <- t.c.c_illegal + 1;
+  t.on_transition ~idx:e.e_idx ~from_:(state_name e.e_state)
+    ~to_:(state_name next) ~reason:e.e_reason;
   (match next with
   | Lagging -> t.c.c_lagging <- t.c.c_lagging + 1
   | Healthy ->

@@ -104,6 +104,13 @@ val transition : t -> entry -> state -> unit
     Illegal transitions are counted rather than raised — the report
     surfaces them as a lifecycle-manager bug. *)
 
+val set_on_transition :
+  t -> (idx:int -> from_:string -> to_:string -> reason:string -> unit) -> unit
+(** Observability tap: [f] is called on every {!transition}, before the
+    entry mutates, with the entry's current reason string. The session
+    wires this to its flight recorder. The watchdog transitions from
+    scheduler context, so [f] must not perform engine effects. *)
+
 val note_degraded : t -> string -> unit
 (** Record graceful degradation to native-speed leader-only execution.
     The first reason sticks. *)

@@ -24,6 +24,10 @@ module Oracle = Varan_trace.Oracle
 module Net_node = Varan_net.Node
 module Link = Varan_net.Link
 module Bridge = Varan_net.Bridge
+module Prof = Varan_sim.Prof
+module Phase = Varan_obs.Profile
+module Trace = Varan_obs.Trace
+module Flight = Varan_obs.Flight
 
 type role = Leader | Follower
 
@@ -185,6 +189,11 @@ type t = {
   (* Distributed mode (config.net): the cross-node ring bridge and its
      bookkeeping. [None] keeps everything on one node. *)
   mutable net : net_state option;
+  (* Observability: the session's flight recorder (keyed by the same
+     scope string the stats registry uses) and the trace track its
+     syscall spans and lifecycle instants render on. *)
+  fl : Flight.t;
+  trace_pid : int;
 }
 
 and divergence_record = {
@@ -338,10 +347,20 @@ let stream_advance t vst tuple ~tid =
    tid (lanes imply a single tuple, so the key spaces cannot collide). *)
 let partial_key vst tuple ~tid = if lanes_active vst tuple then tid else tuple
 
-let stream_wait t vst tuple = Ring.wait_activity (follower_queue t vst tuple)
+(* Both stream-wait entry points park the follower until leader events
+   (or a poke) arrive: that park is the ring-wait phase of the cycle
+   attribution, charged here because followers wait through
+   [Ring.wait_activity], not the ring's own consume stall loop. *)
+let stream_wait t vst tuple =
+  let t0 = Prof.mark () in
+  Ring.wait_activity (follower_queue t vst tuple);
+  Prof.charge_wait Phase.ring_wait t0
 
 let wait_activity_timeout t vst tuple budget =
-  Ring.wait_activity_timeout (follower_queue t vst tuple) budget
+  let t0 = Prof.mark () in
+  let r = Ring.wait_activity_timeout (follower_queue t vst tuple) budget in
+  Prof.charge_wait Phase.ring_wait t0;
+  r
 
 let stream_lag _t vst tuple =
   let live =
@@ -495,6 +514,7 @@ let maybe_capture_checkpoint t vst ~unit_idx ~incarnation proc encode =
           (Cost.copy_cycles ~rate_c100:t.cost.Cost.copy_per_byte_c100
              (Bytes.length state));
         Checkpoint.store t.checkpoints snap;
+        Flight.note_checkpoint t.fl seq;
         (match t.oracle with
         | Some o -> Oracle.note_checkpoint o ~idx:vst.idx ~seq
         | None -> ());
@@ -603,6 +623,10 @@ let degrade t reason =
   | Some _ -> () (* first reason wins *)
   | None ->
     t.degraded <- Some reason;
+    let at = E.now t.k.Types.eng in
+    Flight.record t.fl ~at "session.degrade" reason;
+    ignore
+      (Flight.maybe_dump t.fl ~at ~reason:("session degraded: " ^ reason));
     Logs.info (fun m -> m "varan: degrading to native execution: %s" reason)
 
 (* Is any follower mid-recovery (quarantined, backing off, or replaying
@@ -652,6 +676,8 @@ let begin_quarantine t vst ~reason =
       (match stream_position t vst 0 with
       | Some s -> en.Lifecycle.e_quarantine_seq <- s
       | None -> ());
+      Flight.record t.fl ~at:(E.now t.k.Types.eng) "lifecycle.quarantine"
+        (Printf.sprintf "variant %d: %s" vst.idx reason);
       Lifecycle.transition lc en Lifecycle.Quarantined;
       true)
 
@@ -681,7 +707,12 @@ let respawn t vst =
          partition was healing); a late rejoin would resurrect NVX behind
          the report's back. *)
       en.Lifecycle.e_reason <- "respawn cancelled: session degraded";
-      Lifecycle.transition lc en Lifecycle.Dead
+      Lifecycle.transition lc en Lifecycle.Dead;
+      ignore
+        (Flight.maybe_dump t.fl ~at:(E.now t.k.Types.eng)
+           ~reason:
+             (Printf.sprintf "follower %d dead: %s" vst.idx
+                en.Lifecycle.e_reason))
     end
     else begin
       let remote = is_remote t vst.idx in
@@ -731,6 +762,11 @@ let respawn t vst =
             start0
             (Tape.base t.tapes.(0));
         Lifecycle.transition lc en Lifecycle.Dead;
+        ignore
+          (Flight.maybe_dump t.fl ~at:(E.now t.k.Types.eng)
+             ~reason:
+               (Printf.sprintf "follower %d dead: %s" vst.idx
+                  en.Lifecycle.e_reason));
         check_degraded_floor t
       end
       else begin
@@ -822,6 +858,9 @@ let respawn t vst =
       en.Lifecycle.e_last_cursor <- vst.st.events_consumed;
       en.Lifecycle.e_last_progress <- E.now_cycles ();
       Lifecycle.transition lc en Lifecycle.Catching_up;
+      Flight.record t.fl ~at:(E.now t.k.Types.eng) "lifecycle.respawn"
+        (Printf.sprintf "variant %d incarnation %d, splice at %d" vst.idx
+           vst.incarnation rejoin_head);
       (* An empty stream means there is nothing to catch up on. *)
       finish_rejoin t vst;
       (* If the leader died while this follower was out, adopt the role:
@@ -871,6 +910,12 @@ let quarantine_work t vst =
     E.Cond.broadcast t.ready_cond;
     if en.Lifecycle.e_restarts >= p.Lifecycle.max_restarts then begin
       Lifecycle.transition lc en Lifecycle.Dead;
+      ignore
+        (Flight.maybe_dump t.fl ~at:(E.now t.k.Types.eng)
+           ~reason:
+             (Printf.sprintf
+                "follower %d dead: restart budget exhausted (%s)" vst.idx
+                en.Lifecycle.e_reason));
       check_degraded_floor t
     end
     else begin
@@ -962,7 +1007,13 @@ let heal_work t =
          or every remote follower is terminally dead): kill the probe
          timers so the engine can go quiescent. Parked followers stay
          [Unreachable] terminally — never a hang, never a wrong rejoin. *)
-      Bridge.abandon ns.n_bridge
+      begin
+        Bridge.abandon ns.n_bridge;
+        Flight.set_link t.fl "abandoned";
+        Flight.record t.fl
+          ~at:(E.now t.k.Types.eng)
+          "link.abandoned" "no remote follower will rejoin"
+      end
     else begin
       ns.n_epoch <- ns.n_epoch + 1;
       let head = Ring.published t.rings.(0) in
@@ -976,6 +1027,12 @@ let heal_work t =
          new mirror's sequence 0 must be exactly the sequence the new
          local consumer subscribes at. *)
       Bridge.reattach ns.n_bridge ~mirror ~remote_base:head;
+      Flight.set_link t.fl
+        (Printf.sprintf "reattached: epoch %d, base %d" ns.n_epoch head);
+      Flight.record t.fl
+        ~at:(E.now t.k.Types.eng)
+        "link.heal"
+        (Printf.sprintf "epoch %d base %d" ns.n_epoch head);
       Array.iter
         (fun vst ->
           if ns.n_remote.(vst.idx) && vst.idx <> t.leader_idx then begin
@@ -1013,6 +1070,8 @@ let watchdog_tick t =
           Printf.sprintf "link degraded: no ack for %Ld cycles"
             (Int64.sub now t0)
         in
+        Flight.set_link t.fl reason;
+        Flight.record t.fl ~at:now "link.degraded" reason;
         let parked = begin_unreachable t ~reason in
         ignore
           (E.spawn t.k.Types.eng ~name:"lifecycle-unreachable" (fun () ->
@@ -1103,6 +1162,17 @@ let handle_crash t vst exn =
       t.crash_list <- (vst.idx, Printexc.to_string exn) :: t.crash_list;
       t.crash_list_len <- t.crash_list_len + 1
     end;
+    (let at = E.now t.k.Types.eng in
+     match exn with
+     | Divergence_kill msg ->
+       Flight.record t.fl ~at "divergence.kill"
+         (Printf.sprintf "variant %d (%s): %s" vst.idx
+            vst.variant.Variant.v_name msg);
+       ignore (Flight.maybe_dump t.fl ~at ~reason:("divergence: " ^ msg))
+     | _ ->
+       Flight.record t.fl ~at "variant.crash"
+         (Printf.sprintf "variant %d (%s): %s" vst.idx
+            vst.variant.Variant.v_name (Printexc.to_string exn)));
     (match t.oracle with
     | Some o ->
       Oracle.note_crash o ~idx:vst.idx ~was_leader:(t.leader_idx = vst.idx)
@@ -1312,7 +1382,11 @@ let leader_execute_and_record t vst ~unit_idx ~tuple proc
     (* In-buffer payload digest for divergence checking. *)
     (match Sysno.transfer_class sysno with
     | Sysno.In_buffer ->
-      E.consume (Cost.copy_cycles ~rate_c100:8 (Args.payload_size args))
+      let digest_cycles =
+        Cost.copy_cycles ~rate_c100:8 (Args.payload_size args)
+      in
+      E.consume digest_cycles;
+      Prof.charge_inner Phase.oracle_digest digest_cycles
     | _ -> ());
     (* Descriptor grants travel over the data channel, per follower. *)
     let grant =
@@ -1779,6 +1853,29 @@ let leader_publish_signal t vst ~unit_idx ~tuple signo =
 let interposed t vst ~unit_idx proc sysno args =
   let tuple = tuple_of_unit vst unit_idx in
   let t0 = E.now_cycles () in
+  (* Cycle attribution: the gap since the last interposition returned is
+     the variant body's own computation; the interposed call itself is
+     the syscall-exec phase, exclusive of inner waits (ring, kernel) and
+     the digest charge, which credit the stolen ledger as they go. *)
+  let reg = Prof.region_enter () in
+  if reg.Prof.r_tid >= 0 then Phase.gap_charge reg.Prof.r_tid t0;
+  let traced = !Trace.enabled in
+  let trace_tid = if traced then (E.self () :> int) else 0 in
+  if traced then
+    Trace.begin_span ~ts:t0
+      ~lamport:(Lamport.current vst.clocks.(tuple))
+      ~pid:t.trace_pid ~tid:trace_tid (Sysno.name sysno);
+  (* Runs on the normal return AND the unwind path (exit syscalls and
+     divergence kills raise): an unclosed span would corrupt this
+     track's nesting for the rest of the trace. *)
+  let obs_exit ts =
+    Prof.region_exit Phase.syscall_exec reg;
+    if reg.Prof.r_tid >= 0 then Phase.gap_mark reg.Prof.r_tid ts;
+    if traced then
+      Trace.end_span ~ts
+        ~lamport:(Lamport.current vst.clocks.(tuple))
+        ~pid:t.trace_pid ~tid:trace_tid (Sysno.name sysno)
+  in
   (* Deliver pending caught signals at the interception boundary: the
      leader streams an Ev_signal first so followers replay the handler at
      the same point. *)
@@ -1795,30 +1892,36 @@ let interposed t vst ~unit_idx proc sysno args =
   let disp = Syscall_table.lookup vst.table sysno in
   charge_interception t vst disp sysno;
   let result =
-    match disp with
-    | Syscall_table.Local ->
-      vst.st.local_calls <- vst.st.local_calls + 1;
-      K.exec t.k proc sysno args
-    | Syscall_table.Unsupported ->
-      Logs.err (fun m ->
-          m "varan: unhandled system call %s in %s" (Sysno.name sysno)
-            vst.variant.Variant.v_name);
-      Args.err Errno.ENOSYS
-    | Syscall_table.Stream | Syscall_table.Virtual -> (
-      let leading = t.leader_idx = vst.idx && vst.promoted.(unit_idx) in
-      if leading then
-        leader_execute_and_record t vst ~unit_idx ~tuple proc disp sysno args
-      else begin
-        try follower_replay t vst ~unit_idx ~tuple proc disp sysno args
-        with Promote ->
-          do_promote t vst ~unit_idx ~tuple;
+    try
+      match disp with
+      | Syscall_table.Local ->
+        vst.st.local_calls <- vst.st.local_calls + 1;
+        K.exec t.k proc sysno args
+      | Syscall_table.Unsupported ->
+        Logs.err (fun m ->
+            m "varan: unhandled system call %s in %s" (Sysno.name sysno)
+              vst.variant.Variant.v_name);
+        Args.err Errno.ENOSYS
+      | Syscall_table.Stream | Syscall_table.Virtual -> (
+        let leading = t.leader_idx = vst.idx && vst.promoted.(unit_idx) in
+        if leading then
           leader_execute_and_record t vst ~unit_idx ~tuple proc disp sysno
             args
-      end)
+        else begin
+          try follower_replay t vst ~unit_idx ~tuple proc disp sysno args
+          with Promote ->
+            do_promote t vst ~unit_idx ~tuple;
+            leader_execute_and_record t vst ~unit_idx ~tuple proc disp sysno
+              args
+        end)
+    with exn ->
+      obs_exit (E.now_cycles ());
+      raise exn
   in
   vst.st.syscalls <- vst.st.syscalls + 1;
-  vst.st.sys_cycles <-
-    Int64.add vst.st.sys_cycles (Int64.sub (E.now_cycles ()) t0);
+  let t1 = E.now_cycles () in
+  vst.st.sys_cycles <- Int64.add vst.st.sys_cycles (Int64.sub t1 t0);
+  obs_exit t1;
   result
 
 (* ------------------------------------------------------------------ *)
@@ -1838,6 +1941,7 @@ let interposed t vst ~unit_idx proc sysno args =
    site-id range. *)
 let prepare_image t vst =
   let t0 = Unix.gettimeofday () in
+  let reg = Prof.region_enter () in
   let code =
     match vst.pristine_code with
     | Some c -> c
@@ -1872,7 +1976,8 @@ let prepare_image t vst =
   let patched = Vdso.patch ~first_site_id:t.next_site_id vdso_code symbols in
   t.next_site_id <- t.next_site_id + List.length patched.Vdso.v_sites;
   vst.spawn_ns <- vst.spawn_ns +. ((Unix.gettimeofday () -. t0) *. 1e9);
-  vst.spawn_preps <- vst.spawn_preps + 1
+  vst.spawn_preps <- vst.spawn_preps + 1;
+  Prof.region_exit Phase.rewrite reg
 
 (* Build the monitor-interposed API for one execution unit, including the
    NVX fork hook (§3.3.3). *)
@@ -2253,8 +2358,26 @@ let launch ?(config = Config.default) ?scope ?shared k variants =
         | plan -> Some (Fault.arm plan));
       oracle = config.Config.oracle;
       net = None;
+      fl = Flight.get (Option.value scope ~default:"");
+      trace_pid = Trace.pid_of_scope (Option.value scope ~default:"session");
     }
   in
+  (* Lifecycle transitions feed the flight recorder's history (and the
+     trace, as instants on this session's track). The hook runs from
+     scheduler context too (the watchdog ticker), so it reads the clock
+     directly off the engine — no effects. *)
+  (match t.lifecycle with
+  | Some lc ->
+    Lifecycle.set_on_transition lc (fun ~idx ~from_ ~to_ ~reason ->
+        let at = E.now k.Types.eng in
+        Flight.transition t.fl ~at ~idx ~from_ ~to_ ~reason;
+        if !Trace.enabled then
+          Trace.instant ~ts:at ~pid:t.trace_pid ~tid:idx
+            ~args:
+              (Printf.sprintf "\"from\":\"%s\",\"to\":\"%s\",\"reason\":\"%s\""
+                 from_ to_ (Trace.json_escape reason))
+            ("lifecycle:" ^ to_))
+  | None -> ());
   (match t.oracle with
   | Some o ->
     Array.iteri
@@ -2659,3 +2782,4 @@ let tuple_tape (t : t) tu =
   if tu < Array.length t.tapes then Some t.tapes.(tu) else None
 
 let checkpoint_store (t : t) = t.checkpoints
+let flight (t : t) = t.fl

@@ -195,6 +195,12 @@ val checkpoint_store : t -> Checkpoint.t
 (** The session's follower checkpoint store (the resident zygote owns the
     same object, so snapshots outlive the incarnation they captured). *)
 
+val flight : t -> Varan_obs.Flight.t
+(** The session's flight recorder — the black box dumped as a post-mortem
+    bundle on divergence, quarantine-kill or degradation. Registered
+    under the session's [scope] (the empty scope for unscoped sessions),
+    so {!Varan_obs.Flight.find} reaches the same object. *)
+
 val release_payload : t -> Varan_ringbuf.Event.t -> unit
 (** Drop one reader's reference to an event's shared-memory payload,
     freeing the chunk when every reader has passed it. *)

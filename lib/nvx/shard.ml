@@ -1,6 +1,7 @@
 module E = Varan_sim.Engine
 module Types = Varan_kernel.Types
 module Stats = Varan_util.Stats
+module Flight = Varan_obs.Flight
 
 (* Sharded serving layer: N independent monitor sessions — each with its
    own ring(s), lifecycle watchdog and tape — behind a sticky-hash
@@ -22,6 +23,7 @@ type t = {
   shards : shard array;
   hub : Session.shared_spawn;
   router : Router.t;
+  eng : E.t;
   g_degraded : Stats.counter;
   mutable degraded_seen : bool array; (* health edge already reported *)
 }
@@ -40,7 +42,14 @@ let refresh_health t =
       let up = shard_healthy sh in
       if (not up) && not t.degraded_seen.(sh.sh_id) then begin
         t.degraded_seen.(sh.sh_id) <- true;
-        Stats.incr_counter t.g_degraded
+        Stats.incr_counter t.g_degraded;
+        (* Pool-level view of the same edge: the shard's black box gets
+           the moment the router stopped sending it fresh connections. *)
+        Flight.record
+          (Session.flight sh.sh_session)
+          ~at:(E.now t.eng) "shard.drained"
+          (Printf.sprintf "shard %d marked down, connections draining"
+             sh.sh_id)
       end;
       if Router.healthy t.router sh.sh_id <> up then begin
         Router.set_healthy t.router sh.sh_id up;
@@ -72,6 +81,7 @@ let launch ?config ?config_of ?(router_seed = 0) ?(health_period = 20_000)
       shards = pool;
       hub;
       router = Router.create ~seed:router_seed ~shards ();
+      eng = k.Types.eng;
       g_degraded = Stats.counter "shard.degraded";
       degraded_seen = Array.make shards false;
     }

@@ -1,5 +1,7 @@
 module E = Varan_sim.Engine
 module Cond = E.Cond
+module Prof = Varan_sim.Prof
+module Phase = Varan_obs.Profile
 
 type 'a tap = {
   tap_publish : seq:int -> 'a -> unit;
@@ -175,6 +177,10 @@ let gating_cids t =
 (* One producer park: count it and report who is holding the gate. *)
 let producer_stall t =
   t.n_producer_stalls <- t.n_producer_stalls + 1;
+  if !Varan_obs.Trace.enabled then
+    Varan_obs.Trace.instant ~ts:(E.now_cycles ())
+      ~tid:(E.self () :> int)
+      (t.rname ^ ".full");
   match t.stall_hook with
   | Some hook -> hook (gating_cids t)
   | None -> ()
@@ -204,18 +210,26 @@ let publish_now t v =
   publish_slot t v;
   wake_consumers t
 
+(* Park until the gate opens, attributing the stalled vtime to the
+   ring-gate phase (leader blocked behind its slowest consumer). The
+   attribution wrapper only engages once the ring is actually full, so
+   the uncontended publish path is untouched. *)
+let wait_not_full t =
+  if is_full t then begin
+    let t0 = Prof.mark () in
+    while is_full t do
+      producer_stall t;
+      Cond.wait t.not_full
+    done;
+    Prof.charge_wait Phase.ring_gate t0
+  end
+
 let publish t v =
-  while is_full t do
-    producer_stall t;
-    Cond.wait t.not_full
-  done;
+  wait_not_full t;
   publish_now t v
 
 let publish_k t make =
-  while is_full t do
-    producer_stall t;
-    Cond.wait t.not_full
-  done;
+  wait_not_full t;
   (* No effects between the space check and the slot write: the claimed
      sequence number and the caller's timestamp stay in order. *)
   publish_now t (make ())
@@ -234,10 +248,7 @@ let publish_batch t vs =
   let n = Array.length vs in
   let i = ref 0 in
   while !i < n do
-    while is_full t do
-      producer_stall t;
-      Cond.wait t.not_full
-    done;
+    wait_not_full t;
     (* Claim the longest run the gate allows with this one check, write
        every slot, then wake consumers once for the whole run. *)
     let take = min (available t) (n - !i) in
@@ -282,12 +293,21 @@ let consume_now t c =
   wake_after_consume t ~was_gating;
   v
 
+(* Park until events arrive, attributing the stalled vtime to the
+   ring-wait phase (follower ahead of its leader). *)
+let wait_not_empty t c =
+  if c.cursor >= t.head then begin
+    let t0 = Prof.mark () in
+    while c.cursor >= t.head do
+      t.n_consumer_stalls <- t.n_consumer_stalls + 1;
+      Cond.wait t.not_empty
+    done;
+    Prof.charge_wait Phase.ring_wait t0
+  end
+
 let consume_h c =
   let t = c.c_ring in
-  while c.cursor >= t.head do
-    t.n_consumer_stalls <- t.n_consumer_stalls + 1;
-    Cond.wait t.not_empty
-  done;
+  wait_not_empty t c;
   consume_now t c
 
 let try_consume_h c =
@@ -301,10 +321,7 @@ let try_consume_h c =
 let consume_batch_h c ~max =
   if max < 1 then invalid_arg "Ring.consume_batch: max must be positive";
   let t = c.c_ring in
-  while c.cursor >= t.head do
-    t.n_consumer_stalls <- t.n_consumer_stalls + 1;
-    Cond.wait t.not_empty
-  done;
+  wait_not_empty t c;
   (* Drain the run with one gate check and one wakeup at the end. *)
   let was_gating = c.cursor = t.gate in
   let run = min max (t.head - c.cursor) in

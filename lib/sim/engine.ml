@@ -27,6 +27,7 @@ type frame_k =
 type task = {
   id : task_id;
   name : string;
+  start : int; (* spawn time; (time - start) is the task's lifetime *)
   mutable time : int; (* local virtual clock, cycles *)
   mutable state : task_state;
   mutable killed : bool;
@@ -80,6 +81,7 @@ let rec dummy_task =
   {
     id = -1;
     name = "<dummy>";
+    start = 0;
     time = 0;
     state = Dead;
     killed = true;
@@ -368,6 +370,25 @@ let is_alive t id =
 let failures t = List.rev t.failure_list
 let task_switches t = t.switches
 
+(* Total task-cycles: every task's lifetime (busy + blocked vtime from
+   spawn to its current local clock) summed. Tasks are never removed
+   from the table, so a plain fold covers finished and dead tasks too.
+   This is the denominator the cycle-attribution profile is judged
+   against: the phase buckets partition (most of) this quantity. *)
+let total_task_cycles t =
+  Hashtbl.fold
+    (fun _ task acc -> Int64.add acc (Int64.of_int (task.time - task.start)))
+    t.tasks 0L
+
+(* Per-task lifetimes, for chasing down unattributed profile residue:
+   which tasks own the cycles the phase buckets missed. *)
+let task_lifetimes t =
+  Hashtbl.fold
+    (fun _ task acc ->
+      ((task.id :> int), task.name, Int64.of_int (task.time - task.start))
+      :: acc)
+    t.tasks []
+
 let maxi (a : int) b = if a > b then a else b
 
 (* Schedule the resumption of a claimed waiter's task: clear the park
@@ -576,6 +597,7 @@ and spawn_internal : t -> ?name:string -> at:int -> (unit -> unit) -> task_id =
     {
       id;
       name;
+      start = at;
       time = at;
       state = Runnable;
       killed = false;
@@ -587,6 +609,12 @@ and spawn_internal : t -> ?name:string -> at:int -> (unit -> unit) -> task_id =
   Hashtbl.replace t.tasks id task;
   sched_run t at (fun () ->
       if task.killed || task.state = Dead then task.state <- Dead
+      else if !Varan_obs.Trace.enabled then begin
+        (* First dispatch slice: from spawn to the first park. *)
+        Varan_obs.Trace.begin_span ~ts:(Int64.of_int task.time) ~tid:id name;
+        make_fiber t task body;
+        Varan_obs.Trace.end_span ~ts:(Int64.of_int task.time) ~tid:id name
+      end
       else make_fiber t task body);
   id
 
@@ -683,7 +711,19 @@ let drain ?cycle_budget t =
             recycle t e;
             raise (Budget_exceeded (Int64.of_int t.global_time))
           end;
-          if e.etime > t.global_time then t.global_time <- e.etime;
+          if e.etime > t.global_time then t.global_time <- e.etime
+          else if
+              e.etime < t.global_time
+              && e.ekind == Ek_resume
+              && !Varan_obs.Profile.enabled
+            then
+            (* The entry was due at [etime] but a ticker (or an earlier
+               same-dispatch entry) already pushed virtual time past it:
+               the task resumes late through no fault of its own. This is
+               the scheduler-induced lag the profile reports as
+               sched-dispatch. *)
+            Varan_obs.Profile.add Varan_obs.Profile.sched_dispatch
+              (Int64.of_int (t.global_time - e.etime));
           t.switches <- t.switches + 1;
           Varan_util.Stats.incr_counter g_switches;
           (match e.ekind with
@@ -708,7 +748,21 @@ let drain ?cycle_budget t =
               else begin
                 task.state <- Runnable;
                 if etime > task.time then task.time <- etime;
-                Effect.Deep.continue k ()
+                if !Varan_obs.Trace.enabled then begin
+                  (* One span per dispatch slice, on the engine track
+                     (pid 0) keyed by task id. Begin at the resume time,
+                     end at the task's local clock when it parks again —
+                     so the span covers exactly the vtime the slice
+                     consumed and excludes the wait that follows. Inline
+                     fast-path switches stay inside the enclosing span,
+                     which keeps per-track nesting trivially correct. *)
+                  Varan_obs.Trace.begin_span ~ts:(Int64.of_int task.time)
+                    ~tid:task.id task.name;
+                  Effect.Deep.continue k ();
+                  Varan_obs.Trace.end_span ~ts:(Int64.of_int task.time)
+                    ~tid:task.id task.name
+                end
+                else Effect.Deep.continue k ()
               end
             | K_bool k ->
               task.fr_k <- K_none;
@@ -716,7 +770,14 @@ let drain ?cycle_budget t =
               else begin
                 task.state <- Runnable;
                 if etime > task.time then task.time <- etime;
-                Effect.Deep.continue k flag
+                if !Varan_obs.Trace.enabled then begin
+                  Varan_obs.Trace.begin_span ~ts:(Int64.of_int task.time)
+                    ~tid:task.id task.name;
+                  Effect.Deep.continue k flag;
+                  Varan_obs.Trace.end_span ~ts:(Int64.of_int task.time)
+                    ~tid:task.id task.name
+                end
+                else Effect.Deep.continue k flag
               end)
           | Ek_run ->
             let fn = e.e_fn in

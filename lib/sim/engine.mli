@@ -84,6 +84,17 @@ val task_switches : t -> int
     {!Varan_util.Stats} counter, so scheduler work has a baseline to
     measure against. *)
 
+val total_task_cycles : t -> int64
+(** Sum over every task ever spawned of its lifetime so far — the vtime
+    from spawn to its current local clock, busy and blocked alike. The
+    denominator for {!Varan_obs.Profile} coverage: the attribution
+    buckets partition this quantity (minus unattributed idle). *)
+
+val task_lifetimes : t -> (int * string * int64) list
+(** Per-task [(id, name, lifetime)] triples, unordered — the per-task
+    breakdown of {!total_task_cycles}, for locating which tasks own any
+    unattributed profile residue. *)
+
 (** {1 Task-context operations}
 
     These must be called from inside a running task; calling them outside a

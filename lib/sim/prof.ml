@@ -1,0 +1,82 @@
+(* Task-context glue between the engine and the cycle-attribution
+   buckets in [Varan_obs.Profile].
+
+   [Varan_obs] deliberately knows nothing about the engine (callers pass
+   it raw timestamps), so the wait sites that want to charge a region —
+   ring stall loops, kernel blocks — would each have to repeat the same
+   dance: read the clock before, read it after, look up their task id,
+   honour suppression, credit the stolen-cycles table. This module is
+   that dance, written once.
+
+   Usage at a wait site:
+
+     let t0 = Prof.mark () in
+     ... block (Cond.wait loop) ...
+     Prof.charge_wait Varan_obs.Profile.kernel_wait t0
+
+   Both calls are a single load-and-branch when profiling is off. *)
+
+module P = Varan_obs.Profile
+
+let[@inline] mark () = if !P.enabled then Engine.now_cycles () else 0L
+
+(* Charge the vtime since [t0] to [phase], unless an enclosing region on
+   this task subsumes inner waits (suppression); credit the task's
+   stolen-cycles total either way is wrong — a suppressed wait belongs
+   to the subsuming phase, so only an unsuppressed charge also feeds the
+   exclusive-time subtraction of outer regions. *)
+let charge_wait phase t0 =
+  if !P.enabled then begin
+    let d = Int64.sub (Engine.now_cycles ()) t0 in
+    if d > 0L then begin
+      let tid = (Engine.self () :> int) in
+      if not (P.suppressed tid) then begin
+        P.add phase d;
+        P.steal tid d
+      end
+    end
+  end
+
+(* Exclusive-time regions: a region that spans other instrumented sites
+   (the interposed-syscall region spans kernel blocks, ring waits and
+   the digest charge) subtracts whatever those inner sites credited to
+   the task's stolen ledger, then credits its own charge back — so an
+   enclosing region in turn subtracts this one. Nesting therefore
+   composes: every cycle lands in exactly one bucket. *)
+
+type region = { r_t0 : int64; r_s0 : int64; r_tid : int }
+
+let no_region = { r_t0 = 0L; r_s0 = 0L; r_tid = -1 }
+
+let region_enter () =
+  if !P.enabled then begin
+    let tid = (Engine.self () :> int) in
+    { r_t0 = Engine.now_cycles (); r_s0 = P.stolen tid; r_tid = tid }
+  end
+  else no_region
+
+let region_exit phase r =
+  if !P.enabled && r.r_tid >= 0 then begin
+    let elapsed = Int64.sub (Engine.now_cycles ()) r.r_t0 in
+    let inner = Int64.sub (P.stolen r.r_tid) r.r_s0 in
+    if not (P.suppressed r.r_tid) then begin
+      let d = Int64.sub elapsed inner in
+      if d > 0L then begin
+        P.add phase d;
+        P.steal r.r_tid d
+      end
+    end
+  end
+
+(* Charge a known cost that the surrounding code consumes itself (the
+   leader's in-buffer digest): attribute it and steal it so the
+   enclosing exclusive region does not count it twice. *)
+let charge_inner phase cycles =
+  if !P.enabled && cycles > 0 then begin
+    let tid = (Engine.self () :> int) in
+    if not (P.suppressed tid) then begin
+      let c = Int64.of_int cycles in
+      P.add phase c;
+      P.steal tid c
+    end
+  end

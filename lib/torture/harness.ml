@@ -6,8 +6,20 @@ module Variant = Varan_nvx.Variant
 module Fault = Varan_fault.Plan
 module Oracle = Varan_trace.Oracle
 module Lifecycle = Varan_nvx.Lifecycle
+module Checkpoint = Varan_nvx.Checkpoint
 module Prng = Varan_util.Prng
+module Stats = Varan_util.Stats
+module Flight = Varan_obs.Flight
 module P = Programs
+
+(* A sweep launches hundreds of scoped sessions in one process; without
+   this the stats and flight-recorder registries accumulate every dead
+   case's entries (the registry-leak bug: dumps grew monotonically and
+   showed shards from long-finished seeds). Called at the top of every
+   case runner, so each case's registries hold that case alone. *)
+let reset_registries () =
+  Stats.clear_registry ();
+  Flight.clear_registry ()
 
 type case = {
   seed : int;
@@ -191,6 +203,7 @@ type outcome = {
 let cycle_budget = 50_000_000_000L
 
 let run_ops case ops =
+  reset_registries ();
   let native = P.run_native ~kernel_seed:case.seed ops in
   let eng = E.create () in
   let k = K.create ~seed:case.seed eng in
@@ -279,6 +292,73 @@ let run_seed seed =
   let out = run_case case in
   (case, out, check case out)
 
+(* One machine-readable object per finished case: the digests and the
+   counters a sweep dashboard wants, without parsing prose. The [fails]
+   list is whatever check layer the caller ran. *)
+let json_of_outcome ~fails case (out : outcome) =
+  let esc = Flight.json_escape in
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\"seed\": %d, \"followers\": %d, \"prog_len\": %d" case.seed
+    case.followers case.prog_len;
+  add ", \"lifecycle\": %b" (case.lifecycle <> None);
+  add ", \"remote_followers\": %d"
+    (match case.net with None -> 0 | Some n -> n.Config.remote_followers);
+  add ", \"pass\": %b" (fails = []);
+  add ", \"native\": \"%s\"" (esc out.native);
+  add ", \"digests\": [%s]"
+    (String.concat ", "
+       (Array.to_list (Array.map (fun d -> "\"" ^ esc d ^ "\"") out.digests)));
+  add ", \"alive\": [%s]"
+    (String.concat ", "
+       (Array.to_list (Array.map string_of_bool out.alive)));
+  add ", \"leader_idx\": %d, \"budget_blown\": %b" out.leader_idx
+    out.budget_blown;
+  add ", \"degraded\": %s"
+    (match out.degraded with
+    | None -> "null"
+    | Some r -> "\"" ^ esc r ^ "\"");
+  add ", \"crashes\": [%s]"
+    (String.concat ", "
+       (List.map
+          (fun (idx, msg) ->
+            Printf.sprintf "{\"idx\": %d, \"msg\": \"%s\"}" idx (esc msg))
+          out.crashes));
+  (match out.lifecycle with
+  | None -> ()
+  | Some r ->
+    add
+      ", \"lifecycle_report\": {\"lagging\": %d, \"recovered\": %d, \
+       \"quarantines\": %d, \"respawns\": %d, \"rejoins\": %d, \
+       \"unreachable\": %d, \"deaths\": %d, \"illegal_transitions\": %d}"
+      r.Lifecycle.lagging r.Lifecycle.recovered r.Lifecycle.quarantines
+      r.Lifecycle.respawns r.Lifecycle.rejoins r.Lifecycle.unreachable
+      r.Lifecycle.deaths r.Lifecycle.illegal_transitions);
+  (match out.stats.Nvx.bridge with
+  | None -> ()
+  | Some br ->
+    add
+      ", \"bridge\": {\"batches\": %d, \"events_forwarded\": %d, \
+       \"retransmits\": %d, \"checksum_failures\": %d, \"bytes_on_wire\": \
+       %d, \"bytes_saved\": %d, \"detaches\": %d, \"heals\": %d}"
+      br.Varan_net.Bridge.batches br.Varan_net.Bridge.events_forwarded
+      br.Varan_net.Bridge.retransmits br.Varan_net.Bridge.checksum_failures
+      br.Varan_net.Bridge.bytes_on_wire br.Varan_net.Bridge.bytes_saved
+      br.Varan_net.Bridge.detaches br.Varan_net.Bridge.heals);
+  let rc = out.stats.Nvx.rewrite_cache in
+  add
+    ", \"rewrite_cache\": {\"hits\": %d, \"misses\": %d, \"rebases\": %d}"
+    rc.Varan_binary.Rewrite_cache.hits rc.Varan_binary.Rewrite_cache.misses
+    rc.Varan_binary.Rewrite_cache.rebases;
+  let cp = out.stats.Nvx.checkpoints in
+  add ", \"checkpoints\": {\"taken\": %d, \"restores\": %d, \"delta_events\": %d}"
+    cp.Checkpoint.taken cp.Checkpoint.restores cp.Checkpoint.delta_events;
+  add ", \"max_observed_lag\": %d" out.stats.Nvx.max_observed_lag;
+  add ", \"fails\": [%s]"
+    (String.concat ", " (List.map (fun f -> "\"" ^ esc f ^ "\"") fails));
+  add "}";
+  Buffer.contents b
+
 (* The lifecycle sweep's extra verdicts, on top of {!check}: every
    follower settles — caught back up with a digest identical to native,
    or declared dead after exactly its respawn budget (fewer only when the
@@ -311,11 +391,29 @@ let check_lifecycle (case : case) (out : outcome) =
                clean rather than replaying a wrong prefix — restart
                budget untouched. *)
             && not (contains ~sub:"truncated" fr.Lifecycle.fr_reason)
-          then
+          then begin
+            (* An unexpected death is exactly what the black box is for:
+               dump it and hand the investigator the bundle path, so the
+               failure message alone localizes the run. *)
+            let pm =
+              try
+                let fl = Nvx.flight out.session in
+                let at =
+                  match List.rev (Flight.entries fl) with
+                  | e :: _ -> e.Flight.ev_at
+                  | [] -> 0L
+                in
+                Flight.dump fl ~at
+                  ~reason:
+                    (Printf.sprintf "unexpected Dead of follower %d: %s" idx
+                       fr.Lifecycle.fr_reason)
+              with Sys_error e -> "unwritable: " ^ e
+            in
             fail
               "follower %d dead after %d respawn(s), budget %d, and no \
-               degradation to excuse it"
-              idx fr.Lifecycle.fr_restarts policy.Lifecycle.max_restarts
+               degradation to excuse it (post-mortem: %s)"
+              idx fr.Lifecycle.fr_restarts policy.Lifecycle.max_restarts pm
+          end
         | Lifecycle.Unreachable ->
           (* A terminal park is legal: the partition simply never healed
              before the program ended (or the session degraded). Its
@@ -444,6 +542,7 @@ type futex_outcome = {
    order: equal digests mean the follower reproduced the leader's global
    lock-acquisition order, thread by thread. *)
 let run_futex_case ?leader_crash_at fc =
+  reset_registries ();
   let eng = E.create () in
   let k = K.create ~seed:fc.f_seed eng in
   let n = fc.f_followers + 1 in
@@ -617,6 +716,7 @@ type shard_outcome = {
 }
 
 let run_shard_case c =
+  reset_registries ();
   let progs = Array.init c.sc_shards (shard_program c) in
   (* Reference digests first: each shard's program alone on a fresh
      kernel with the pooled run's seed. *)

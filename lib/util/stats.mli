@@ -76,3 +76,73 @@ val counters : unit -> (string * int) list
 
 val reset_counters : unit -> unit
 (** Zero every registered counter (registrations persist). *)
+
+(** {1 Log-bucketed histograms}
+
+    Fixed-size (64-bucket) HDR-style histograms: three buckets per
+    power-of-two octave (~26% relative resolution), an underflow bucket
+    for values below 1 and a clamp above [2{^21}]. Recording is O(1)
+    and allocation-free; memory is constant regardless of sample count,
+    so unbounded sample streams (per-request latencies over millions of
+    requests) can keep percentile estimates without keeping samples. *)
+
+type hist
+(** A histogram instance. *)
+
+val hist_buckets : int
+(** Number of buckets (64). *)
+
+val make_hist : string -> hist
+(** A fresh, unregistered histogram. *)
+
+val hist : ?scope:string -> string -> hist
+(** Find or create the registered histogram named
+    [scoped_name ?scope name] in the process-wide registry (the
+    histogram analogue of {!scoped_counter}). *)
+
+val hist_record : hist -> float -> unit
+(** Record one sample (negatives clamp to 0). *)
+
+val hist_count : hist -> int
+val hist_name : hist -> string
+
+val hist_clear : hist -> unit
+(** Zero all buckets and moments (the registration persists). *)
+
+val hist_percentile : hist -> float -> float
+(** [hist_percentile h p] estimates the [p]-th percentile ([p] in
+    [\[0,100\]]) as the midpoint of the bucket the nearest-rank falls
+    in, clamped to the observed min/max. 0 on an empty histogram. *)
+
+val hist_summary : hist -> summary option
+(** Summary from the histogram's exact moments (n, mean, stddev, min,
+    max) and bucket-estimated percentiles; [None] when empty. *)
+
+val bucket_of_value : float -> int
+(** Bucket index a value lands in (exposed for tests). *)
+
+val bucket_bounds : int -> float * float
+(** [lo, hi) bounds of a bucket (exposed for tests). *)
+
+val hists : unit -> (string * hist) list
+(** Every registered histogram, sorted by name. *)
+
+(** {1 Registry hygiene and export} *)
+
+val remove_scope : string -> unit
+(** Remove every counter and histogram whose name starts with
+    [scope ^ "."] from the registries. Unlike {!reset_counters} this
+    drops the registrations: a harness that launches hundreds of scoped
+    sessions per process calls this between cases so dead scopes do not
+    accumulate. *)
+
+val clear_registry : unit -> unit
+(** Drop every counter and histogram registration. *)
+
+val dump_json : unit -> string
+(** The whole registry — every counter and every histogram (count,
+    moments, percentile estimates, non-empty buckets as
+    [\[index, count\]] pairs) — as one JSON object. *)
+
+val dump_json_to : string -> unit
+(** Write {!dump_json} to a file. *)

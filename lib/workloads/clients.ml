@@ -6,6 +6,8 @@ module Cost = Varan_cycles.Cost
 module Floatbuf = Varan_util.Floatbuf
 module Stats = Varan_util.Stats
 module Prng = Varan_util.Prng
+module Prof = Varan_sim.Prof
+module Phase = Varan_obs.Profile
 
 type load = {
   connections : int;
@@ -46,6 +48,19 @@ let rec connect_retry api fd port attempts =
     connect_retry api fd port (attempts - 1)
   | Error e -> Error e
 
+(* Dial-until-listening while the server boots: idle time from the
+   client's point of view, and a large one at scale — every worker spins
+   here for the whole variant-launch window. The region subsumes the
+   retry sleeps AND the failed-connect attempt costs, so the entire dial
+   window lands in [client_idle] as one charge. *)
+let dial api fd port attempts =
+  let reg = Prof.region_enter () in
+  if reg.Prof.r_tid >= 0 then Phase.suppress reg.Prof.r_tid;
+  let r = connect_retry api fd port attempts in
+  if reg.Prof.r_tid >= 0 then Phase.unsuppress reg.Prof.r_tid;
+  Prof.region_exit Phase.client_idle reg;
+  r
+
 let launch k ~cost ~port_of load =
   let r = fresh_result () in
   for conn = 0 to load.connections - 1 do
@@ -57,7 +72,7 @@ let launch k ~cost ~port_of load =
           match Api.socket api with
           | Error _ -> r.errors <- r.errors + 1
           | Ok fd -> (
-            match connect_retry api fd (port_of conn) 2000 with
+            match dial api fd (port_of conn) 2000 with
             | Error _ -> r.errors <- r.errors + 1
             | Ok () ->
               for seq = 0 to load.requests_per_conn - 1 do
@@ -166,7 +181,7 @@ let launch_open k ~cost ~port_of load =
               match Api.socket api with
               | Error _ -> None
               | Ok fd -> (
-                match connect_retry api fd port 2000 with
+                match dial api fd port 2000 with
                 | Error _ -> None
                 | Ok () ->
                   Hashtbl.replace conns port fd;
@@ -187,16 +202,29 @@ let launch_open k ~cost ~port_of load =
               let counted = seq >= load.ol_warmup in
               let at = Int64.add base at in
               let now = E.now_cycles () in
-              if at > now then E.sleep (Int64.to_int (Int64.sub at now));
+              if at > now then begin
+                (* Ahead of schedule: waiting for the next Poisson
+                   arrival is idle time, not service time. *)
+                let ti = Prof.mark () in
+                E.sleep (Int64.to_int (Int64.sub at now));
+                Prof.charge_wait Phase.client_idle ti
+              end
+              else if !Phase.enabled then
+                Phase.note_backlog (Int64.sub now at);
               let port = port_of client in
               (match conn_to port with
               | None -> r.errors <- r.errors + 1
-              | Some fd -> (
+              | Some fd ->
+                (* The whole send-to-reply window is one [client_wait]
+                   charge; suppression folds the kernel blocks inside
+                   send/recv into it instead of double-counting them. *)
+                let reg = Prof.region_enter () in
+                if reg.Prof.r_tid >= 0 then Phase.suppress reg.Prof.r_tid;
                 let t0 = E.now_cycles () in
                 if counted && t0 < r.first_send then r.first_send <- t0;
-                match
-                  Proto.send_msg api fd (load.ol_request_of ~client ~seq)
-                with
+                (match
+                   Proto.send_msg api fd (load.ol_request_of ~client ~seq)
+                 with
                 | Error _ -> r.errors <- r.errors + 1
                 | Ok () -> (
                   match Proto.recv_msg api fd with
@@ -210,7 +238,9 @@ let launch_open k ~cost ~port_of load =
                       Floatbuf.push r.lat
                         (Cost.cycles_to_us cost (Int64.sub t1 at))
                     end
-                  | Ok None | Error _ -> r.errors <- r.errors + 1)));
+                  | Ok None | Error _ -> r.errors <- r.errors + 1));
+                if reg.Prof.r_tid >= 0 then Phase.unsuppress reg.Prof.r_tid;
+                Prof.region_exit Phase.client_wait reg);
               pump ()
           in
           pump ())

@@ -65,6 +65,7 @@ type outcome = {
   o_degraded : (int * string) list;
   o_zygote_forks : int; (* served by the one shared zygote *)
   o_rewrite_cache : Rewrite_cache.stats; (* shared across shards *)
+  o_total_task_cycles : int64; (* profile coverage denominator *)
 }
 
 (* Shard port bases are spread so each shard's units own a disjoint port
@@ -144,6 +145,25 @@ let run ?(label = "serving") spec =
      this; a routing or termination bug trips Cycle_budget instead of
      hanging the bench. *)
   E.run_until_quiescent ~cycle_budget:20_000_000_000L eng;
+  (* Residue-chasing aid for the coverage gate: per-task lifetime vs the
+     profiler's stolen ledger shows which tasks own unattributed cycles
+     (the stolen ledger excludes app-compute gap charges, so variant
+     units show their compute as "residue" — that is expected). *)
+  (if Sys.getenv_opt "VARAN_TASK_LIFETIMES" <> None then
+     let ls =
+       List.map
+         (fun (id, n, c) ->
+           let st = Varan_obs.Profile.stolen id in
+           (n, c, st, Int64.sub c st))
+         (E.task_lifetimes eng)
+       |> List.sort (fun (_, _, _, a) (_, _, _, b) -> Int64.compare b a)
+     in
+     List.iteri
+       (fun i (n, c, st, res) ->
+         if i < 40 then
+           Printf.eprintf "%-28s life %10Ld stolen %10Ld residue %10Ld\n" n c
+             st res)
+       ls);
   {
     o_measurement = Driver.measurement_of_result label cost result;
     o_result = result;
@@ -152,4 +172,5 @@ let run ?(label = "serving") spec =
     o_zygote_forks = Shard.zygote_forks pool;
     o_rewrite_cache =
       Rewrite_cache.stats (Session.shared_cache (Shard.hub pool));
+    o_total_task_cycles = E.total_task_cycles eng;
   }

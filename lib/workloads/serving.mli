@@ -44,6 +44,10 @@ type outcome = {
           on a clean run *)
   o_rewrite_cache : Varan_binary.Rewrite_cache.stats;
       (** the shared cache: 1 cold rewrite, the rest rebases *)
+  o_total_task_cycles : int64;
+      (** {!Varan_sim.Engine.total_task_cycles} at quiescence — the
+          denominator [varan serve --profile] judges attribution
+          coverage against *)
 }
 
 val port_base : int -> int

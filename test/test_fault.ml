@@ -287,6 +287,96 @@ let test_dead_after_restart_budget () =
     out.H.digests.(2);
   Alcotest.(check (option string)) "session not degraded" None out.H.degraded
 
+(* The flight recorder's contract: when an armed session kills a
+   follower (quarantine watchdog, budget exhausted), a post-mortem
+   bundle lands on disk carrying the recent-event window, the full
+   lifecycle transition history and the newest checkpoint position —
+   enough to localize the failure without rerunning the workload. *)
+let test_quarantine_kill_dumps_postmortem () =
+  let module Flight = Varan_obs.Flight in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "varan-pm-test" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Flight.dump_enabled := true;
+  Flight.dump_dir := dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.dump_enabled := false;
+      Flight.dump_dir := ".")
+    (fun () ->
+      (* Budget of one + two long stalls + checkpointing: the victim is
+         quarantined, respawns from a checkpoint, stalls again and dies
+         — the death fires the dump with a checkpoint seq on record. *)
+      let policy =
+        { lc with Lifecycle.max_restarts = 1;
+                  Lifecycle.checkpoint_interval = 20_000 }
+      in
+      let case =
+        directed_case ~lifecycle:policy ~seed:112 ~followers:2
+          ~plan:
+            [
+              Fault.Stall_follower { idx = 1; at_seq = 3; delay = 2_000_000 };
+              Fault.Stall_follower { idx = 1; at_seq = 9; delay = 2_000_000 };
+            ]
+          ()
+      in
+      let out = H.run_ops case (payload_ops 10) in
+      check_lifecycle_exn "quarantine kill" case out;
+      let bundle =
+        match !Flight.last_dump with
+        | Some p -> p
+        | None -> Alcotest.fail "no post-mortem bundle was written"
+      in
+      Alcotest.(check bool) "bundle is in the armed directory" true
+        (Filename.dirname bundle = dir);
+      let ic = open_in bundle in
+      let len = in_channel_length ic in
+      let body = really_input_string ic len in
+      close_in ic;
+      let contains ~sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      (* The recent-event window captured both watchdog verdicts... *)
+      Alcotest.(check bool) "events include the quarantine" true
+        (contains ~sub:"lifecycle.quarantine" body);
+      (* ...the transition history shows the full descent... *)
+      Alcotest.(check bool) "transition into Quarantined recorded" true
+        (contains ~sub:"\"to\": \"quarantined\"" body);
+      Alcotest.(check bool) "transition into Dead recorded" true
+        (contains ~sub:"\"to\": \"dead\"" body);
+      (* ...and the newest-at-dump-time checkpoint position is on
+         record (the session keeps checkpointing after the dump, so the
+         recorder's final seq may be newer still). *)
+      let bundle_seq =
+        let key = "\"checkpoint_seq\": " in
+        let rec find i =
+          if i + String.length key > String.length body then
+            Alcotest.fail "bundle has no checkpoint_seq field"
+          else if String.sub body i (String.length key) = key then begin
+            let j = ref (i + String.length key) in
+            let start = !j in
+            while !j < String.length body
+                  && (body.[!j] = '-' || (body.[!j] >= '0' && body.[!j] <= '9'))
+            do
+              incr j
+            done;
+            int_of_string (String.sub body start (!j - start))
+          end
+          else find (i + 1)
+        in
+        find 0
+      in
+      Alcotest.(check bool) "bundle noted a checkpoint" true (bundle_seq >= 0);
+      let fl = Nvx.flight out.H.session in
+      Alcotest.(check bool) "recorder's final seq is no older" true
+        (Flight.checkpoint_seq fl >= bundle_seq);
+      (* The in-memory recorder agrees with what was serialized. *)
+      Alcotest.(check bool) "recorder kept a transition history" true
+        (List.length (Flight.transitions fl) >= 2);
+      Alcotest.(check bool) "recorder kept recent events" true
+        (Flight.entries fl <> []))
+
 (* Satellite: losing every follower degrades the session to native-speed
    leader-only execution with a reported reason — never an escaping
    exception. *)
@@ -1139,6 +1229,8 @@ let () =
             test_quarantine_then_rejoin;
           Alcotest.test_case "dead after restart budget" `Quick
             test_dead_after_restart_budget;
+          Alcotest.test_case "quarantine kill dumps post-mortem" `Quick
+            test_quarantine_kill_dumps_postmortem;
           Alcotest.test_case "all followers dead degrades" `Quick
             test_degrade_all_followers_dead;
           Alcotest.test_case "no leader remains degrades" `Quick
